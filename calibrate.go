@@ -1,0 +1,149 @@
+package pioqo
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"pioqo/internal/calibrate"
+	"pioqo/internal/cost"
+	"pioqo/internal/disk"
+)
+
+// CalibrationMethod selects how the calibrator generates device queue
+// depth (§4.4 of the paper).
+type CalibrationMethod int
+
+const (
+	// ActiveWait keeps a circular window of asynchronous reads in flight —
+	// the paper's recommended general method.
+	ActiveWait CalibrationMethod = iota
+	// GroupWait issues groups of reads with a barrier between groups; it
+	// matches ActiveWait on SSDs but under-measures spinning media.
+	GroupWait
+	// MultiThread uses one synchronous reader per unit of queue depth.
+	MultiThread
+)
+
+func (m CalibrationMethod) internal() calibrate.Method {
+	switch m {
+	case GroupWait:
+		return calibrate.GroupWait
+	case MultiThread:
+		return calibrate.MultiThread
+	default:
+		return calibrate.ActiveWait
+	}
+}
+
+// CalibrationOptions tune the calibration pass. Zero values take the
+// paper's defaults.
+type CalibrationOptions struct {
+	// Method is the queue-depth driver. Default ActiveWait.
+	Method CalibrationMethod
+
+	// MaxReads is M, the page-read budget per calibration point.
+	// Default 3200 (§4.4).
+	MaxReads int
+
+	// Repetitions averages each point. Default 1.
+	Repetitions int
+
+	// StopThreshold is T of §4.6: stop raising the queue depth when the
+	// largest band improves by less than this fraction, defaulting the
+	// remaining points. Negative disables; zero means the paper's 0.20.
+	StopThreshold float64
+}
+
+// Calibration is the result of a calibration pass.
+type Calibration struct {
+	// Model is the calibrated queue-depth-aware cost model.
+	Model *cost.QDTT
+
+	// Bands and Depths are the calibrated grid axes (bands in pages).
+	Bands  []int64
+	Depths []int
+
+	// Reads is the number of page reads the calibration issued; Elapsed is
+	// the virtual time it took — the cost §4.6's early stop reduces.
+	Reads   int64
+	Elapsed time.Duration
+
+	// StoppedEarly reports whether the §4.6 control cut the pass short.
+	StoppedEarly bool
+}
+
+// Calibrate measures the system's device and installs the resulting QDTT
+// model as the optimizer's cost model. Call it once per device (the paper
+// recalibrates when hardware changes, or during idle cycles).
+func (s *System) Calibrate(o CalibrationOptions) (*Calibration, error) {
+	cfg := calibrate.DefaultConfig(s.dev)
+	cfg.Method = o.Method.internal()
+	if o.MaxReads > 0 {
+		cfg.MaxReads = o.MaxReads
+	}
+	if o.Repetitions > 0 {
+		cfg.Repetitions = o.Repetitions
+	}
+	switch {
+	case o.StopThreshold > 0:
+		cfg.StopThreshold = o.StopThreshold
+	case o.StopThreshold == 0:
+		cfg.StopThreshold = 0.20
+	}
+	if o.MaxReads < 0 || o.Repetitions < 0 {
+		return nil, fmt.Errorf("pioqo: negative calibration budget (reads=%d reps=%d)",
+			o.MaxReads, o.Repetitions)
+	}
+
+	out := calibrate.Run(s.env, s.dev, cfg)
+	s.model = out.Model
+	return &Calibration{
+		Model:        out.Model,
+		Bands:        out.Model.Bands(),
+		Depths:       out.Model.Depths(),
+		Reads:        out.TotalReads,
+		Elapsed:      time.Duration(out.SimTime),
+		StoppedEarly: out.StoppedEarly,
+	}, nil
+}
+
+// Model returns the installed QDTT cost model, or an error if the system
+// has not been calibrated.
+func (s *System) Model() (*cost.QDTT, error) {
+	if s.model == nil {
+		return nil, errors.New("pioqo: system not calibrated; call Calibrate first")
+	}
+	return s.model, nil
+}
+
+// DevicePages reports the device capacity in pages — the largest band the
+// cost models can be asked about.
+func (s *System) DevicePages() int64 { return s.dev.Size() / disk.PageSize }
+
+// SaveModel writes the calibrated QDTT model as JSON, so a deployment can
+// persist a calibration and reload it at startup instead of re-measuring
+// the device.
+func (s *System) SaveModel(w io.Writer) error {
+	if s.model == nil {
+		return errors.New("pioqo: no calibrated model to save")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.model)
+}
+
+// LoadModel installs a previously saved model as the optimizer's cost
+// model, validating the grid. Loading a model calibrated on different
+// hardware than the attached device yields well-formed but wrong costs —
+// like restoring a stale calibration file onto new hardware would.
+func (s *System) LoadModel(r io.Reader) error {
+	var m cost.QDTT
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return fmt.Errorf("pioqo: loading model: %w", err)
+	}
+	s.model = &m
+	return nil
+}

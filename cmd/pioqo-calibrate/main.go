@@ -1,0 +1,85 @@
+// Command pioqo-calibrate runs a standalone DTT/QDTT calibration against a
+// simulated device and prints the resulting model as tab-separated values.
+//
+// Usage:
+//
+//	pioqo-calibrate [-device ssd|hdd|raid8] [-method aw|gw|mt]
+//	                [-reads N] [-reps N] [-threshold T] [-model dtt|qdtt]
+//
+// With -model dtt, only the queue-depth-1 row is calibrated (the paper's
+// Fig. 6); with the default qdtt, the full exponential depth grid is
+// calibrated (Fig. 7), honouring the §4.6 early-stop threshold.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"pioqo/internal/calibrate"
+	"pioqo/internal/sim"
+	"pioqo/internal/workload"
+)
+
+func main() {
+	deviceFlag := flag.String("device", "ssd", "device model: ssd, hdd, or raid8")
+	methodFlag := flag.String("method", "aw", "queue-depth driver: aw, gw, or mt")
+	reads := flag.Int("reads", 3200, "page-read budget per calibration point (M)")
+	reps := flag.Int("reps", 1, "repetitions per point")
+	threshold := flag.Float64("threshold", 0, "early-stop threshold T (0 disables)")
+	modelFlag := flag.String("model", "qdtt", "model to calibrate: dtt or qdtt")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var kind workload.DeviceKind
+	switch *deviceFlag {
+	case "ssd":
+		kind = workload.SSD
+	case "hdd":
+		kind = workload.HDD
+	case "raid8":
+		kind = workload.RAID8
+	default:
+		fmt.Fprintf(os.Stderr, "pioqo-calibrate: unknown device %q\n", *deviceFlag)
+		os.Exit(2)
+	}
+
+	env := sim.NewEnv(*seed)
+	dev := workload.NewDevice(env, kind)
+	cfg := calibrate.DefaultConfig(dev)
+	cfg.MaxReads = *reads
+	cfg.Repetitions = *reps
+	cfg.StopThreshold = *threshold
+	cfg.Seed = *seed
+	switch *methodFlag {
+	case "aw":
+		cfg.Method = calibrate.ActiveWait
+	case "gw":
+		cfg.Method = calibrate.GroupWait
+	case "mt":
+		cfg.Method = calibrate.MultiThread
+	default:
+		fmt.Fprintf(os.Stderr, "pioqo-calibrate: unknown method %q\n", *methodFlag)
+		os.Exit(2)
+	}
+	if *modelFlag == "dtt" {
+		cfg.Depths = []int{1}
+	} else if *modelFlag != "qdtt" {
+		fmt.Fprintf(os.Stderr, "pioqo-calibrate: unknown model %q\n", *modelFlag)
+		os.Exit(2)
+	}
+
+	out := calibrate.Run(env, dev, cfg)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(w, "# device=%s method=%v reads/point=%d reps=%d\n",
+		dev.Name(), cfg.Method, cfg.MaxReads, cfg.Repetitions)
+	fmt.Fprintf(w, "# calibration: %d reads, %v of device time, stopped_early=%v\n",
+		out.TotalReads, out.SimTime, out.StoppedEarly)
+	fmt.Fprintln(w, "band_pages\tqueue_depth\tmicros_per_page\tstddev")
+	for _, p := range out.Points {
+		fmt.Fprintf(w, "%d\t%d\t%.2f\t%.2f\n", p.Band, p.Depth, p.MicrosPerPage, p.StdDev)
+	}
+	w.Flush()
+}

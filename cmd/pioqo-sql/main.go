@@ -1,0 +1,106 @@
+// Command pioqo-sql is an interactive shell over the pioqo engine, speaking
+// the small SQL dialect of internal/sql. It is the quickest way to poke at
+// the paper's behaviours by hand:
+//
+//	$ pioqo-sql -device ssd
+//	pioqo> CREATE TABLE t ROWS 400000 ROWSPERPAGE 33 SYNTHETIC;
+//	pioqo> CALIBRATE;
+//	pioqo> SET OPTIMIZER OLD;
+//	pioqo> SELECT MAX(C1) FROM t WHERE C2 BETWEEN 0 AND 999;
+//	pioqo> SET OPTIMIZER NEW;
+//	pioqo> SELECT MAX(C1) FROM t WHERE C2 BETWEEN 0 AND 999;
+//
+// Statements end with ';'. Non-interactive use: pipe a script on stdin.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pioqo"
+	"pioqo/internal/sql"
+)
+
+func main() {
+	deviceFlag := flag.String("device", "ssd", "device model: ssd, hdd, or raid8")
+	pool := flag.Int("pool", 16384, "buffer pool pages")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var kind pioqo.DeviceKind
+	switch *deviceFlag {
+	case "ssd":
+		kind = pioqo.SSD
+	case "hdd":
+		kind = pioqo.HDD
+	case "raid8":
+		kind = pioqo.RAID8
+	default:
+		fmt.Fprintf(os.Stderr, "pioqo-sql: unknown device %q\n", *deviceFlag)
+		os.Exit(2)
+	}
+
+	sys := pioqo.New(pioqo.Config{Device: kind, PoolPages: *pool, Seed: *seed})
+	session := sql.NewSession(sys)
+
+	interactive := isTerminal()
+	if interactive {
+		fmt.Printf("pioqo shell — %s device, %d-page pool. Statements end with ';'.\n",
+			sys.DeviceName(), *pool)
+		fmt.Print("pioqo> ")
+	}
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	for scanner.Scan() {
+		pending.WriteString(scanner.Text())
+		pending.WriteString("\n")
+		text := pending.String()
+		for {
+			idx := strings.IndexByte(text, ';')
+			if idx < 0 {
+				break
+			}
+			stmt := text[:idx+1]
+			text = text[idx+1:]
+			out, err := session.Exec(stmt)
+			switch {
+			case err != nil:
+				fmt.Fprintln(os.Stderr, "error:", err)
+			case out != "":
+				fmt.Println(out)
+			}
+		}
+		pending.Reset()
+		pending.WriteString(text)
+		if interactive {
+			fmt.Print("pioqo> ")
+		}
+	}
+	if rest := strings.TrimSpace(pending.String()); rest != "" {
+		out, err := session.Exec(rest)
+		switch {
+		case err != nil:
+			fmt.Fprintln(os.Stderr, "error:", err)
+		case out != "":
+			fmt.Println(out)
+		}
+	}
+	if interactive {
+		fmt.Println()
+	}
+}
+
+// isTerminal reports whether stdin looks interactive (best effort, stdlib
+// only: character devices are terminals, pipes and files are not).
+func isTerminal() bool {
+	info, err := os.Stdin.Stat()
+	if err != nil {
+		return false
+	}
+	return info.Mode()&os.ModeCharDevice != 0
+}

@@ -1,0 +1,116 @@
+package pioqo
+
+import (
+	"errors"
+	"time"
+
+	"pioqo/internal/exec"
+)
+
+// ConcurrentResult reports a batch of queries executed together.
+type ConcurrentResult struct {
+	// Results holds one entry per query, in input order; each Runtime is
+	// that query's own start-to-finish virtual time.
+	Results []Result
+
+	// Elapsed is the wall-clock of the whole batch (max over queries).
+	Elapsed time.Duration
+
+	// QueueBudget is the per-query device queue-depth budget the planner
+	// used.
+	QueueBudget int
+
+	// IOThroughputMBps is the device throughput sustained over the batch.
+	IOThroughputMBps float64
+}
+
+// ExecuteConcurrent optimizes and runs several queries simultaneously,
+// sharing CPU, buffer pool, and the device queue. Following the paper's
+// §4.3 guidance — "when multiple queries are running on the system
+// concurrently, the optimizer needs to pass a lower queue depth number to
+// the QDTT model" — each query is planned under a queue-depth budget of
+// (device's beneficial depth) / (number of queries), unless the supplied
+// PlanOptions already set one.
+func (s *System) ExecuteConcurrent(queries []Query, opts ...ExecOption) (ConcurrentResult, error) {
+	if len(queries) == 0 {
+		return ConcurrentResult{}, errors.New("pioqo: no queries")
+	}
+	var eo execOptions
+	for _, o := range opts {
+		o(&eo)
+	}
+	if s.model == nil {
+		return ConcurrentResult{}, errors.New("pioqo: ExecuteConcurrent requires calibration")
+	}
+	if eo.cold {
+		// Flush before planning: residency statistics feed the optimizer.
+		s.pool.Flush()
+	}
+
+	po := eo.plan
+	if po.QueueBudget == 0 {
+		// Beneficial depth at whole-device band, split across the batch.
+		beneficial := s.model.MaxBeneficialDepth(s.DevicePages(), 0.05)
+		budget := beneficial / len(queries)
+		if budget < 1 {
+			budget = 1
+		}
+		po.QueueBudget = budget
+	}
+
+	specs := make([]exec.Spec, len(queries))
+	for i, q := range queries {
+		plan, err := s.Plan(q, po)
+		if err != nil {
+			return ConcurrentResult{}, err
+		}
+		specs[i] = exec.Spec{
+			Table:             q.Table.tab,
+			Index:             q.Table.idx,
+			Lo:                q.Low,
+			Hi:                q.High,
+			Method:            plan.Method.internal(),
+			Degree:            plan.Degree,
+			Agg:               q.Agg.internal(),
+			PrefetchPerWorker: plan.Prefetch,
+		}
+		if eo.prefetch > 0 {
+			specs[i].PrefetchPerWorker = eo.prefetch
+		}
+	}
+
+	results, io := exec.ExecuteAll(s.execContext(), specs)
+	out := ConcurrentResult{
+		QueueBudget:      po.QueueBudget,
+		IOThroughputMBps: io.ThroughputMBps,
+	}
+	var maxRt time.Duration
+	for i, r := range results {
+		res := Result{
+			Value:   r.Value,
+			Found:   r.Found,
+			Rows:    r.RowsMatched,
+			Runtime: time.Duration(r.Runtime),
+		}
+		res.Plan, _ = s.planFromSpec(specs[i])
+		out.Results = append(out.Results, res)
+		if res.Runtime > maxRt {
+			maxRt = res.Runtime
+		}
+	}
+	out.Elapsed = maxRt
+	return out, nil
+}
+
+// planFromSpec reconstructs the public plan shape from an internal spec
+// (estimates omitted — they were already consumed during planning).
+func (s *System) planFromSpec(spec exec.Spec) (Plan, error) {
+	method := FullTableScan
+	switch spec.Method {
+	case exec.IndexScan:
+		method = IndexScan
+	case exec.SortedIndexScan:
+		method = SortedIndexScan
+	}
+	return Plan{Method: method, Degree: spec.Degree, Prefetch: spec.PrefetchPerWorker}, nil
+}

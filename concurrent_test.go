@@ -1,0 +1,105 @@
+package pioqo
+
+import (
+	"testing"
+)
+
+func TestExecuteConcurrentAnswersMatchSerial(t *testing.T) {
+	sys, tab := newCalibrated(t, SSD, 50000, 33)
+	queries := []Query{
+		{Table: tab, Low: 0, High: 499},
+		{Table: tab, Low: 1000, High: 1999},
+		{Table: tab, Low: 40000, High: 49999},
+	}
+	var want []Result
+	for _, q := range queries {
+		res, err := sys.Execute(q, Cold())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res)
+	}
+	sys.FlushBufferPool()
+	got, err := sys.ExecuteConcurrent(queries, Cold())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != len(queries) {
+		t.Fatalf("%d results, want %d", len(got.Results), len(queries))
+	}
+	for i := range queries {
+		if got.Results[i].Value != want[i].Value || got.Results[i].Rows != want[i].Rows {
+			t.Errorf("query %d: concurrent (%d, %d rows) vs serial (%d, %d rows)",
+				i, got.Results[i].Value, got.Results[i].Rows, want[i].Value, want[i].Rows)
+		}
+	}
+	if got.Elapsed <= 0 {
+		t.Error("non-positive batch elapsed time")
+	}
+}
+
+func TestExecuteConcurrentSplitsQueueBudget(t *testing.T) {
+	sys, tab := newCalibrated(t, SSD, 100000, 33)
+	queries := []Query{
+		{Table: tab, Low: 0, High: 99},
+		{Table: tab, Low: 200, High: 299},
+	}
+	res, err := sys.ExecuteConcurrent(queries, Cold())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueueBudget <= 0 || res.QueueBudget > 16 {
+		t.Errorf("queue budget = %d for 2 queries, want within (0, 16]", res.QueueBudget)
+	}
+	for i, r := range res.Results {
+		if r.Plan.Degree > res.QueueBudget {
+			t.Errorf("query %d ran at degree %d above budget %d",
+				i, r.Plan.Degree, res.QueueBudget)
+		}
+	}
+}
+
+func TestConcurrentBatchBeatsSequentialExecution(t *testing.T) {
+	// Two index scans that each leave device parallelism unused at their
+	// budgeted degree should overlap: the batch completes well before the
+	// sum of the two serial runtimes.
+	sys, tab := newCalibrated(t, SSD, 100000, 33)
+	q1 := Query{Table: tab, Low: 0, High: 199}
+	q2 := Query{Table: tab, Low: 50000, High: 50199}
+
+	serial := func(q Query) float64 {
+		res, err := sys.Execute(q, Cold(),
+			WithPlanOptions(PlanOptions{QueueBudget: 16}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.Runtime)
+	}
+	total := serial(q1) + serial(q2)
+
+	sys.FlushBufferPool()
+	batch, err := sys.ExecuteConcurrent([]Query{q1, q2}, Cold())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(batch.Elapsed) > 0.8*total {
+		t.Errorf("concurrent batch %v vs serial sum %.0fns: want meaningful overlap",
+			batch.Elapsed, total)
+	}
+}
+
+func TestExecuteConcurrentValidation(t *testing.T) {
+	sys, tab := newCalibrated(t, SSD, 1000, 33)
+	if _, err := sys.ExecuteConcurrent(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	uncal := New(Config{Device: SSD})
+	tab2, err := uncal.CreateTable("t", 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := uncal.ExecuteConcurrent([]Query{{Table: tab2}}); err == nil {
+		t.Error("uncalibrated system accepted")
+	}
+	_ = tab
+}

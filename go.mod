@@ -1,0 +1,3 @@
+module pioqo
+
+go 1.22

@@ -1,0 +1,82 @@
+package pioqo
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pioqo/internal/exec"
+)
+
+// GroupByQuery is a grouped aggregation over one table:
+//
+//	SELECT C2/GroupWidth, <Agg>(C1) FROM t
+//	WHERE C2 BETWEEN Low AND High GROUP BY C2/GroupWidth
+type GroupByQuery struct {
+	Table *Table
+	Low,
+	High int64
+	// GroupWidth buckets C2 into groups of this key width.
+	GroupWidth int64
+	Agg        Aggregate
+}
+
+// GroupRow is one output group.
+type GroupRow struct {
+	Key   int64 // C2 / GroupWidth
+	Value int64
+	Rows  int64
+}
+
+// GroupByResult reports a grouped aggregation.
+type GroupByResult struct {
+	Groups  []GroupRow // sorted by Key
+	Rows    int64
+	Plan    Plan // the scan plan feeding the aggregation
+	Runtime time.Duration
+}
+
+// ExecuteGroupBy optimizes the underlying scan and runs the grouped
+// aggregation.
+func (s *System) ExecuteGroupBy(q GroupByQuery, opts ...ExecOption) (GroupByResult, error) {
+	if q.GroupWidth <= 0 {
+		return GroupByResult{}, fmt.Errorf("pioqo: group width %d must be positive", q.GroupWidth)
+	}
+	if q.Table == nil {
+		return GroupByResult{}, errors.New("pioqo: group-by without a table")
+	}
+	var eo execOptions
+	for _, o := range opts {
+		o(&eo)
+	}
+	if eo.cold {
+		s.pool.Flush()
+	}
+	plan, err := s.Plan(Query{Table: q.Table, Low: q.Low, High: q.High}, eo.plan)
+	if err != nil {
+		return GroupByResult{}, err
+	}
+	spec := exec.GroupBySpec{
+		Scan: exec.Spec{
+			Table:             q.Table.tab,
+			Index:             q.Table.idx,
+			Lo:                q.Low,
+			Hi:                q.High,
+			Method:            plan.Method.internal(),
+			Degree:            plan.Degree,
+			PrefetchPerWorker: plan.Prefetch,
+		},
+		GroupWidth: q.GroupWidth,
+		Agg:        q.Agg.internal(),
+	}
+	res := exec.ExecuteGroupBy(s.execContext(), spec)
+	out := GroupByResult{
+		Rows:    res.Rows,
+		Plan:    plan,
+		Runtime: time.Duration(res.Runtime),
+	}
+	for _, g := range res.Groups {
+		out.Groups = append(out.Groups, GroupRow{Key: g.Key, Value: g.Value, Rows: g.Rows})
+	}
+	return out, nil
+}

@@ -1,0 +1,292 @@
+// Package buffer implements the database buffer pool: a fixed set of page
+// frames with LRU replacement, pinning, asynchronous prefetch, and the
+// residency statistics the optimizer consults.
+//
+// The pool tracks page *residency and timing*, not page bytes — table and
+// index contents live in their own storage structures (see internal/table
+// and internal/btree), while the pool decides which accesses cost an I/O.
+// This mirrors what the paper's cost model needs from SQL Anywhere's pool:
+// "statistics on how many table and index pages are currently cached".
+package buffer
+
+import (
+	"container/list"
+	"fmt"
+
+	"pioqo/internal/disk"
+	"pioqo/internal/sim"
+)
+
+// PageKey names a page globally: a file and a page number within it.
+type PageKey struct {
+	File disk.FileID
+	Page int64
+}
+
+// Pool is a buffer pool over one disk manager's files. All methods must be
+// called from simulation context; FetchPage additionally needs a process.
+type Pool struct {
+	env      *sim.Env
+	capacity int
+
+	frames map[PageKey]*frame
+	lru    *list.List // unpinned, loaded frames; front = most recent
+
+	resident map[disk.FileID]int64 // loaded pages per file
+	files    map[disk.FileID]*disk.File
+
+	// inFlightWrites tracks outstanding write-backs so FlushDirty can wait
+	// for durability.
+	inFlightWrites *sim.WaitGroup
+
+	Stats Stats
+}
+
+// Stats counts pool traffic since the last ResetStats.
+type Stats struct {
+	Hits          int64 // requests served without device I/O
+	Misses        int64 // requests that had to issue or join a device read
+	JoinedLoads   int64 // misses that piggybacked on an in-flight read
+	PrefetchReads int64 // device reads issued by Prefetch/PrefetchRun
+	Evictions     int64
+	DirtyWrites   int64 // write-backs issued for dirty frames
+}
+
+type frame struct {
+	key     PageKey
+	pins    int
+	dirty   bool
+	loading *sim.Completion // non-nil while the device read is in flight
+	lruEl   *list.Element   // non-nil iff unpinned and loaded
+}
+
+// NewPool returns a pool with room for capacity pages.
+func NewPool(e *sim.Env, capacity int) *Pool {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("buffer: pool capacity %d", capacity))
+	}
+	return &Pool{
+		env:            e,
+		capacity:       capacity,
+		frames:         make(map[PageKey]*frame, capacity),
+		lru:            list.New(),
+		resident:       make(map[disk.FileID]int64),
+		files:          make(map[disk.FileID]*disk.File),
+		inFlightWrites: sim.NewWaitGroup(e),
+	}
+}
+
+// Capacity returns the pool size in pages.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Cached reports how many pages are currently loaded or loading.
+func (p *Pool) Cached() int { return len(p.frames) }
+
+// Resident reports how many pages of file f are currently in the pool —
+// the statistic the optimizer uses to correct I/O estimates for warm data.
+func (p *Pool) Resident(f *disk.File) int64 { return p.resident[f.ID()] }
+
+// ResetStats zeroes the traffic counters.
+func (p *Pool) ResetStats() { p.Stats = Stats{} }
+
+// evictOne removes the least recently used unpinned frame, writing it back
+// asynchronously first if dirty. It reports whether a frame was freed. The
+// frame is reusable immediately — the page image is handed to the device
+// queue, which is how real pools avoid stalling page allocation on
+// write-back.
+func (p *Pool) evictOne() bool {
+	back := p.lru.Back()
+	if back == nil {
+		return false
+	}
+	f := back.Value.(*frame)
+	if f.dirty {
+		p.writeBack(f)
+	}
+	p.lru.Remove(back)
+	delete(p.frames, f.key)
+	p.resident[f.key.File]--
+	p.Stats.Evictions++
+	return true
+}
+
+// writeBack issues the asynchronous device write for a dirty frame and
+// clears the dirty bit.
+func (p *Pool) writeBack(f *frame) {
+	file := p.files[f.key.File]
+	if file == nil {
+		panic(fmt.Sprintf("buffer: dirty frame %v for unknown file", f.key))
+	}
+	f.dirty = false
+	p.Stats.DirtyWrites++
+	p.inFlightWrites.Add(1)
+	file.WritePage(f.key.Page).OnFire(p.inFlightWrites.Done)
+}
+
+// ensureRoom makes space for one more frame, evicting if needed. Running
+// out of evictable frames is a sizing bug in the caller (too many pins or
+// prefetches for the pool), and panics rather than deadlocking silently.
+func (p *Pool) ensureRoom() {
+	if len(p.frames) < p.capacity {
+		return
+	}
+	if !p.evictOne() {
+		panic(fmt.Sprintf("buffer: all %d frames pinned or loading", p.capacity))
+	}
+}
+
+// install creates a loading frame for key backed by the read completion c.
+func (p *Pool) install(key PageKey, c *sim.Completion) *frame {
+	p.ensureRoom()
+	f := &frame{key: key, loading: c}
+	p.frames[key] = f
+	p.resident[key.File]++
+	c.OnFire(func() {
+		f.loading = nil
+		if f.pins == 0 && f.lruEl == nil {
+			f.lruEl = p.lru.PushFront(f)
+		}
+	})
+	return f
+}
+
+// pin marks the frame in use and removes it from the eviction list.
+func (p *Pool) pin(f *frame) {
+	f.pins++
+	if f.lruEl != nil {
+		p.lru.Remove(f.lruEl)
+		f.lruEl = nil
+	}
+}
+
+// Handle is a pinned page. Callers must Release exactly once.
+type Handle struct {
+	pool *Pool
+	f    *frame
+}
+
+// Key returns the pinned page's identity.
+func (h Handle) Key() PageKey { return h.f.key }
+
+// MarkDirty flags the page as modified; eviction (or FlushDirty) will
+// write it back to the device.
+func (h Handle) MarkDirty() { h.f.dirty = true }
+
+// Release unpins the page, making it evictable again.
+func (h Handle) Release() {
+	f := h.f
+	if f.pins <= 0 {
+		panic("buffer: release of unpinned page " + fmt.Sprint(f.key))
+	}
+	f.pins--
+	if f.pins == 0 && f.loading == nil {
+		f.lruEl = h.pool.lru.PushFront(f)
+	}
+}
+
+// FetchPage returns the page pinned, blocking the process for the device
+// read if the page is neither cached nor already being loaded.
+func (p *Pool) FetchPage(proc *sim.Proc, file *disk.File, page int64) Handle {
+	p.files[file.ID()] = file
+	key := PageKey{file.ID(), page}
+	if f, ok := p.frames[key]; ok {
+		if f.loading != nil {
+			p.Stats.Misses++
+			p.Stats.JoinedLoads++
+			p.pin(f)
+			proc.Wait(f.loading)
+			return Handle{p, f}
+		}
+		p.Stats.Hits++
+		p.pin(f)
+		return Handle{p, f}
+	}
+	p.Stats.Misses++
+	f := p.install(key, file.ReadPage(page))
+	p.pin(f)
+	proc.Wait(f.loading)
+	return Handle{p, f}
+}
+
+// Prefetch asynchronously loads a single page if it is not already present
+// or in flight. It never blocks and reports whether a read was issued.
+func (p *Pool) Prefetch(file *disk.File, page int64) bool {
+	p.files[file.ID()] = file
+	key := PageKey{file.ID(), page}
+	if _, ok := p.frames[key]; ok {
+		return false
+	}
+	p.Stats.PrefetchReads++
+	p.install(key, file.ReadPage(page))
+	return true
+}
+
+// PrefetchRun asynchronously loads count consecutive pages with one large
+// device read, skipping the whole run if every page is already present.
+// Pages already resident within a partially-present run are re-covered by
+// the block read (the transfer is contiguous either way), matching how
+// block-based readahead behaves in practice.
+func (p *Pool) PrefetchRun(file *disk.File, page int64, count int) bool {
+	p.files[file.ID()] = file
+	allPresent := true
+	for i := int64(0); i < int64(count); i++ {
+		if _, ok := p.frames[PageKey{file.ID(), page + i}]; !ok {
+			allPresent = false
+			break
+		}
+	}
+	if allPresent {
+		return false
+	}
+	c := file.ReadRun(page, count)
+	p.Stats.PrefetchReads++
+	for i := int64(0); i < int64(count); i++ {
+		key := PageKey{file.ID(), page + i}
+		if _, ok := p.frames[key]; ok {
+			continue
+		}
+		p.install(key, c)
+	}
+	return true
+}
+
+// Contains reports whether the page is loaded or loading.
+func (p *Pool) Contains(file *disk.File, page int64) bool {
+	_, ok := p.frames[PageKey{file.ID(), page}]
+	return ok
+}
+
+// Flush drops every unpinned, loaded frame — the "flush the memory buffer
+// pool" step the paper performs before each experiment. Dirty frames are
+// written back asynchronously on the way out. It reports how many frames
+// were dropped.
+func (p *Pool) Flush() int {
+	n := 0
+	for p.evictOne() {
+		n++
+	}
+	return n
+}
+
+// FlushDirty writes back every dirty frame without evicting anything and
+// blocks the process until all write-backs — including those issued
+// earlier by evictions — are durable on the device (a checkpoint).
+func (p *Pool) FlushDirty(proc *sim.Proc) {
+	for _, f := range p.frames {
+		if f.dirty && f.loading == nil {
+			p.writeBack(f)
+		}
+	}
+	proc.WaitFor(p.inFlightWrites)
+}
+
+// DirtyPages reports how many loaded frames are currently dirty.
+func (p *Pool) DirtyPages() int {
+	n := 0
+	for _, f := range p.frames {
+		if f.dirty {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,264 @@
+package buffer
+
+import (
+	"testing"
+
+	"pioqo/internal/device"
+	"pioqo/internal/disk"
+	"pioqo/internal/sim"
+)
+
+// world bundles the fixtures most tests need.
+type world struct {
+	env  *sim.Env
+	file *disk.File
+	pool *Pool
+}
+
+func newWorld(t *testing.T, poolPages int) *world {
+	t.Helper()
+	env := sim.NewEnv(1)
+	m := disk.NewManager(device.NewSSD(env, device.DefaultSSDConfig()))
+	return &world{
+		env:  env,
+		file: m.MustAllocate("t", 4096),
+		pool: NewPool(env, poolPages),
+	}
+}
+
+// run executes fn as a process and drives the simulation to completion.
+func (w *world) run(fn func(p *sim.Proc)) {
+	w.env.Go("test", fn)
+	w.env.Run()
+}
+
+func TestFetchMissThenHit(t *testing.T) {
+	w := newWorld(t, 8)
+	w.run(func(p *sim.Proc) {
+		h := w.pool.FetchPage(p, w.file, 5)
+		h.Release()
+		h = w.pool.FetchPage(p, w.file, 5)
+		h.Release()
+	})
+	if w.pool.Stats.Misses != 1 || w.pool.Stats.Hits != 1 {
+		t.Errorf("misses=%d hits=%d, want 1 and 1", w.pool.Stats.Misses, w.pool.Stats.Hits)
+	}
+}
+
+func TestHitCostsNoTime(t *testing.T) {
+	w := newWorld(t, 8)
+	var missTime, hitTime sim.Duration
+	w.run(func(p *sim.Proc) {
+		t0 := p.Now()
+		w.pool.FetchPage(p, w.file, 0).Release()
+		missTime = sim.Duration(p.Now() - t0)
+		t0 = p.Now()
+		w.pool.FetchPage(p, w.file, 0).Release()
+		hitTime = sim.Duration(p.Now() - t0)
+	})
+	if missTime == 0 {
+		t.Error("miss completed in zero virtual time")
+	}
+	if hitTime != 0 {
+		t.Errorf("hit took %v, want 0", hitTime)
+	}
+}
+
+func TestLRUEvictsColdestPage(t *testing.T) {
+	w := newWorld(t, 3)
+	w.run(func(p *sim.Proc) {
+		for page := int64(0); page < 3; page++ {
+			w.pool.FetchPage(p, w.file, page).Release()
+		}
+		// Touch page 0 so page 1 is coldest, then overflow.
+		w.pool.FetchPage(p, w.file, 0).Release()
+		w.pool.FetchPage(p, w.file, 3).Release()
+	})
+	if w.pool.Contains(w.file, 1) {
+		t.Error("page 1 survived eviction despite being coldest")
+	}
+	for _, page := range []int64{0, 2, 3} {
+		if !w.pool.Contains(w.file, page) {
+			t.Errorf("page %d missing, want resident", page)
+		}
+	}
+	if w.pool.Stats.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", w.pool.Stats.Evictions)
+	}
+}
+
+func TestPinnedPagesAreNotEvicted(t *testing.T) {
+	w := newWorld(t, 2)
+	w.run(func(p *sim.Proc) {
+		h := w.pool.FetchPage(p, w.file, 0)
+		w.pool.FetchPage(p, w.file, 1).Release()
+		w.pool.FetchPage(p, w.file, 2).Release() // must evict page 1, not pinned 0
+		if !w.pool.Contains(w.file, 0) {
+			t.Error("pinned page evicted")
+		}
+		h.Release()
+	})
+}
+
+func TestAllPinnedPanics(t *testing.T) {
+	w := newWorld(t, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic when every frame is pinned")
+		}
+	}()
+	w.run(func(p *sim.Proc) {
+		_ = w.pool.FetchPage(p, w.file, 0) // keep pinned
+		_ = w.pool.FetchPage(p, w.file, 1)
+	})
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	w := newWorld(t, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on double release")
+		}
+	}()
+	w.run(func(p *sim.Proc) {
+		h := w.pool.FetchPage(p, w.file, 0)
+		h.Release()
+		h.Release()
+	})
+}
+
+func TestConcurrentFetchesShareOneRead(t *testing.T) {
+	w := newWorld(t, 8)
+	for i := 0; i < 4; i++ {
+		w.env.Go("reader", func(p *sim.Proc) {
+			w.pool.FetchPage(p, w.file, 7).Release()
+		})
+	}
+	w.env.Run()
+	if w.pool.Stats.JoinedLoads != 3 {
+		t.Errorf("joined loads = %d, want 3", w.pool.Stats.JoinedLoads)
+	}
+	if w.pool.Stats.Misses != 4 {
+		t.Errorf("misses = %d, want 4 (one leader, three joiners)", w.pool.Stats.Misses)
+	}
+}
+
+func TestPrefetchMakesLaterFetchFree(t *testing.T) {
+	w := newWorld(t, 8)
+	var fetchTime sim.Duration
+	w.run(func(p *sim.Proc) {
+		w.pool.Prefetch(w.file, 9)
+		p.Sleep(10 * sim.Millisecond) // plenty for the read to land
+		t0 := p.Now()
+		w.pool.FetchPage(p, w.file, 9).Release()
+		fetchTime = sim.Duration(p.Now() - t0)
+	})
+	if fetchTime != 0 {
+		t.Errorf("fetch after settled prefetch took %v, want 0", fetchTime)
+	}
+	if w.pool.Stats.Hits != 1 {
+		t.Errorf("hits = %d, want 1", w.pool.Stats.Hits)
+	}
+}
+
+func TestFetchJoinsInFlightPrefetch(t *testing.T) {
+	w := newWorld(t, 8)
+	w.run(func(p *sim.Proc) {
+		w.pool.Prefetch(w.file, 9)
+		w.pool.FetchPage(p, w.file, 9).Release() // joins, does not re-issue
+	})
+	if got := w.pool.Stats.PrefetchReads; got != 1 {
+		t.Errorf("prefetch reads = %d, want 1", got)
+	}
+	if got := w.pool.Stats.JoinedLoads; got != 1 {
+		t.Errorf("joined loads = %d, want 1", got)
+	}
+}
+
+func TestPrefetchDedupes(t *testing.T) {
+	w := newWorld(t, 8)
+	w.run(func(p *sim.Proc) {
+		if !w.pool.Prefetch(w.file, 3) {
+			t.Error("first prefetch reported no-op")
+		}
+		if w.pool.Prefetch(w.file, 3) {
+			t.Error("duplicate prefetch issued a read")
+		}
+	})
+}
+
+func TestPrefetchRunLoadsAllPages(t *testing.T) {
+	w := newWorld(t, 64)
+	w.run(func(p *sim.Proc) {
+		w.pool.PrefetchRun(w.file, 0, 16)
+		p.Sleep(50 * sim.Millisecond)
+		for page := int64(0); page < 16; page++ {
+			if !w.pool.Contains(w.file, page) {
+				t.Errorf("page %d not resident after run prefetch", page)
+			}
+		}
+	})
+	if got := w.pool.Stats.PrefetchReads; got != 1 {
+		t.Errorf("prefetch reads = %d, want 1 block read", got)
+	}
+}
+
+func TestPrefetchRunSkipsWhenAllPresent(t *testing.T) {
+	w := newWorld(t, 64)
+	w.run(func(p *sim.Proc) {
+		w.pool.PrefetchRun(w.file, 0, 8)
+		p.Sleep(50 * sim.Millisecond)
+		if w.pool.PrefetchRun(w.file, 0, 8) {
+			t.Error("second identical run prefetch issued a read")
+		}
+	})
+}
+
+func TestResidentTracksPerFile(t *testing.T) {
+	env := sim.NewEnv(1)
+	m := disk.NewManager(device.NewSSD(env, device.DefaultSSDConfig()))
+	fa, fb := m.MustAllocate("a", 100), m.MustAllocate("b", 100)
+	pool := NewPool(env, 8)
+	env.Go("p", func(p *sim.Proc) {
+		pool.FetchPage(p, fa, 0).Release()
+		pool.FetchPage(p, fa, 1).Release()
+		pool.FetchPage(p, fb, 0).Release()
+	})
+	env.Run()
+	if got := pool.Resident(fa); got != 2 {
+		t.Errorf("Resident(a) = %d, want 2", got)
+	}
+	if got := pool.Resident(fb); got != 1 {
+		t.Errorf("Resident(b) = %d, want 1", got)
+	}
+}
+
+func TestFlushEmptiesPool(t *testing.T) {
+	w := newWorld(t, 8)
+	w.run(func(p *sim.Proc) {
+		for page := int64(0); page < 5; page++ {
+			w.pool.FetchPage(p, w.file, page).Release()
+		}
+	})
+	if n := w.pool.Flush(); n != 5 {
+		t.Errorf("Flush dropped %d, want 5", n)
+	}
+	if w.pool.Cached() != 0 {
+		t.Errorf("cached = %d after flush, want 0", w.pool.Cached())
+	}
+	if w.pool.Resident(w.file) != 0 {
+		t.Errorf("resident = %d after flush, want 0", w.pool.Resident(w.file))
+	}
+}
+
+func TestPoolNeverExceedsCapacity(t *testing.T) {
+	w := newWorld(t, 16)
+	w.run(func(p *sim.Proc) {
+		for page := int64(0); page < 200; page++ {
+			w.pool.FetchPage(p, w.file, page).Release()
+			if w.pool.Cached() > 16 {
+				t.Fatalf("pool holds %d frames, capacity 16", w.pool.Cached())
+			}
+		}
+	})
+}

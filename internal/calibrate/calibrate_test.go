@@ -1,0 +1,296 @@
+package calibrate
+
+import (
+	"math/rand"
+	"testing"
+
+	"pioqo/internal/device"
+	"pioqo/internal/disk"
+	"pioqo/internal/sim"
+)
+
+func newSSD(e *sim.Env) device.Device { return device.NewSSD(e, device.DefaultSSDConfig()) }
+func newHDD(e *sim.Env) device.Device { return device.NewHDD(e, device.DefaultHDDConfig()) }
+func newRAID(e *sim.Env) device.Device {
+	return device.NewRAID0(e, 8, 64<<10, device.HDD15KConfig())
+}
+
+// smallConfig keeps test calibrations fast: fewer bands and reads.
+func smallConfig(dev device.Device, method Method) Config {
+	cfg := DefaultConfig(dev)
+	cfg.MaxReads = 800
+	cfg.Method = method
+	devPages := dev.Size() / disk.PageSize
+	cfg.Bands = []int64{1, 256, 64 << 10, devPages}
+	return cfg
+}
+
+func runOn(newDev func(*sim.Env) device.Device, mutate func(*Config)) Output {
+	env := sim.NewEnv(7)
+	dev := newDev(env)
+	cfg := smallConfig(dev, ActiveWait)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return Run(env, dev, cfg)
+}
+
+func TestSSDCostDropsWithDepth(t *testing.T) {
+	out := runOn(newSSD, nil)
+	band := int64(64 << 10)
+	prev := out.Model.PageCost(band, 1)
+	for _, qd := range []int{2, 4, 8, 16, 32} {
+		cur := out.Model.PageCost(band, qd)
+		if cur >= prev {
+			t.Errorf("SSD cost at depth %d = %.1f, not below %.1f", qd, cur, prev)
+		}
+		prev = cur
+	}
+	gain := out.Model.PageCost(band, 1) / out.Model.PageCost(band, 32)
+	if gain < 10 {
+		t.Errorf("SSD depth-32 gain = %.1fx, want >= 10x", gain)
+	}
+}
+
+func TestHDDBandDominatesDepth(t *testing.T) {
+	out := runOn(newHDD, func(c *Config) { c.Depths = []int{1, 2, 4, 8} })
+	devPages := out.Model.Bands()[len(out.Model.Bands())-1]
+	// Band effect at depth 1: sequential (band 1) is orders of magnitude
+	// cheaper than full-band random.
+	seq := out.Model.PageCost(1, 1)
+	rnd := out.Model.PageCost(devPages, 1)
+	if rnd < 50*seq {
+		t.Errorf("HDD full-band/sequential = %.1fx, want >= 50x", rnd/seq)
+	}
+	// Depth effect is modest compared to SSD.
+	gain := out.Model.PageCost(devPages, 1) / out.Model.PageCost(devPages, 8)
+	if gain > 6 {
+		t.Errorf("HDD depth-8 gain = %.1fx, want modest (< 6x)", gain)
+	}
+}
+
+func TestSSDBandEffectMilderThanHDD(t *testing.T) {
+	// §4.2: "in many modern solid state drives the band size is still an
+	// important parameter ... Nevertheless, this impact is not as serious
+	// as what we can see on calibrated models for single-spindle HDDs."
+	// Compare the growth of random-read cost from a small band (256 pages)
+	// to the whole device.
+	ssd := runOn(newSSD, nil)
+	hdd := runOn(newHDD, nil)
+	rel := func(o Output) float64 {
+		bands := o.Model.Bands()
+		return o.Model.PageCost(bands[len(bands)-1], 1) / o.Model.PageCost(256, 1)
+	}
+	ssdRel, hddRel := rel(ssd), rel(hdd)
+	if ssdRel < 1.05 {
+		t.Errorf("SSD band effect %.2fx, want visible (> 1.05x)", ssdRel)
+	}
+	if ssdRel > 2 {
+		t.Errorf("SSD band effect %.2fx, want mild (< 2x)", ssdRel)
+	}
+	if hddRel < 1.5*ssdRel {
+		t.Errorf("HDD band effect %.2fx not clearly above SSD's %.2fx", hddRel, ssdRel)
+	}
+}
+
+func TestGWMatchesAWOnSSD(t *testing.T) {
+	// Paper Fig. 10: the GW−AW difference on SSD stays within a few
+	// microseconds (their maximum is ~7 µs) because SSD latency is flat up
+	// to the parallelism limit — the group barrier costs almost nothing.
+	gw := runOn(newSSD, func(c *Config) { c.Method = GroupWait })
+	aw := runOn(newSSD, func(c *Config) { c.Method = ActiveWait })
+	for _, band := range []int64{256, 64 << 10} {
+		for _, qd := range []int{4, 16, 32} {
+			g, a := gw.Model.PageCost(band, qd), aw.Model.PageCost(band, qd)
+			if diff := g - a; diff > 10 || diff < -10 {
+				t.Errorf("band %d qd %d: GW %.1f vs AW %.1f (%.1fus apart), want within 10us",
+					band, qd, g, a, diff)
+			}
+		}
+	}
+}
+
+func TestAWBeatsGWOnRAID(t *testing.T) {
+	// Paper Fig. 11: on an 8-spindle RAID, AW measures significantly lower
+	// costs than GW because the barrier drains the queue that keeps the
+	// spindles busy.
+	gw := runOn(newRAID, func(c *Config) { c.Method = GroupWait })
+	aw := runOn(newRAID, func(c *Config) { c.Method = ActiveWait })
+	band := gw.Model.Bands()[len(gw.Model.Bands())-1]
+	g, a := gw.Model.PageCost(band, 16), aw.Model.PageCost(band, 16)
+	if a > 0.9*g {
+		t.Errorf("RAID qd16: AW %.1f vs GW %.1f; want AW clearly lower", a, g)
+	}
+}
+
+func TestMultiThreadAgreesWithAW(t *testing.T) {
+	mt := runOn(newSSD, func(c *Config) { c.Method = MultiThread })
+	aw := runOn(newSSD, func(c *Config) { c.Method = ActiveWait })
+	g, a := mt.Model.PageCost(256, 8), aw.Model.PageCost(256, 8)
+	if diff := (g - a) / a; diff > 0.25 || diff < -0.25 {
+		t.Errorf("MT %.1f vs AW %.1f at qd 8: want close", g, a)
+	}
+}
+
+func TestRAIDDepthScalesTowardSpindleCount(t *testing.T) {
+	out := runOn(newRAID, nil)
+	band := out.Model.Bands()[len(out.Model.Bands())-1]
+	gain := out.Model.PageCost(band, 1) / out.Model.PageCost(band, 8)
+	if gain < 3 {
+		t.Errorf("RAID depth-8 gain = %.1fx, want >= 3x on 8 spindles", gain)
+	}
+}
+
+func TestEarlyStopOnHDDSavesTime(t *testing.T) {
+	full := runOn(newHDD, func(c *Config) { c.StopThreshold = 0 })
+	stopped := runOn(newHDD, func(c *Config) { c.StopThreshold = 0.20 })
+	if !stopped.StoppedEarly {
+		t.Fatal("early stop did not trip on HDD with T=20%")
+	}
+	if stopped.CalibratedDepths >= len(stopped.Model.Depths()) {
+		t.Errorf("calibrated %d depth rows, want fewer than %d",
+			stopped.CalibratedDepths, len(stopped.Model.Depths()))
+	}
+	if stopped.SimTime >= full.SimTime {
+		t.Errorf("stopped calibration took %v, full took %v; want savings",
+			stopped.SimTime, full.SimTime)
+	}
+	if stopped.TotalReads >= full.TotalReads {
+		t.Errorf("stopped calibration issued %d reads, full %d", stopped.TotalReads, full.TotalReads)
+	}
+}
+
+func TestEarlyStopDoesNotTripOnSSD(t *testing.T) {
+	out := runOn(newSSD, func(c *Config) { c.StopThreshold = 0.20 })
+	if out.StoppedEarly {
+		t.Error("early stop tripped on SSD, which gains >20% per doubling")
+	}
+}
+
+func TestDefaultedRowsSlightlyAboveDepthOne(t *testing.T) {
+	out := runOn(newHDD, func(c *Config) { c.StopThreshold = 0.20 })
+	if !out.StoppedEarly {
+		t.Skip("early stop did not trip")
+	}
+	depths := out.Model.Depths()
+	band := out.Model.Bands()[0]
+	d1 := out.Model.PageCost(band, 1)
+	dLast := out.Model.PageCost(band, depths[len(depths)-1])
+	if dLast < d1 || dLast > 1.10*d1 {
+		t.Errorf("defaulted cost %.1f, want within [%.1f, %.1f]", dLast, d1, 1.10*d1)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a := runOn(newSSD, nil)
+	b := runOn(newSSD, nil)
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("point %d differs: %+v vs %+v", i, a.Points[i], b.Points[i])
+		}
+	}
+}
+
+func TestRepetitionsProduceStdDev(t *testing.T) {
+	out := runOn(newSSD, func(c *Config) {
+		c.Repetitions = 5
+		c.Bands = []int64{256}
+		c.Depths = []int{1, 4}
+	})
+	for _, pt := range out.Points {
+		if pt.StdDev < 0 {
+			t.Errorf("negative stddev at %+v", pt)
+		}
+	}
+	if len(out.Points) != 2 {
+		t.Fatalf("measured %d points, want 2", len(out.Points))
+	}
+}
+
+func TestSequenceRespectsReadBudget(t *testing.T) {
+	env := sim.NewEnv(1)
+	dev := newSSD(env)
+	rng := rand.New(rand.NewSource(9))
+	for _, band := range []int64{1, 7, 100, 3200, 100000, dev.Size() / disk.PageSize} {
+		seq := buildSequence(dev, band, 3200, rng)
+		if len(seq) > 3200 {
+			t.Errorf("band %d: %d reads, budget 3200", band, len(seq))
+		}
+		if len(seq) == 0 {
+			t.Errorf("band %d: empty sequence", band)
+		}
+		devPages := dev.Size() / disk.PageSize
+		for _, p := range seq {
+			if p < 0 || p >= devPages {
+				t.Fatalf("band %d: page %d outside device", band, p)
+			}
+		}
+	}
+}
+
+func TestSequenceWithinBlockIsNonRepeating(t *testing.T) {
+	env := sim.NewEnv(1)
+	dev := newSSD(env)
+	rng := rand.New(rand.NewSource(3))
+	seq := buildSequence(dev, 100000, 3200, rng) // single-block case
+	seen := make(map[int64]bool, len(seq))
+	for _, p := range seq {
+		if seen[p] {
+			t.Fatalf("page %d repeated within block", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestBandOneIsSequential(t *testing.T) {
+	// Band 1 blocks contain a single page each, so the sequence visits
+	// block starts; costs must come out near the device's streaming rate,
+	// far below random.
+	out := runOn(newHDD, func(c *Config) { c.Depths = []int{1} })
+	seq := out.Model.PageCost(1, 1)
+	if seq > 200 { // 4 KiB at ~110 MB/s is ~36 µs; allow generous slack
+		t.Errorf("band-1 cost %.1fus, want near sequential media rate", seq)
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	got := sampleDistinct(10, 10, rng)
+	if len(got) != 10 {
+		t.Fatalf("got %d values, want 10", len(got))
+	}
+	seen := make(map[int64]bool)
+	for _, v := range got {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("bad sample %v", got)
+		}
+		seen[v] = true
+	}
+	if got := sampleDistinct(5, 100, rng); len(got) != 5 {
+		t.Errorf("oversized k: got %d values, want clamp to 5", len(got))
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	env := sim.NewEnv(1)
+	dev := newSSD(env)
+	bad := []func(*Config){
+		func(c *Config) { c.Bands = nil },
+		func(c *Config) { c.Depths = nil },
+		func(c *Config) { c.MaxReads = 0 },
+		func(c *Config) { c.Repetitions = 0 },
+		func(c *Config) { c.Bands = []int64{dev.Size()} }, // pages, not bytes
+	}
+	for i, mutate := range bad {
+		cfg := smallConfig(dev, ActiveWait)
+		mutate(&cfg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			Run(env, dev, cfg)
+		}()
+	}
+}

@@ -1,0 +1,95 @@
+package calibrate
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pioqo/internal/device"
+	"pioqo/internal/disk"
+	"pioqo/internal/sim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden calibration files")
+
+// goldenGrid is the serialized shape of a calibrated model for the golden
+// files under testdata/.
+type goldenGrid struct {
+	Bands  []int64     `json:"bands"`
+	Depths []int       `json:"depths"`
+	Cost   [][]float64 `json:"cost_us_per_page"`
+}
+
+// TestGoldenCalibratedModels pins the default device models' calibrated
+// QDTT grids against checked-in golden files. Any change to the device
+// mechanics, the calibration layout, or the simulation kernel that shifts
+// a calibrated cost by more than 1% trips this test — deliberate model
+// changes regenerate the files with `go test -run Golden -update`.
+func TestGoldenCalibratedModels(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		newDev func(*sim.Env) device.Device
+	}{
+		{"ssd", newSSD},
+		{"hdd", newHDD},
+		{"raid8", newRAID},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			env := sim.NewEnv(7)
+			dev := tc.newDev(env)
+			cfg := DefaultConfig(dev)
+			cfg.MaxReads = 800
+			cfg.Bands = []int64{1, 256, 64 << 10, dev.Size() / disk.PageSize}
+			out := Run(env, dev, cfg)
+
+			got := goldenGrid{Bands: cfg.Bands, Depths: cfg.Depths}
+			for _, d := range cfg.Depths {
+				row := make([]float64, len(cfg.Bands))
+				for i, b := range cfg.Bands {
+					row[i] = out.Model.PageCost(b, d)
+				}
+				got.Cost = append(got.Cost, row)
+			}
+
+			path := filepath.Join("testdata", "golden_"+tc.name+".json")
+			if *updateGolden {
+				data, err := json.MarshalIndent(got, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			var want goldenGrid
+			if err := json.Unmarshal(data, &want); err != nil {
+				t.Fatal(err)
+			}
+			if len(want.Cost) != len(got.Cost) {
+				t.Fatalf("grid shape changed: %d depth rows, golden %d",
+					len(got.Cost), len(want.Cost))
+			}
+			for di := range want.Cost {
+				for bi := range want.Cost[di] {
+					w, g := want.Cost[di][bi], got.Cost[di][bi]
+					if math.Abs(g-w) > 0.01*w+0.01 {
+						t.Errorf("band %d depth %d: %.3fus, golden %.3fus",
+							got.Bands[bi], got.Depths[di], g, w)
+					}
+				}
+			}
+		})
+	}
+}

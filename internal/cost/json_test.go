@@ -1,0 +1,54 @@
+package cost
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestQDTTJSONRoundTrip(t *testing.T) {
+	orig := sampleQDTT()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded QDTT
+	if err := json.Unmarshal(data, &loaded); err != nil {
+		t.Fatal(err)
+	}
+	for _, band := range []int64{1, 50, 100, 5050, 10000, 99999} {
+		for _, depth := range []int{1, 3, 8, 32} {
+			if got, want := loaded.PageCost(band, depth), orig.PageCost(band, depth); got != want {
+				t.Errorf("PageCost(%d,%d) = %f after round trip, want %f", band, depth, got, want)
+			}
+		}
+	}
+}
+
+func TestQDTTUnmarshalRejectsBadData(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"version": 2, "bands": [1], "depths": [1], "cost_us_per_page": [[1]]}`,
+		`{"version": 1, "bands": [], "depths": [1], "cost_us_per_page": [[]]}`,
+		`{"version": 1, "bands": [2, 1], "depths": [1], "cost_us_per_page": [[1, 1]]}`,
+		`{"version": 1, "bands": [1], "depths": [1, 1], "cost_us_per_page": [[1], [1]]}`,
+		`{"version": 1, "bands": [1], "depths": [1], "cost_us_per_page": [[-5]]}`,
+		`{"version": 1, "bands": [1, 2], "depths": [1], "cost_us_per_page": [[1]]}`,
+	}
+	for _, raw := range cases {
+		var m QDTT
+		if err := json.Unmarshal([]byte(raw), &m); err == nil {
+			t.Errorf("unmarshal of %q succeeded", raw)
+		}
+	}
+}
+
+func TestQDTTJSONIncludesVersion(t *testing.T) {
+	data, err := json.Marshal(sampleQDTT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"version":1`) {
+		t.Errorf("serialized form lacks version: %s", data)
+	}
+}

@@ -1,0 +1,162 @@
+// Package device implements mechanistic storage device models — HDD, SSD,
+// and RAID0 — that run in virtual time on the sim kernel.
+//
+// These models stand in for the paper's physical hardware (a 7200 RPM hard
+// drive, a consumer PCIe SSD, and an 8-spindle 15 kRPM RAID array). They are
+// deliberately mechanistic rather than analytic: requests move through
+// queues, seek arms, flash channels, and shared buses, so that the
+// queue-depth and band-size behaviours the QDTT cost model captures are
+// *discovered* by the calibration code, not baked into it.
+//
+// The behavioural targets, taken from the paper's measurements:
+//
+//   - HDD: sequential ≫ random; elevator scheduling makes queue depth help
+//     throughput modestly while increasing per-request latency; larger band
+//     sizes mean longer seeks and higher cost.
+//   - SSD: random throughput scales near-linearly with queue depth up to the
+//     internal parallelism limit with roughly flat latency; a mild band-size
+//     penalty (FTL mapping-cache misses) that fades at high queue depth;
+//     sequential reads bounded by host interface bandwidth.
+//   - RAID0: queue depth spreads requests over spindles, so throughput
+//     scales with queue depth up to the spindle count while per-request
+//     latency grows once spindles queue.
+package device
+
+import (
+	"fmt"
+
+	"pioqo/internal/sim"
+)
+
+// Device is an asynchronous block device in virtual time. Submit queues a
+// read and returns immediately; the returned completion fires when the data
+// would be in host memory. Devices are not safe for host-level concurrent
+// use; all calls must come from simulation context (process or event).
+type Device interface {
+	// ReadAt submits an asynchronous read of length bytes at offset.
+	ReadAt(offset int64, length int) *sim.Completion
+
+	// WriteAt submits an asynchronous write of length bytes at offset. The
+	// completion fires when the device has accepted the data durably (for
+	// the SSD, after the flash program; for spinning media, after the
+	// sectors pass under the head).
+	WriteAt(offset int64, length int) *sim.Completion
+
+	// Size returns the device capacity in bytes.
+	Size() int64
+
+	// Name returns a short human-readable model name.
+	Name() string
+
+	// Metrics returns the device's instrumentation counters.
+	Metrics() *Metrics
+}
+
+// validate panics on malformed request geometry; device models call it at
+// the top of ReadAt.
+func validate(dev Device, offset int64, length int) {
+	if length <= 0 {
+		panic(fmt.Sprintf("device %s: read of %d bytes", dev.Name(), length))
+	}
+	if offset < 0 || offset+int64(length) > dev.Size() {
+		panic(fmt.Sprintf("device %s: read [%d, %d) outside capacity %d",
+			dev.Name(), offset, offset+int64(length), dev.Size()))
+	}
+}
+
+// Metrics instruments a device: completed request counts, bytes moved, the
+// time-integral of outstanding requests (average queue depth), and summed
+// request latency. Snapshot/Reset let experiments meter an interval, which
+// is how Table 3's throughput numbers and the queue-depth profiles of §2
+// are produced.
+type Metrics struct {
+	env *sim.Env
+
+	outstanding int     // requests submitted but not completed
+	qdIntegral  float64 // ∫ outstanding dt, in queue-depth·ns
+	lastChange  sim.Time
+
+	started sim.Time // interval start (set by Reset)
+
+	Requests   int64        // completed requests
+	Bytes      int64        // completed bytes
+	LatencySum sim.Duration // sum of request latencies
+}
+
+// NewMetrics returns zeroed metrics bound to e.
+func NewMetrics(e *sim.Env) *Metrics { return &Metrics{env: e} }
+
+func (m *Metrics) integrate() {
+	now := m.env.Now()
+	m.qdIntegral += float64(m.outstanding) * float64(now-m.lastChange)
+	m.lastChange = now
+}
+
+// Submitted records a request entering the device.
+func (m *Metrics) Submitted() {
+	m.integrate()
+	m.outstanding++
+}
+
+// Completed records a request leaving the device after latency d moving n
+// bytes.
+func (m *Metrics) Completed(n int, d sim.Duration) {
+	m.integrate()
+	m.outstanding--
+	if m.outstanding < 0 {
+		panic("device: more completions than submissions")
+	}
+	m.Requests++
+	m.Bytes += int64(n)
+	m.LatencySum += d
+}
+
+// Outstanding reports the number of in-flight requests right now.
+func (m *Metrics) Outstanding() int { return m.outstanding }
+
+// Reset zeroes the counters and restarts the metering interval at the
+// current virtual time. In-flight requests remain accounted for queue-depth
+// purposes.
+func (m *Metrics) Reset() {
+	m.integrate()
+	m.qdIntegral = 0
+	m.started = m.env.Now()
+	m.Requests = 0
+	m.Bytes = 0
+	m.LatencySum = 0
+}
+
+// Snapshot summarises the interval since the last Reset (or the start of
+// the simulation).
+func (m *Metrics) Snapshot() Summary {
+	m.integrate()
+	elapsed := m.env.Now() - m.started
+	s := Summary{
+		Requests: m.Requests,
+		Bytes:    m.Bytes,
+		Elapsed:  sim.Duration(elapsed),
+	}
+	if elapsed > 0 {
+		s.AvgQueueDepth = m.qdIntegral / float64(elapsed)
+		s.ThroughputMBps = float64(m.Bytes) / 1e6 / sim.Duration(elapsed).Seconds()
+	}
+	if m.Requests > 0 {
+		s.AvgLatency = sim.Duration(int64(m.LatencySum) / m.Requests)
+	}
+	return s
+}
+
+// Summary is a point-in-time reading of device metrics over an interval.
+type Summary struct {
+	Requests       int64
+	Bytes          int64
+	Elapsed        sim.Duration
+	AvgQueueDepth  float64
+	AvgLatency     sim.Duration
+	ThroughputMBps float64
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("%d reqs, %.1f MB, %.2f MB/s, avg QD %.1f, avg lat %v",
+		s.Requests, float64(s.Bytes)/1e6, s.ThroughputMBps, s.AvgQueueDepth, s.AvgLatency)
+}

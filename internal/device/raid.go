@@ -1,0 +1,123 @@
+package device
+
+import (
+	"fmt"
+
+	"pioqo/internal/sim"
+)
+
+// RAID0 stripes reads over k child devices. It models the paper's
+// 8-spindle 15,000 RPM array: queue depth spreads requests across spindles,
+// so random-read throughput scales with queue depth up to the spindle count
+// while per-request latency grows once individual spindles start queueing —
+// the regime where the paper's AW calibration method measures lower costs
+// than GW (Fig. 11) and where exponential queue-depth calibration with
+// linear interpolation must remain accurate (Fig. 12).
+type RAID0 struct {
+	env      *sim.Env
+	children []Device
+	stripe   int64
+	metrics  *Metrics
+	size     int64
+}
+
+// HDD15KConfig models one 15,000 RPM enterprise spindle of the paper's RAID
+// array: faster rotation and seeks than the commodity 7200 RPM drive.
+func HDD15KConfig() HDDConfig {
+	cfg := DefaultHDDConfig()
+	cfg.RPM = 15000
+	cfg.SeekSettle = 300 * sim.Microsecond
+	cfg.SeekFullStroke = 8 * sim.Millisecond
+	cfg.MediaMBps = 180
+	return cfg
+}
+
+// NewRAID0 returns a stripe set over k spindles built from cfg, with the
+// given stripe unit in bytes.
+func NewRAID0(e *sim.Env, k int, stripeBytes int64, cfg HDDConfig) *RAID0 {
+	if k <= 0 || stripeBytes <= 0 {
+		panic("device: invalid RAID0 geometry")
+	}
+	r := &RAID0{
+		env:     e,
+		stripe:  stripeBytes,
+		metrics: NewMetrics(e),
+		size:    cfg.Capacity * int64(k),
+	}
+	for i := 0; i < k; i++ {
+		r.children = append(r.children, NewHDD(e, cfg))
+	}
+	return r
+}
+
+// Name implements Device.
+func (r *RAID0) Name() string { return fmt.Sprintf("raid0x%d", len(r.children)) }
+
+// Size implements Device.
+func (r *RAID0) Size() int64 { return r.size }
+
+// Metrics implements Device.
+func (r *RAID0) Metrics() *Metrics { return r.metrics }
+
+// Spindles returns the number of child devices.
+func (r *RAID0) Spindles() int { return len(r.children) }
+
+// WriteAt implements Device, striping like ReadAt (RAID0 has no parity).
+func (r *RAID0) WriteAt(offset int64, length int) *sim.Completion {
+	return r.readOrWrite(offset, length, true)
+}
+
+// ReadAt implements Device, splitting the request at stripe boundaries and
+// completing when every child segment has completed.
+func (r *RAID0) ReadAt(offset int64, length int) *sim.Completion {
+	return r.readOrWrite(offset, length, false)
+}
+
+func (r *RAID0) readOrWrite(offset int64, length int, write bool) *sim.Completion {
+	validate(r, offset, length)
+	done := sim.NewCompletion(r.env)
+	submitted := r.env.Now()
+	r.metrics.Submitted()
+
+	type segment struct {
+		child       int
+		childOffset int64
+		length      int
+	}
+	var segs []segment
+	for remaining := int64(length); remaining > 0; {
+		stripeIdx := offset / r.stripe
+		within := offset % r.stripe
+		segLen := r.stripe - within
+		if segLen > remaining {
+			segLen = remaining
+		}
+		child := int(stripeIdx % int64(len(r.children)))
+		childStripe := stripeIdx / int64(len(r.children))
+		segs = append(segs, segment{
+			child:       child,
+			childOffset: childStripe*r.stripe + within,
+			length:      int(segLen),
+		})
+		offset += segLen
+		remaining -= segLen
+	}
+
+	pending := len(segs)
+	for _, s := range segs {
+		var c *sim.Completion
+		if write {
+			c = r.children[s.child].WriteAt(s.childOffset, s.length)
+		} else {
+			c = r.children[s.child].ReadAt(s.childOffset, s.length)
+		}
+		c.OnFire(func() {
+			pending--
+			if pending == 0 {
+				r.metrics.Completed(length, sim.Duration(r.env.Now()-submitted))
+				done.Fire()
+			}
+		})
+	}
+	return done
+}

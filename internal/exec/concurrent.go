@@ -1,0 +1,35 @@
+package exec
+
+import (
+	"fmt"
+
+	"pioqo/internal/device"
+	"pioqo/internal/sim"
+)
+
+// ExecuteAll runs several scans concurrently on ctx's environment — the
+// inter-query parallelism setting the paper defers to future work (§4.3):
+// concurrent operators share the CPU, the buffer pool, and, crucially, the
+// device queue. Per-query results carry each query's own start-to-finish
+// runtime; the returned summary meters the device over the whole window.
+func ExecuteAll(ctx *Context, specs []Spec) ([]Result, device.Summary) {
+	results := make([]Result, len(specs))
+	ctx.Dev.Metrics().Reset()
+	ctx.Pool.ResetStats()
+	start := ctx.Env.Now()
+	wg := sim.NewWaitGroup(ctx.Env)
+	for i, spec := range specs {
+		i, spec := i, spec
+		wg.Add(1)
+		ctx.Env.Go(fmt.Sprintf("query%d", i), func(p *sim.Proc) {
+			defer wg.Done()
+			t0 := p.Now()
+			results[i] = RunScan(p, ctx, spec)
+			results[i].Runtime = sim.Duration(p.Now() - t0)
+		})
+	}
+	ctx.Env.Go("queries-join", func(p *sim.Proc) { p.WaitFor(wg) })
+	ctx.Env.Run()
+	_ = start
+	return results, ctx.Dev.Metrics().Snapshot()
+}

@@ -1,0 +1,529 @@
+// Package exec implements the paper's four access methods — full table scan
+// (FTS), index scan (IS), and their intra-query parallel versions (PFTS,
+// PIS) — plus the per-worker table-page prefetching of §3.3, all evaluating
+// the paper's probe query:
+//
+//	SELECT MAX(C1) FROM T WHERE C2 BETWEEN lo AND hi
+//
+// Operators run as simulation processes: they charge CPU time on a shared
+// multi-core resource and perform page I/O through the buffer pool, so the
+// device queue depth each method generates (the quantity the QDTT cost model
+// prices) emerges from the execution structure rather than being asserted.
+package exec
+
+import (
+	"fmt"
+
+	"pioqo/internal/btree"
+	"pioqo/internal/buffer"
+	"pioqo/internal/device"
+	"pioqo/internal/sim"
+	"pioqo/internal/table"
+)
+
+// CPUCosts models per-operation CPU work in virtual time. The defaults are
+// chosen so the CPU/I-O balance matches the paper's machine: one core
+// saturates the HDD on 33-row pages, two cores saturate it on 500-row pages,
+// and eight cores saturate well below the SSD bus on 500-row pages.
+type CPUCosts struct {
+	PerPage       sim.Duration // page latch + header work when a scan visits a page
+	PerRow        sim.Duration // predicate evaluation + aggregation of one row (table scan)
+	PerEntry      sim.Duration // processing one (key, row) entry in an index leaf
+	PerRowFetch   sim.Duration // locating + evaluating one row reached through the index
+	PerPrefetch   sim.Duration // issuing one asynchronous prefetch request
+	WorkerStartup sim.Duration // spawning and coordinating one worker thread
+}
+
+// DefaultCPUCosts returns the calibrated defaults described above.
+func DefaultCPUCosts() CPUCosts {
+	return CPUCosts{
+		PerPage:       10 * sim.Microsecond,
+		PerRow:        150 * sim.Nanosecond,
+		PerEntry:      100 * sim.Nanosecond,
+		PerRowFetch:   1 * sim.Microsecond,
+		PerPrefetch:   3 * sim.Microsecond,
+		WorkerStartup: 100 * sim.Microsecond,
+	}
+}
+
+// Context bundles the runtime an operator executes against.
+type Context struct {
+	Env   *sim.Env
+	CPU   *sim.Resource // logical cores
+	Pool  *buffer.Pool
+	Dev   device.Device // for per-query I/O metering
+	Costs CPUCosts
+}
+
+// Method selects the access path family.
+type Method int
+
+const (
+	// FullScan reads every heap page in order (FTS; PFTS when Degree > 1).
+	FullScan Method = iota
+	// IndexScan walks the C2 index and fetches qualifying rows' pages
+	// (IS; PIS when Degree > 1).
+	IndexScan
+	// SortedIndexScan walks the index, sorts the qualifying row ids by
+	// heap page, and fetches every needed page exactly once, in ascending
+	// page order. This is the access method §3.1 of the paper describes
+	// (DB2's hybrid join / sorted RID-list fetch) but could not evaluate
+	// because SQL Anywhere lacks it; it is provided here as an extension.
+	// It gives up index-key output order, which MAX/MIN/COUNT/SUM do not
+	// need.
+	SortedIndexScan
+)
+
+func (m Method) String() string {
+	switch m {
+	case FullScan:
+		return "FTS"
+	case IndexScan:
+		return "IS"
+	case SortedIndexScan:
+		return "SortedIS"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// AggKind selects the aggregate computed over matching rows' C1 values.
+type AggKind int
+
+const (
+	// AggMax is MAX(C1), the paper's probe aggregate (default).
+	AggMax AggKind = iota
+	// AggMin is MIN(C1).
+	AggMin
+	// AggCount is COUNT(*).
+	AggCount
+	// AggSum is SUM(C1).
+	AggSum
+)
+
+func (k AggKind) String() string {
+	switch k {
+	case AggMax:
+		return "MAX"
+	case AggMin:
+		return "MIN"
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	default:
+		return fmt.Sprintf("AggKind(%d)", int(k))
+	}
+}
+
+// Spec describes one execution of the probe query.
+type Spec struct {
+	Table table.Table
+	Index *btree.Index // required for IndexScan
+	Lo,
+	Hi int64 // predicate: Lo <= C2 <= Hi
+	Method Method
+	Degree int     // worker count; 1 = non-parallel
+	Agg    AggKind // aggregate over C1; default AggMax
+
+	// FullScan knobs: the scan reads BlockPages-page runs and keeps up to
+	// PrefetchBlocks of them in flight ahead of the workers ("prefetching up
+	// to n blocks ahead ... a large block consisting of several consecutive
+	// pages is read at a time", §2). BlockPages <= 1 disables block reads.
+	BlockPages     int
+	PrefetchBlocks int
+
+	// IndexScan knob: each worker prefetches up to PrefetchPerWorker table
+	// pages referenced by its current leaf (§3.3). 0 disables prefetching,
+	// giving the paper's baseline PIS whose queue depth equals Degree.
+	PrefetchPerWorker int
+
+	// Emit, when set, receives every matching row's id and values instead
+	// of the built-in aggregation (Result.Value is then unset; RowsMatched
+	// still counts). It is called from worker context with the simulation
+	// serialized, so it needs no locking. Composite operators (joins,
+	// group-by) use it to consume scan output.
+	Emit func(rowID int64, row table.Row)
+
+	// Update, when set, is applied to each matching row's id and the
+	// holding page is marked dirty in the buffer pool — the write-back
+	// happens on eviction or checkpoint. This is the UPDATE operator's
+	// hook; it composes with Emit and the aggregates.
+	Update func(rowID int64)
+}
+
+// deliver routes one matching row to the emit hook or the aggregate.
+func (s *Spec) deliver(a *agg, h buffer.Handle, rowID int64, row table.Row) {
+	if s.Update != nil {
+		s.Update(rowID)
+		h.MarkDirty()
+	}
+	if s.Emit != nil {
+		s.Emit(rowID, row)
+		a.rows++
+		return
+	}
+	a.add(row.C1)
+}
+
+// withDefaults normalizes zero values.
+func (s Spec) withDefaults() Spec {
+	if s.Degree <= 0 {
+		s.Degree = 1
+	}
+	if s.Method == FullScan {
+		if s.BlockPages == 0 {
+			s.BlockPages = 64
+		}
+		if s.PrefetchBlocks == 0 {
+			s.PrefetchBlocks = 4
+		}
+	}
+	return s
+}
+
+// Result reports one execution.
+type Result struct {
+	// Value is the aggregate over matching rows' C1 (MAX by default),
+	// valid when Found. COUNT(*) is always Found, reporting 0 on an empty
+	// match, per SQL semantics.
+	Value       int64
+	Found       bool
+	RowsMatched int64
+	Runtime     sim.Duration
+
+	IO   device.Summary // device traffic during the query
+	Pool buffer.Stats   // buffer pool traffic during the query
+}
+
+// Execute runs the query described by spec to completion on ctx's
+// environment and returns the result. Device and pool statistics are scoped
+// to this execution; buffer pool *contents* are left as the query leaves
+// them (flush explicitly between runs to model a cold cache).
+func Execute(ctx *Context, spec Spec) Result {
+	var res Result
+	ctx.Dev.Metrics().Reset()
+	ctx.Pool.ResetStats()
+	start := ctx.Env.Now()
+	ctx.Env.Go("query", func(p *sim.Proc) {
+		res = RunScan(p, ctx, spec)
+	})
+	ctx.Env.Run()
+	res.Runtime = sim.Duration(ctx.Env.Now() - start)
+	res.IO = ctx.Dev.Metrics().Snapshot()
+	res.Pool = ctx.Pool.Stats
+	return res
+}
+
+// RunScan executes the query from within an existing process and returns
+// when the scan has finished. Runtime and I/O metering are left to the
+// caller (see Execute).
+func RunScan(p *sim.Proc, ctx *Context, spec Spec) Result {
+	spec = spec.withDefaults()
+	switch spec.Method {
+	case FullScan:
+		return runFullScan(p, ctx, spec)
+	case IndexScan:
+		if spec.Index == nil {
+			panic("exec: IndexScan without an index")
+		}
+		return runIndexScan(p, ctx, spec)
+	case SortedIndexScan:
+		if spec.Index == nil {
+			panic("exec: SortedIndexScan without an index")
+		}
+		return runSortedIndexScan(p, ctx, spec)
+	default:
+		panic("exec: unknown method " + spec.Method.String())
+	}
+}
+
+// agg accumulates one aggregate over C1 plus the matched-row count.
+type agg struct {
+	kind  AggKind
+	val   int64
+	found bool
+	rows  int64
+}
+
+func (a *agg) add(c1 int64) {
+	switch a.kind {
+	case AggMax:
+		if !a.found || c1 > a.val {
+			a.val = c1
+		}
+	case AggMin:
+		if !a.found || c1 < a.val {
+			a.val = c1
+		}
+	case AggSum:
+		a.val += c1
+	case AggCount:
+		a.val++
+	}
+	a.found = true
+	a.rows++
+}
+
+func (a *agg) merge(b agg) {
+	if b.found {
+		switch a.kind {
+		case AggMax:
+			if !a.found || b.val > a.val {
+				a.val = b.val
+			}
+		case AggMin:
+			if !a.found || b.val < a.val {
+				a.val = b.val
+			}
+		case AggSum, AggCount:
+			a.val += b.val
+		}
+		a.found = true
+	}
+	a.rows += b.rows
+}
+
+// result converts an accumulator into a Result, applying SQL semantics:
+// COUNT(*) of an empty match is 0, not NULL.
+func (a agg) result() Result {
+	if a.kind == AggCount && !a.found {
+		return Result{Value: 0, Found: true}
+	}
+	return Result{Value: a.val, Found: a.found, RowsMatched: a.rows}
+}
+
+// runFullScan implements FTS/PFTS: an asynchronous block prefetcher stays
+// up to PrefetchBlocks block-reads ahead while Degree workers consume heap
+// pages in order, each evaluating every row on the page.
+func runFullScan(p *sim.Proc, ctx *Context, spec Spec) Result {
+	t := spec.Table
+	pages := t.Pages()
+	file := t.File()
+	rpp := t.RowsPerPage()
+
+	nextPage := int64(0) // shared work queue: next unclaimed heap page
+
+	// Clamp the readahead window so prefetched-but-unconsumed frames plus
+	// the workers' pins can never exhaust the pool: at most half the pool
+	// may be tied up in the block window.
+	if spec.BlockPages > ctx.Pool.Capacity()/4 {
+		spec.BlockPages = ctx.Pool.Capacity() / 4
+	}
+	if spec.BlockPages > 1 {
+		if budget := ctx.Pool.Capacity()/2 - spec.Degree; spec.PrefetchBlocks*spec.BlockPages > budget {
+			spec.PrefetchBlocks = budget / spec.BlockPages
+			if spec.PrefetchBlocks < 1 {
+				spec.PrefetchBlocks = 1
+			}
+		}
+	}
+
+	if spec.BlockPages > 1 {
+		// Flow-control window: the prefetcher stays at most PrefetchBlocks
+		// block-reads ahead of the hindmost block the workers have begun
+		// consuming. A plain credit counter (issued − reached) avoids any
+		// ordering assumptions between prefetcher and workers.
+		blocks := (pages + int64(spec.BlockPages) - 1) / int64(spec.BlockPages)
+		reached := make([]bool, blocks)
+		var issued, reachedCount int64
+		var wakeup *sim.Completion
+		ctx.Env.Go("fts-prefetcher", func(pf *sim.Proc) {
+			for b := int64(0); b < blocks; b++ {
+				for issued-reachedCount >= int64(spec.PrefetchBlocks) {
+					wakeup = sim.NewCompletion(ctx.Env)
+					pf.Wait(wakeup)
+				}
+				start := b * int64(spec.BlockPages)
+				count := spec.BlockPages
+				if start+int64(count) > pages {
+					count = int(pages - start)
+				}
+				ctx.Pool.PrefetchRun(file, start, count)
+				issued++
+			}
+		})
+		onClaim := func(page int64) {
+			b := page / int64(spec.BlockPages)
+			if !reached[b] {
+				reached[b] = true
+				reachedCount++
+				if wakeup != nil && !wakeup.Fired() {
+					wakeup.Fire()
+				}
+			}
+		}
+		return runFullScanWorkers(p, ctx, spec, &nextPage, onClaim, rpp)
+	}
+	return runFullScanWorkers(p, ctx, spec, &nextPage, nil, rpp)
+}
+
+func runFullScanWorkers(p *sim.Proc, ctx *Context, spec Spec, nextPage *int64, onClaim func(int64), rpp int) Result {
+	t := spec.Table
+	pages := t.Pages()
+	file := t.File()
+
+	results := newAggs(spec.Agg, spec.Degree)
+	wg := sim.NewWaitGroup(ctx.Env)
+	for w := 0; w < spec.Degree; w++ {
+		w := w
+		wg.Add(1)
+		ctx.Env.Go(fmt.Sprintf("fts-w%d", w), func(wp *sim.Proc) {
+			defer wg.Done()
+			if spec.Degree > 1 {
+				wp.Use(ctx.CPU, ctx.Costs.WorkerStartup)
+			}
+			for {
+				page := *nextPage
+				if page >= pages {
+					return
+				}
+				*nextPage = page + 1
+				if onClaim != nil {
+					onClaim(page)
+				}
+				h := ctx.Pool.FetchPage(wp, file, page)
+				firstRow := page * int64(rpp)
+				lastRow := firstRow + int64(rpp)
+				if lastRow > t.Rows() {
+					lastRow = t.Rows()
+				}
+				wp.Use(ctx.CPU, ctx.Costs.PerPage+
+					sim.Duration(lastRow-firstRow)*ctx.Costs.PerRow)
+				for r := firstRow; r < lastRow; r++ {
+					row := t.RowAt(r)
+					if row.C2 >= spec.Lo && row.C2 <= spec.Hi {
+						spec.deliver(&results[w], h, r, row)
+					}
+				}
+				h.Release()
+			}
+		})
+	}
+	p.WaitFor(wg)
+	return mergeAggs(spec.Agg, results)
+}
+
+// newAggs returns one accumulator per worker, all of the given kind.
+func newAggs(kind AggKind, n int) []agg {
+	out := make([]agg, n)
+	for i := range out {
+		out[i].kind = kind
+	}
+	return out
+}
+
+// mergeAggs folds per-worker accumulators into a Result.
+func mergeAggs(kind AggKind, results []agg) Result {
+	total := agg{kind: kind}
+	for _, a := range results {
+		total.merge(a)
+	}
+	return total.result()
+}
+
+// runIndexScan implements IS/PIS: one descent from the root locates the
+// qualifying entry range, which is split into Degree contiguous sub-ranges,
+// one per worker. Each worker walks its sub-range leaf by leaf: it reads
+// the leaf page, optionally prefetches up to PrefetchPerWorker of the
+// referenced table pages ahead (never across its current leaf boundary, per
+// §3.3), and fetches each row's page to evaluate it.
+//
+// At the paper's scale (qualifying leaves ≫ workers) entry-range splitting
+// behaves exactly like the paper's leaf-at-a-time distribution; at reduced
+// scale it additionally parallelizes ranges narrower than a worker-count of
+// leaves, with the effective parallelism still capped by the matching-row
+// count — the paper's noted exception for very selective queries.
+func runIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
+	t := spec.Table
+	x := spec.Index
+	rpp := t.RowsPerPage()
+
+	// Clamp per-worker prefetch so in-flight prefetched frames plus worker
+	// pins can never exhaust the pool.
+	if spec.PrefetchPerWorker > 0 {
+		if budget := ctx.Pool.Capacity()/2/spec.Degree - 1; spec.PrefetchPerWorker > budget {
+			spec.PrefetchPerWorker = budget
+			if spec.PrefetchPerWorker < 0 {
+				spec.PrefetchPerWorker = 0
+			}
+		}
+	}
+
+	// Root-to-leaf descent: internal pages are read through the pool and
+	// are typically resident after the first query.
+	for _, pg := range x.DescentPath() {
+		h := ctx.Pool.FetchPage(p, x.File(), pg)
+		p.Use(ctx.CPU, ctx.Costs.PerPage)
+		h.Release()
+	}
+
+	startPos, endPos := x.SearchGE(spec.Lo), x.SearchGT(spec.Hi)
+	if startPos >= endPos {
+		return agg{kind: spec.Agg}.result()
+	}
+	total := endPos - startPos
+	chunk := (total + int64(spec.Degree) - 1) / int64(spec.Degree)
+
+	results := newAggs(spec.Agg, spec.Degree)
+	wg := sim.NewWaitGroup(ctx.Env)
+	for w := 0; w < spec.Degree; w++ {
+		w := w
+		posLo := startPos + int64(w)*chunk
+		posHi := posLo + chunk
+		if posHi > endPos {
+			posHi = endPos
+		}
+		if posLo >= posHi {
+			continue
+		}
+		wg.Add(1)
+		ctx.Env.Go(fmt.Sprintf("pis-w%d", w), func(wp *sim.Proc) {
+			defer wg.Done()
+			if spec.Degree > 1 {
+				wp.Use(ctx.CPU, ctx.Costs.WorkerStartup)
+			}
+			var buf, matches []btree.Entry
+			pos := posLo
+			for pos < posHi {
+				leaf, slot := x.LeafOf(pos)
+				lh := ctx.Pool.FetchPage(wp, x.File(), x.LeafPage(leaf))
+				buf = x.LeafEntries(leaf, buf)
+				take := len(buf) - slot
+				if rem := posHi - pos; int64(take) > rem {
+					take = int(rem)
+				}
+				matches = append(matches[:0], buf[slot:slot+take]...)
+				wp.Use(ctx.CPU, ctx.Costs.PerPage+
+					sim.Duration(len(matches))*ctx.Costs.PerEntry)
+				lh.Release()
+
+				prefetched := 0
+				for i, e := range matches {
+					// Keep up to PrefetchPerWorker table pages in flight,
+					// clamped at this leaf's last reference. Issuing an
+					// asynchronous read costs CPU — the reason the paper
+					// finds one worker prefetching n does not quite match n
+					// workers.
+					for prefetched < i+spec.PrefetchPerWorker && prefetched < len(matches) {
+						if ctx.Pool.Prefetch(t.File(),
+							table.PageOf(matches[prefetched].Row, rpp)) {
+							wp.Use(ctx.CPU, ctx.Costs.PerPrefetch)
+						}
+						prefetched++
+					}
+					th := ctx.Pool.FetchPage(wp, t.File(), table.PageOf(e.Row, rpp))
+					wp.Use(ctx.CPU, ctx.Costs.PerRowFetch)
+					row := t.RowAt(e.Row)
+					if row.C2 >= spec.Lo && row.C2 <= spec.Hi {
+						spec.deliver(&results[w], th, e.Row, row)
+					}
+					th.Release()
+				}
+				pos += int64(take)
+			}
+		})
+	}
+	p.WaitFor(wg)
+	return mergeAggs(spec.Agg, results)
+}

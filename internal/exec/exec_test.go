@@ -1,0 +1,265 @@
+package exec
+
+import (
+	"testing"
+
+	"pioqo/internal/btree"
+	"pioqo/internal/buffer"
+	"pioqo/internal/device"
+	"pioqo/internal/disk"
+	"pioqo/internal/sim"
+	"pioqo/internal/table"
+)
+
+// world is a complete single-table database over one simulated device.
+type world struct {
+	env *sim.Env
+	ctx *Context
+	tab *table.Materialized
+	idx *btree.Index
+}
+
+type worldOpts struct {
+	dev       string // "ssd" or "hdd"
+	rows      int64
+	rpp       int
+	poolPages int
+	cores     int
+}
+
+func newWorld(t *testing.T, o worldOpts) *world {
+	t.Helper()
+	if o.dev == "" {
+		o.dev = "ssd"
+	}
+	if o.cores == 0 {
+		o.cores = 8
+	}
+	if o.poolPages == 0 {
+		o.poolPages = 4096
+	}
+	env := sim.NewEnv(404)
+	var dev device.Device
+	if o.dev == "hdd" {
+		dev = device.NewHDD(env, device.DefaultHDDConfig())
+	} else {
+		dev = device.NewSSD(env, device.DefaultSSDConfig())
+	}
+	m := disk.NewManager(dev)
+	tab := table.NewMaterialized(m, "t", o.rows, o.rpp, 7)
+	idx := btree.NewMaterialized(m, tab, 0, 0)
+	return &world{
+		env: env,
+		tab: tab,
+		idx: idx,
+		ctx: &Context{
+			Env:   env,
+			CPU:   sim.NewResource(env, "cpu", o.cores),
+			Pool:  buffer.NewPool(env, o.poolPages),
+			Dev:   dev,
+			Costs: DefaultCPUCosts(),
+		},
+	}
+}
+
+// bruteForce computes the reference answer on the raw table.
+func (w *world) bruteForce(lo, hi int64) (max int64, found bool, rows int64) {
+	for r := int64(0); r < w.tab.Rows(); r++ {
+		row := w.tab.RowAt(r)
+		if row.C2 >= lo && row.C2 <= hi {
+			if !found || row.C1 > max {
+				max, found = row.C1, true
+			}
+			rows++
+		}
+	}
+	return
+}
+
+func (w *world) spec(m Method, degree int, lo, hi int64) Spec {
+	return Spec{Table: w.tab, Index: w.idx, Lo: lo, Hi: hi, Method: m, Degree: degree}
+}
+
+func TestAllMethodsAgreeWithBruteForce(t *testing.T) {
+	w := newWorld(t, worldOpts{rows: 5000, rpp: 33})
+	ranges := []struct{ lo, hi int64 }{{0, 49}, {100, 1100}, {0, 4999}, {4990, 4999}}
+	for _, rg := range ranges {
+		wantMax, wantFound, wantRows := w.bruteForce(rg.lo, rg.hi)
+		for _, m := range []Method{FullScan, IndexScan} {
+			for _, degree := range []int{1, 4, 32} {
+				res := Execute(w.ctx, w.spec(m, degree, rg.lo, rg.hi))
+				if res.Found != wantFound || (wantFound && res.Value != wantMax) {
+					t.Errorf("%v deg=%d range [%d,%d]: max=(%d,%v), want (%d,%v)",
+						m, degree, rg.lo, rg.hi, res.Value, res.Found, wantMax, wantFound)
+				}
+				if res.RowsMatched != wantRows {
+					t.Errorf("%v deg=%d range [%d,%d]: rows=%d, want %d",
+						m, degree, rg.lo, rg.hi, res.RowsMatched, wantRows)
+				}
+			}
+		}
+	}
+}
+
+func TestIndexScanWithPrefetchStaysCorrect(t *testing.T) {
+	w := newWorld(t, worldOpts{rows: 4000, rpp: 33})
+	wantMax, wantFound, wantRows := w.bruteForce(200, 900)
+	for _, pf := range []int{1, 8, 32} {
+		s := w.spec(IndexScan, 2, 200, 900)
+		s.PrefetchPerWorker = pf
+		res := Execute(w.ctx, s)
+		if !wantFound || res.Value != wantMax || res.RowsMatched != wantRows {
+			t.Errorf("prefetch=%d: got (max=%d rows=%d), want (max=%d rows=%d)",
+				pf, res.Value, res.RowsMatched, wantMax, wantRows)
+		}
+	}
+}
+
+func TestEmptyRange(t *testing.T) {
+	w := newWorld(t, worldOpts{rows: 1000, rpp: 33})
+	for _, m := range []Method{FullScan, IndexScan} {
+		res := Execute(w.ctx, w.spec(m, 4, 600, 599))
+		if res.Found || res.RowsMatched != 0 {
+			t.Errorf("%v on empty range: found=%v rows=%d", m, res.Found, res.RowsMatched)
+		}
+	}
+}
+
+func TestPISQueueDepthTracksDegree(t *testing.T) {
+	// The paper (§2): "the I/O pattern of PIS with parallel degree n is
+	// parallel random I/O with constant queue depth of n."
+	w := newWorld(t, worldOpts{rows: 60000, rpp: 1, poolPages: 512})
+	for _, degree := range []int{1, 8} {
+		w.ctx.Pool.Flush()
+		res := Execute(w.ctx, w.spec(IndexScan, degree, 0, 20000))
+		got := res.IO.AvgQueueDepth
+		if got < 0.6*float64(degree) || got > 1.5*float64(degree) {
+			t.Errorf("PIS degree %d: avg queue depth %.2f, want ~%d", degree, got, degree)
+		}
+	}
+}
+
+func TestPISScalesOnSSDButBarelyOnHDD(t *testing.T) {
+	// The range must span many index leaves; with fewer leaves than
+	// workers, parallelism is capped by the leaf count (the paper's noted
+	// exception for very selective queries).
+	run := func(dev string, degree int) sim.Duration {
+		w := newWorld(t, worldOpts{dev: dev, rows: 30000, rpp: 1, poolPages: 512})
+		return Execute(w.ctx, w.spec(IndexScan, degree, 0, 12000)).Runtime
+	}
+	ssdGain := float64(run("ssd", 1)) / float64(run("ssd", 32))
+	hddGain := float64(run("hdd", 1)) / float64(run("hdd", 32))
+	if ssdGain < 8 {
+		t.Errorf("PIS32/IS speedup on SSD = %.1fx, want >= 8x", ssdGain)
+	}
+	if hddGain > 6 {
+		t.Errorf("PIS32/IS speedup on HDD = %.1fx, want modest (paper: ~2.4x)", hddGain)
+	}
+	if ssdGain < 2*hddGain {
+		t.Errorf("SSD gain %.1fx not clearly above HDD gain %.1fx", ssdGain, hddGain)
+	}
+}
+
+func TestPFTSBeatsFTSOnSSD(t *testing.T) {
+	run := func(degree int) sim.Duration {
+		w := newWorld(t, worldOpts{rows: 30000, rpp: 1, poolPages: 1024})
+		return Execute(w.ctx, w.spec(FullScan, degree, 0, 100)).Runtime
+	}
+	gain := float64(run(1)) / float64(run(8))
+	if gain < 1.5 {
+		t.Errorf("PFTS8/FTS speedup on SSD = %.2fx, want > 1.5x", gain)
+	}
+}
+
+func TestPrefetchingAcceleratesIndexScan(t *testing.T) {
+	// §3.3: per-worker prefetching raises the queue depth without extra
+	// workers; more prefetch => shorter runtime on SSD.
+	run := func(prefetch int) sim.Duration {
+		w := newWorld(t, worldOpts{rows: 60000, rpp: 1, poolPages: 2048})
+		s := w.spec(IndexScan, 1, 0, 6000)
+		s.PrefetchPerWorker = prefetch
+		return Execute(w.ctx, s).Runtime
+	}
+	base := run(0)
+	pf8 := run(8)
+	pf32 := run(32)
+	if float64(base)/float64(pf8) < 4 {
+		t.Errorf("prefetch 8 speedup = %.1fx, want >= 4x", float64(base)/float64(pf8))
+	}
+	if pf32 >= pf8 {
+		t.Errorf("prefetch 32 (%v) not faster than prefetch 8 (%v)", pf32, pf8)
+	}
+}
+
+func TestFewWorkersWithPrefetchRivalManyWorkers(t *testing.T) {
+	// Paper §3.3: "with only 4 workers and a prefetching degree of 32, we
+	// can achieve a performance even 35% better than using 32 workers and
+	// no prefetching at all."
+	run := func(degree, prefetch int) sim.Duration {
+		w := newWorld(t, worldOpts{rows: 60000, rpp: 1, poolPages: 4096})
+		s := w.spec(IndexScan, degree, 0, 6000)
+		s.PrefetchPerWorker = prefetch
+		return Execute(w.ctx, s).Runtime
+	}
+	workers32 := run(32, 0)
+	pf4x32 := run(4, 32)
+	if float64(pf4x32) > 1.3*float64(workers32) {
+		t.Errorf("4 workers x 32 prefetch (%v) much slower than 32 workers (%v)",
+			pf4x32, workers32)
+	}
+}
+
+func TestWarmPoolMakesRerunFaster(t *testing.T) {
+	w := newWorld(t, worldOpts{rows: 3000, rpp: 33, poolPages: 4096})
+	cold := Execute(w.ctx, w.spec(FullScan, 1, 0, 100))
+	warm := Execute(w.ctx, w.spec(FullScan, 1, 0, 100))
+	if warm.Runtime >= cold.Runtime {
+		t.Errorf("warm run %v not faster than cold %v", warm.Runtime, cold.Runtime)
+	}
+	if warm.IO.Requests != 0 {
+		t.Errorf("warm run issued %d device reads, want 0 (table fits in pool)",
+			warm.IO.Requests)
+	}
+}
+
+func TestIndexScanRereadsPagesWhenPoolIsSmall(t *testing.T) {
+	// At high selectivity with a tiny pool, IS fetches more table pages
+	// than the table has — the re-retrieval effect of §2.
+	w := newWorld(t, worldOpts{rows: 20000, rpp: 33, poolPages: 128})
+	res := Execute(w.ctx, w.spec(IndexScan, 1, 0, 15000))
+	tablePages := w.tab.Pages()
+	if res.IO.Requests <= tablePages {
+		t.Errorf("IS read %d pages, want > table size %d (re-reads under small pool)",
+			res.IO.Requests, tablePages)
+	}
+}
+
+func TestExecuteMetersOnlyItsOwnTraffic(t *testing.T) {
+	w := newWorld(t, worldOpts{rows: 2000, rpp: 33})
+	first := Execute(w.ctx, w.spec(FullScan, 1, 0, 10))
+	second := Execute(w.ctx, w.spec(FullScan, 1, 0, 10))
+	if second.IO.Requests >= first.IO.Requests && first.IO.Requests > 0 {
+		t.Errorf("second run metered %d requests, first %d; expected warm rerun to meter fewer",
+			second.IO.Requests, first.IO.Requests)
+	}
+}
+
+func TestIndexScanWithoutIndexPanics(t *testing.T) {
+	w := newWorld(t, worldOpts{rows: 100, rpp: 10})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for IndexScan without index")
+		}
+	}()
+	s := w.spec(IndexScan, 1, 0, 10)
+	s.Index = nil
+	Execute(w.ctx, s)
+}
+
+func TestDegreeDefaultsToOne(t *testing.T) {
+	w := newWorld(t, worldOpts{rows: 500, rpp: 33})
+	res := Execute(w.ctx, w.spec(FullScan, 0, 0, 499))
+	if res.RowsMatched == 0 {
+		t.Error("scan with degree 0 (defaulted) matched nothing")
+	}
+}

@@ -1,0 +1,74 @@
+package exec
+
+import (
+	"testing"
+
+	"pioqo/internal/sim"
+)
+
+func TestIndexNLJoinMatchesHashJoin(t *testing.T) {
+	w := newJoinWorld(t, 2000, 8000)
+	for _, rg := range []struct{ lo, hi int64 }{{0, 99}, {500, 1500}, {0, 1999}} {
+		hashSpec := w.spec(rg.lo, rg.hi, IndexScan, IndexScan, 4)
+		hash := ExecuteJoin(w.ctx, hashSpec)
+		w.ctx.Pool.Flush()
+
+		nlSpec := w.spec(rg.lo, rg.hi, IndexScan, IndexScan, 4)
+		nlSpec.Method = IndexNLJoin
+		nl := ExecuteJoin(w.ctx, nlSpec)
+		w.ctx.Pool.Flush()
+
+		if nl.Pairs != hash.Pairs || nl.Value != hash.Value || nl.Found != hash.Found {
+			t.Errorf("[%d,%d]: NL (pairs=%d val=%d,%v) vs hash (pairs=%d val=%d,%v)",
+				rg.lo, rg.hi, nl.Pairs, nl.Value, nl.Found, hash.Pairs, hash.Value, hash.Found)
+		}
+	}
+}
+
+func TestIndexNLJoinWinsWithTinyBuildSide(t *testing.T) {
+	// 50 build rows against an 80k-row probe over the whole key domain:
+	// the hash join must scan every probe row in range, the NL join does
+	// ~50 index lookups.
+	w := newJoinWorld(t, 50, 80000)
+	lo, hi := int64(0), int64(49) // whole build domain
+
+	hash := ExecuteJoin(w.ctx, w.spec(lo, hi, FullScan, IndexScan, 8))
+	w.ctx.Pool.Flush()
+	nlSpec := w.spec(lo, hi, FullScan, IndexScan, 8)
+	nlSpec.Method = IndexNLJoin
+	nl := ExecuteJoin(w.ctx, nlSpec)
+
+	if nl.Pairs != hash.Pairs {
+		t.Fatalf("answers differ: NL %d vs hash %d pairs", nl.Pairs, hash.Pairs)
+	}
+	if nl.Runtime >= hash.Runtime {
+		t.Errorf("NL join (%v) not faster than hash join (%v) with a tiny build side",
+			nl.Runtime, hash.Runtime)
+	}
+}
+
+func TestIndexNLJoinParallelLookupsScale(t *testing.T) {
+	run := func(degree int) sim.Duration {
+		w := newJoinWorld(t, 500, 50000)
+		spec := w.spec(0, 499, FullScan, IndexScan, degree)
+		spec.Method = IndexNLJoin
+		spec.Probe.Degree = degree
+		return ExecuteJoin(w.ctx, spec).Runtime
+	}
+	if gain := float64(run(1)) / float64(run(16)); gain < 4 {
+		t.Errorf("16-way NL join gain = %.1fx, want >= 4x on SSD", gain)
+	}
+}
+
+func TestIndexNLJoinWithoutProbeIndexPanics(t *testing.T) {
+	w := newJoinWorld(t, 100, 100)
+	spec := w.spec(0, 99, FullScan, IndexScan, 1)
+	spec.Method = IndexNLJoin
+	spec.Probe.Index = nil
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for NL join without probe index")
+		}
+	}()
+	ExecuteJoin(w.ctx, spec)
+}

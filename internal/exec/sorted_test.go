@@ -1,0 +1,145 @@
+package exec
+
+import (
+	"testing"
+)
+
+func TestSortedScanAgreesWithBruteForce(t *testing.T) {
+	w := newWorld(t, worldOpts{rows: 5000, rpp: 33})
+	for _, rg := range []struct{ lo, hi int64 }{{0, 49}, {100, 1100}, {0, 4999}} {
+		wantMax, wantFound, wantRows := w.bruteForce(rg.lo, rg.hi)
+		for _, degree := range []int{1, 8} {
+			res := Execute(w.ctx, w.spec(SortedIndexScan, degree, rg.lo, rg.hi))
+			if res.Found != wantFound || (wantFound && res.Value != wantMax) || res.RowsMatched != wantRows {
+				t.Errorf("sorted deg=%d [%d,%d]: (%d,%v,%d), want (%d,%v,%d)",
+					degree, rg.lo, rg.hi, res.Value, res.Found, res.RowsMatched,
+					wantMax, wantFound, wantRows)
+			}
+		}
+	}
+}
+
+func TestSortedScanNeverRereadsHeapPages(t *testing.T) {
+	// Plain IS under a tiny pool re-reads heap pages; the sorted scan
+	// touches each heap page at most once regardless of pool size.
+	w := newWorld(t, worldOpts{rows: 20000, rpp: 33, poolPages: 128})
+	plain := Execute(w.ctx, w.spec(IndexScan, 1, 0, 15000))
+	w.ctx.Pool.Flush()
+	sorted := Execute(w.ctx, w.spec(SortedIndexScan, 1, 0, 15000))
+
+	heapPages := w.tab.Pages()
+	leafBudget := w.idx.Leaves() + int64(w.idx.Height())
+	if plain.IO.Requests <= heapPages {
+		t.Errorf("plain IS read %d pages, expected re-reads beyond %d", plain.IO.Requests, heapPages)
+	}
+	if sorted.IO.Requests > heapPages+leafBudget {
+		t.Errorf("sorted IS read %d pages, want <= heap %d + index %d",
+			sorted.IO.Requests, heapPages, leafBudget)
+	}
+	if sorted.Runtime >= plain.Runtime {
+		t.Errorf("sorted scan (%v) not faster than thrashing plain scan (%v)",
+			sorted.Runtime, plain.Runtime)
+	}
+	if sorted.Value != plain.Value || sorted.RowsMatched != plain.RowsMatched {
+		t.Error("sorted and plain scans disagree on the answer")
+	}
+}
+
+func TestSortedScanWithPrefetchAndParallelism(t *testing.T) {
+	run := func(degree, prefetch int) Result {
+		w := newWorld(t, worldOpts{rows: 30000, rpp: 1, poolPages: 2048})
+		s := w.spec(SortedIndexScan, degree, 0, 10000)
+		s.PrefetchPerWorker = prefetch
+		return Execute(w.ctx, s)
+	}
+	serial := run(1, 0)
+	parallel := run(8, 0)
+	prefetched := run(1, 16)
+	if float64(serial.Runtime)/float64(parallel.Runtime) < 3 {
+		t.Errorf("8-way sorted scan gain = %.1fx, want >= 3x",
+			float64(serial.Runtime)/float64(parallel.Runtime))
+	}
+	if float64(serial.Runtime)/float64(prefetched.Runtime) < 3 {
+		t.Errorf("prefetch-16 sorted scan gain = %.1fx, want >= 3x",
+			float64(serial.Runtime)/float64(prefetched.Runtime))
+	}
+	if parallel.Value != serial.Value || prefetched.Value != serial.Value {
+		t.Error("answers diverge across execution strategies")
+	}
+}
+
+func TestAggregatesAgreeWithBruteForce(t *testing.T) {
+	w := newWorld(t, worldOpts{rows: 3000, rpp: 33})
+	lo, hi := int64(100), int64(900)
+	var wantMax, wantMin, wantSum, wantCount int64
+	first := true
+	for r := int64(0); r < w.tab.Rows(); r++ {
+		row := w.tab.RowAt(r)
+		if row.C2 < lo || row.C2 > hi {
+			continue
+		}
+		if first || row.C1 > wantMax {
+			wantMax = row.C1
+		}
+		if first || row.C1 < wantMin {
+			wantMin = row.C1
+		}
+		wantSum += row.C1
+		wantCount++
+		first = false
+	}
+	for _, m := range []Method{FullScan, IndexScan, SortedIndexScan} {
+		cases := []struct {
+			agg  AggKind
+			want int64
+		}{
+			{AggMax, wantMax}, {AggMin, wantMin}, {AggSum, wantSum}, {AggCount, wantCount},
+		}
+		for _, c := range cases {
+			s := w.spec(m, 4, lo, hi)
+			s.Agg = c.agg
+			res := Execute(w.ctx, s)
+			if !res.Found || res.Value != c.want {
+				t.Errorf("%v %v = (%d, %v), want %d", m, c.agg, res.Value, res.Found, c.want)
+			}
+		}
+	}
+}
+
+func TestCountOfEmptyRangeIsZeroNotNull(t *testing.T) {
+	w := newWorld(t, worldOpts{rows: 1000, rpp: 33})
+	for _, m := range []Method{FullScan, IndexScan, SortedIndexScan} {
+		s := w.spec(m, 2, 600, 599) // empty range
+		s.Agg = AggCount
+		res := Execute(w.ctx, s)
+		if !res.Found || res.Value != 0 {
+			t.Errorf("%v COUNT(empty) = (%d, %v), want (0, true)", m, res.Value, res.Found)
+		}
+		s.Agg = AggMax
+		res = Execute(w.ctx, s)
+		if res.Found {
+			t.Errorf("%v MAX(empty) found, want NULL", m)
+		}
+	}
+}
+
+func TestSortedScanPrefetchClampedToTinyPool(t *testing.T) {
+	// Deep prefetch times many workers must not exhaust a small pool: the
+	// scan clamps its window rather than panicking on frame exhaustion.
+	w := newWorld(t, worldOpts{rows: 20000, rpp: 1, poolPages: 96})
+	_, _, wantRows := w.bruteForce(0, 8000)
+	s := w.spec(SortedIndexScan, 16, 0, 8000)
+	s.PrefetchPerWorker = 32
+	res := Execute(w.ctx, s)
+	if res.RowsMatched != wantRows {
+		t.Errorf("matched %d rows, want %d", res.RowsMatched, wantRows)
+	}
+}
+
+func TestSortedScanQueueDepthTracksDegree(t *testing.T) {
+	w := newWorld(t, worldOpts{rows: 60000, rpp: 1, poolPages: 512})
+	res := Execute(w.ctx, w.spec(SortedIndexScan, 8, 0, 20000))
+	if qd := res.IO.AvgQueueDepth; qd < 4 || qd > 12 {
+		t.Errorf("sorted scan degree 8: avg queue depth %.1f, want ~8", qd)
+	}
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"math"
+
+	"pioqo/internal/exec"
+	"pioqo/internal/opt"
+	"pioqo/internal/workload"
+)
+
+// AccuracyRow compares one plan's estimated cost against its measured
+// runtime at one selectivity.
+type AccuracyRow struct {
+	Config      string
+	Selectivity float64
+	Plan        string
+	EstimatedMs float64
+	MeasuredMs  float64
+	Ratio       float64 // estimated / measured
+}
+
+// Accuracy validates the QDTT model the way the paper's abstract promises
+// ("the best plans found by the optimizer would be much closer to
+// optimal"): for every candidate access path at every swept selectivity,
+// compare the QDTT-based cost estimate against the actually measured
+// runtime. A usable cost model keeps the ratio within a small constant
+// band; more importantly, it must *rank* plans correctly (see Optimality).
+func (sc Scale) Accuracy(cfg workload.Config) []AccuracyRow {
+	s := sc.system(cfg)
+	model := sc.calibrated(s)
+	optCfg := opt.Config{
+		Model:     model,
+		Costs:     s.Ctx.Costs,
+		Cores:     s.CPU.Capacity(),
+		PoolPages: int64(s.Pool.Capacity()),
+		Degrees:   []int{1, 8, 32},
+	}
+
+	lo, hi := fig4Grid(cfg)
+	var rows []AccuracyRow
+	for _, sel := range selGrid(lo, hi, sc.SelPoints) {
+		plo, phi := s.RangeFor(sel)
+		in := opt.Input{Table: s.Table, Index: s.Index, Pool: s.Pool, Lo: plo, Hi: phi}
+		for _, plan := range opt.Enumerate(optCfg, in) {
+			res := s.Run(plan.Spec(in), true)
+			measuredMs := res.Runtime.Millis()
+			estimatedMs := plan.TotalMicros / 1e3
+			rows = append(rows, AccuracyRow{
+				Config:      cfg.Name,
+				Selectivity: sel,
+				Plan:        methodLabel(plan.Method, plan.Degree),
+				EstimatedMs: estimatedMs,
+				MeasuredMs:  measuredMs,
+				Ratio:       estimatedMs / measuredMs,
+			})
+		}
+	}
+	return rows
+}
+
+// OptimalityRow reports, for one selectivity, how far each optimizer's
+// chosen plan was from the best measured plan among all candidates.
+type OptimalityRow struct {
+	Config      string
+	Selectivity float64
+	BestPlan    string  // fastest measured candidate
+	BestMs      float64 // its runtime
+	OldPlan     string  // DTT choice and its measured regret (runtime / best)
+	OldRegret   float64
+	NewPlan     string // QDTT choice and regret
+	NewRegret   float64
+}
+
+// Optimality quantifies the paper's headline: execute *every* candidate
+// plan at each selectivity to find the true optimum, then report the
+// regret (chosen runtime over optimal runtime) of the DTT-based and
+// QDTT-based optimizers. The paper's claim is that the QDTT optimizer's
+// choices sit near regret 1 while the DTT optimizer's are off by up to
+// ~20x at low selectivities.
+func (sc Scale) Optimality(cfg workload.Config) []OptimalityRow {
+	s := sc.system(cfg)
+	model := sc.calibrated(s)
+	base := opt.Config{
+		Costs:     s.Ctx.Costs,
+		Cores:     s.CPU.Capacity(),
+		PoolPages: int64(s.Pool.Capacity()),
+		Degrees:   []int{1, 8, 32},
+	}
+	newCfg, oldCfg := base, base
+	newCfg.Model = model
+	oldCfg.Model = model.DepthOne()
+
+	lo, hi := fig4Grid(cfg)
+	var rows []OptimalityRow
+	for _, sel := range selGrid(lo, hi, sc.SelPoints) {
+		plo, phi := s.RangeFor(sel)
+		in := opt.Input{Table: s.Table, Index: s.Index, Pool: s.Pool, Lo: plo, Hi: phi}
+
+		// Measure every candidate once; key candidates by (method, degree).
+		type key struct {
+			m exec.Method
+			d int
+		}
+		measured := map[key]float64{}
+		best := math.Inf(1)
+		bestPlan := ""
+		for _, plan := range opt.Enumerate(newCfg, in) {
+			k := key{plan.Method, plan.Degree}
+			if _, done := measured[k]; done {
+				continue
+			}
+			rt := s.Run(plan.Spec(in), true).Runtime.Millis()
+			measured[k] = rt
+			if rt < best {
+				best = rt
+				bestPlan = methodLabel(plan.Method, plan.Degree)
+			}
+		}
+
+		oldChoice := opt.Choose(oldCfg, in)
+		newChoice := opt.Choose(newCfg, in)
+		oldRt := measured[key{oldChoice.Method, oldChoice.Degree}]
+		newRt := measured[key{newChoice.Method, newChoice.Degree}]
+		rows = append(rows, OptimalityRow{
+			Config:      cfg.Name,
+			Selectivity: sel,
+			BestPlan:    bestPlan,
+			BestMs:      best,
+			OldPlan:     methodLabel(oldChoice.Method, oldChoice.Degree),
+			OldRegret:   oldRt / best,
+			NewPlan:     methodLabel(newChoice.Method, newChoice.Degree),
+			NewRegret:   newRt / best,
+		})
+	}
+	return rows
+}
+
+// meanRegret averages a column of Optimality output (used by tests and
+// benches).
+func meanRegret(rows []OptimalityRow, old bool) float64 {
+	sum := 0.0
+	for _, r := range rows {
+		if old {
+			sum += r.OldRegret
+		} else {
+			sum += r.NewRegret
+		}
+	}
+	return sum / float64(len(rows))
+}

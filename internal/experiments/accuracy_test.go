@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"testing"
+
+	"pioqo/internal/workload"
+)
+
+func TestAccuracyQDTTEstimatesTrackMeasurements(t *testing.T) {
+	t.Parallel()
+	rows := quick().Accuracy(cfgFor(33, workload.SSD))
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// A cost model never matches measured runtimes exactly; what makes it
+	// usable is staying within a modest constant band. Require the bulk of
+	// estimates within 4x either way and none beyond 10x.
+	outside4x, outside10x := 0, 0
+	for _, r := range rows {
+		if r.Ratio > 4 || r.Ratio < 0.25 {
+			outside4x++
+		}
+		if r.Ratio > 10 || r.Ratio < 0.1 {
+			outside10x++
+			t.Logf("gross misestimate: %+v", r)
+		}
+	}
+	if frac := float64(outside4x) / float64(len(rows)); frac > 0.3 {
+		t.Errorf("%.0f%% of estimates outside 4x band", frac*100)
+	}
+	if outside10x > 0 {
+		t.Errorf("%d estimates off by more than 10x", outside10x)
+	}
+}
+
+func TestConcurrencyStrategies(t *testing.T) {
+	t.Parallel()
+	rows := quick().Concurrency()
+	byName := map[string]ConcurrencyRow{}
+	for _, r := range rows {
+		byName[r.Strategy] = r
+	}
+	serialIS := byName["serial, IS"]
+	interOnly := byName["concurrent, IS (inter-query only)"]
+	budgeted := byName["concurrent, PIS8 (budgeted)"]
+	over := byName["concurrent, PIS32 (oversubscribed)"]
+
+	// Inter-query parallelism alone gives roughly the batch-size speedup.
+	if gain := serialIS.MakespanMs / interOnly.MakespanMs; gain < 2.5 {
+		t.Errorf("inter-query speedup = %.1fx, want near 4x for 4 queries", gain)
+	}
+	// Budgeting the beneficial depth matches oversubscription within ~30%
+	// while using a quarter of the workers — the §4.3 point.
+	if budgeted.MakespanMs > 1.3*over.MakespanMs {
+		t.Errorf("budgeted makespan %.1fms vs oversubscribed %.1fms; want parity",
+			budgeted.MakespanMs, over.MakespanMs)
+	}
+	// And intra-query parallelism dominates inter-query alone.
+	if budgeted.MakespanMs > interOnly.MakespanMs/2 {
+		t.Errorf("budgeted %.1fms not well below inter-query-only %.1fms",
+			budgeted.MakespanMs, interOnly.MakespanMs)
+	}
+}
+
+func TestMixedWorkloadQDTTWins(t *testing.T) {
+	t.Parallel()
+	rows := quick().Mixed(12)
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	old, new_ := rows[0], rows[1]
+	if gain := old.TotalMs / new_.TotalMs; gain < 1.5 {
+		t.Errorf("QDTT whole-workload gain = %.2fx, want >= 1.5x", gain)
+	}
+	if new_.WorstMs > old.WorstMs {
+		t.Errorf("QDTT worst-case %.1fms above DTT's %.1fms", new_.WorstMs, old.WorstMs)
+	}
+	if new_.ParallelQs < old.ParallelQs {
+		t.Errorf("QDTT parallelized %d queries, DTT %d; expected more under QDTT",
+			new_.ParallelQs, old.ParallelQs)
+	}
+}
+
+func TestJoinsAblation(t *testing.T) {
+	t.Parallel()
+	rows := quick().Joins()
+	if len(rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(rows))
+	}
+	sawNL := false
+	for i, r := range rows {
+		if r.Regret > 1.5 {
+			t.Errorf("skew %.1f: planner regret %.2fx, want <= 1.5x", r.BuildSkew, r.Regret)
+		}
+		if r.Chosen == "IndexNLJoin" {
+			sawNL = true
+		}
+		// Distinct ratio falls with skew, and the NL join keeps getting
+		// relatively better.
+		if i > 0 {
+			if r.DistinctPct >= rows[i-1].DistinctPct {
+				t.Errorf("distinct%% did not fall with skew: %.1f -> %.1f",
+					rows[i-1].DistinctPct, r.DistinctPct)
+			}
+			if r.NLMs >= rows[i-1].NLMs {
+				t.Errorf("NL runtime did not fall with skew: %.2f -> %.2f",
+					rows[i-1].NLMs, r.NLMs)
+			}
+		}
+	}
+	if !sawNL {
+		t.Error("planner never chose the NL join despite heavy skew")
+	}
+	if last := rows[len(rows)-1]; last.Chosen != "IndexNLJoin" {
+		t.Errorf("heaviest skew chose %s, want IndexNLJoin", last.Chosen)
+	}
+}
+
+func TestOptimalityQDTTBeatsDTT(t *testing.T) {
+	t.Parallel()
+	rows := quick().Optimality(cfgFor(33, workload.SSD))
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	oldMean := meanRegret(rows, true)
+	newMean := meanRegret(rows, false)
+	// The paper's headline: QDTT choices sit near the optimum while DTT
+	// choices are off by large factors at low selectivities.
+	if newMean > 2 {
+		t.Errorf("mean QDTT regret = %.2fx, want near-optimal (<= 2x)", newMean)
+	}
+	if oldMean < 2*newMean {
+		t.Errorf("mean DTT regret %.2fx not clearly worse than QDTT %.2fx",
+			oldMean, newMean)
+	}
+	sawBigOldRegret := false
+	for _, r := range rows {
+		if r.NewRegret > 4 {
+			t.Errorf("sel %.4f: QDTT regret %.1fx (chose %s, best %s)",
+				r.Selectivity, r.NewRegret, r.NewPlan, r.BestPlan)
+		}
+		if r.OldRegret > 5 {
+			sawBigOldRegret = true
+		}
+	}
+	if !sawBigOldRegret {
+		t.Error("DTT optimizer never suffered a >5x regret; expected large misses at low selectivity")
+	}
+}

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"pioqo/internal/exec"
+	"pioqo/internal/sim"
+	"pioqo/internal/workload"
+)
+
+// Fig4Row is one point of one curve in the paper's Fig. 4: the runtime of
+// query Q at a selectivity using a specific access method.
+type Fig4Row struct {
+	Config      string
+	Selectivity float64
+	Method      string // IS, FTS, PISn, PFTSn
+	Runtime     sim.Duration
+}
+
+// fig4Grid returns the selectivity range swept for a configuration. As in
+// the paper, "the selectivity range was chosen to contain all break-even
+// points for that specific experiment" — the bounds differ per rows-per-page
+// and device because the crossings move by orders of magnitude.
+func fig4Grid(cfg workload.Config) (lo, hi float64) {
+	type key struct {
+		rpp int
+		dev workload.DeviceKind
+	}
+	grids := map[key][2]float64{
+		{1, workload.HDD}:   {0.0005, 0.03},
+		{1, workload.SSD}:   {0.01, 0.7},
+		{33, workload.HDD}:  {0.00005, 0.003},
+		{33, workload.SSD}:  {0.0005, 0.1},
+		{500, workload.HDD}: {0.000005, 0.0002},
+		{500, workload.SSD}: {0.00003, 0.01},
+	}
+	g, ok := grids[key{cfg.RowsPerPage, cfg.Device}]
+	if !ok {
+		return 0.0001, 0.5
+	}
+	return g[0], g[1]
+}
+
+// Fig4 sweeps query Q's runtime across selectivities for the IS, FTS, PIS
+// and PFTS access methods on one Table 1 configuration. degrees lists the
+// parallel degrees beyond 1 to include (the paper plots degree 32 and notes
+// that 2–16 were omitted from the diagrams for readability).
+func (sc Scale) Fig4(cfg workload.Config, degrees []int) []Fig4Row {
+	if len(degrees) == 0 {
+		degrees = []int{32}
+	}
+	s := sc.system(cfg)
+	lo, hi := fig4Grid(cfg)
+	var rows []Fig4Row
+	for _, sel := range selGrid(lo, hi, sc.SelPoints) {
+		plo, phi := s.RangeFor(sel)
+		for _, m := range []exec.Method{exec.IndexScan, exec.FullScan} {
+			allDegrees := append([]int{1}, degrees...)
+			for _, d := range allDegrees {
+				res := s.Run(s.Spec(m, d, plo, phi), true)
+				rows = append(rows, Fig4Row{
+					Config:      cfg.Name,
+					Selectivity: sel,
+					Method:      methodLabel(m, d),
+					Runtime:     res.Runtime,
+				})
+			}
+		}
+	}
+	return rows
+}
+
+func methodLabel(m exec.Method, degree int) string {
+	if degree <= 1 {
+		return m.String()
+	}
+	return fmt.Sprintf("P%s%d", m.String(), degree)
+}
+
+// Table2Row is one row of the paper's Table 2: the measured break-even
+// selectivities (as fractions) between index and full scans, non-parallel
+// (IS vs FTS) and parallel (PIS32 vs PFTS32), on HDD and SSD.
+type Table2Row struct {
+	RowsPerPage int
+	NPHDD, PHDD float64
+	NPSSD, PSSD float64
+}
+
+// Table2 finds the four break-even selectivities for each rows-per-page
+// setting by bisecting measured runtimes, exactly as the crossings are read
+// off the paper's Fig. 4 curves.
+func (sc Scale) Table2() []Table2Row {
+	var out []Table2Row
+	for _, rpp := range []int{1, 33, 500} {
+		row := Table2Row{RowsPerPage: rpp}
+		for _, dev := range []workload.DeviceKind{workload.HDD, workload.SSD} {
+			cfg := workload.Config{
+				Name:        fmt.Sprintf("E%d-%s", rpp, dev),
+				RowsPerPage: rpp,
+				Device:      dev,
+			}
+			np := sc.breakEven(cfg, 1)
+			p := sc.breakEven(cfg, 32)
+			switch dev {
+			case workload.HDD:
+				row.NPHDD, row.PHDD = np, p
+			case workload.SSD:
+				row.NPSSD, row.PSSD = np, p
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// breakEven bisects (geometrically) for the selectivity where the index
+// scan's measured runtime crosses the full scan's, both at the given
+// parallel degree. The full scan's runtime does not depend on selectivity,
+// so it is measured once.
+func (sc Scale) breakEven(cfg workload.Config, degree int) float64 {
+	s := sc.system(cfg)
+	plo, phi := s.RangeFor(0.5)
+	fts := s.Run(s.Spec(exec.FullScan, degree, plo, phi), true).Runtime
+
+	isFaster := func(sel float64) bool {
+		plo, phi := s.RangeFor(sel)
+		return s.Run(s.Spec(exec.IndexScan, degree, plo, phi), true).Runtime < fts
+	}
+
+	lo, hi := 1e-7, 0.9
+	if !isFaster(lo) {
+		return lo // IS never wins
+	}
+	if isFaster(hi) {
+		return hi // IS always wins in range
+	}
+	for i := 0; i < 11; i++ {
+		mid := geoMid(lo, hi)
+		if isFaster(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return geoMid(lo, hi)
+}
+
+// geoMid returns the geometric midpoint, the right bisection step for
+// quantities spanning orders of magnitude.
+func geoMid(lo, hi float64) float64 {
+	return math.Sqrt(lo * hi)
+}
+
+// Table3Row is one block of the paper's Table 3: the I/O throughput of
+// PFTS32 and FTS on HDD and SSD for one rows-per-page setting, with the
+// paper's "Ratio" rows (SSD over HDD, per method).
+type Table3Row struct {
+	RowsPerPage int
+	PFTS32HDD   float64 // MB/s
+	PFTS32SSD   float64
+	FTSHDD      float64
+	FTSSSD      float64
+	PFTS32Ratio float64 // SSD / HDD
+	FTSRatio    float64
+}
+
+// Table3 measures full-scan I/O throughput at degrees 32 and 1 on all six
+// Table 1 configurations and forms the paper's SSD-over-HDD ratios.
+func (sc Scale) Table3() []Table3Row {
+	throughput := func(cfg workload.Config, degree int) float64 {
+		s := sc.system(cfg)
+		plo, phi := s.RangeFor(0.1)
+		return s.Run(s.Spec(exec.FullScan, degree, plo, phi), true).IO.ThroughputMBps
+	}
+	var out []Table3Row
+	for _, rpp := range []int{1, 33, 500} {
+		hdd := workload.Config{Name: "hdd", RowsPerPage: rpp, Device: workload.HDD}
+		ssd := workload.Config{Name: "ssd", RowsPerPage: rpp, Device: workload.SSD}
+		r := Table3Row{
+			RowsPerPage: rpp,
+			PFTS32HDD:   throughput(hdd, 32),
+			PFTS32SSD:   throughput(ssd, 32),
+			FTSHDD:      throughput(hdd, 1),
+			FTSSSD:      throughput(ssd, 1),
+		}
+		r.PFTS32Ratio = r.PFTS32SSD / r.PFTS32HDD
+		r.FTSRatio = r.FTSSSD / r.FTSHDD
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"pioqo/internal/exec"
+	"pioqo/internal/sim"
+	"pioqo/internal/workload"
+)
+
+// Fig5Row is one point of the paper's Fig. 5: index-scan runtime at a fixed
+// selectivity as a function of the per-worker prefetch depth n, one curve
+// per parallel degree.
+type Fig5Row struct {
+	Degree   int
+	Prefetch int
+	Runtime  sim.Duration
+}
+
+// Fig5 reproduces the prefetching experiment of §3.3: a range index scan on
+// an SSD-resident T33-style table at selectivity 0.03 (3% of the rows, per
+// the paper), sweeping the per-worker prefetch depth for parallel degrees
+// 1..32. The paper's headline observations: prefetching sharply improves
+// the scan; one worker prefetching n does not quite equal n workers; and a
+// few workers with deep prefetch beat many workers without it.
+func (sc Scale) Fig5() []Fig5Row {
+	var rows []Fig5Row
+	for _, degree := range []int{1, 2, 4, 8, 16, 32} {
+		for _, prefetch := range []int{0, 1, 2, 4, 8, 16, 32} {
+			// A fresh system per run keeps device and pool state identical
+			// across the grid.
+			s := sc.system(workload.Config{
+				Name:        "fig5",
+				RowsPerPage: 33,
+				Device:      workload.SSD,
+			})
+			lo, hi := s.RangeFor(0.03)
+			spec := s.Spec(exec.IndexScan, degree, lo, hi)
+			spec.PrefetchPerWorker = prefetch
+			res := s.Run(spec, true)
+			rows = append(rows, Fig5Row{
+				Degree:   degree,
+				Prefetch: prefetch,
+				Runtime:  res.Runtime,
+			})
+		}
+	}
+	return rows
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"pioqo/internal/cost"
+	"pioqo/internal/opt"
+	"pioqo/internal/sim"
+	"pioqo/internal/workload"
+)
+
+// Fig8Row is one selectivity point of the paper's Fig. 8: the runtime of
+// query Q when the plan is chosen by the DTT-based ("old") optimizer versus
+// the QDTT-based ("new") optimizer, and the resulting speedup.
+type Fig8Row struct {
+	Config      string
+	Selectivity float64
+	OldPlan     string
+	NewPlan     string
+	OldRuntime  sim.Duration
+	NewRuntime  sim.Duration
+	Speedup     float64
+}
+
+// Fig8 calibrates the configuration's device, then sweeps selectivities,
+// letting each optimizer choose a plan that is then actually executed. The
+// paper reports maximum speedups of 19.7 / 16.9 / 13.7 on E1/E33/E500-SSD
+// and a 3–5x plateau at high selectivities.
+func (sc Scale) Fig8(cfg workload.Config) []Fig8Row {
+	s := sc.system(cfg)
+	qdtt := sc.calibrated(s)
+	dtt := qdtt.DepthOne()
+
+	optCfg := func(m cost.Model) opt.Config {
+		return opt.Config{
+			Model:     m,
+			Costs:     s.Ctx.Costs,
+			Cores:     s.CPU.Capacity(),
+			PoolPages: int64(s.Pool.Capacity()),
+		}
+	}
+
+	lo, hi := fig4Grid(cfg)
+	var rows []Fig8Row
+	for _, sel := range selGrid(lo, hi, sc.SelPoints) {
+		plo, phi := s.RangeFor(sel)
+		in := opt.Input{Table: s.Table, Index: s.Index, Pool: s.Pool, Lo: plo, Hi: phi}
+
+		oldPlan := opt.Choose(optCfg(dtt), in)
+		newPlan := opt.Choose(optCfg(qdtt), in)
+
+		oldRes := s.Run(oldPlan.Spec(in), true)
+		newRes := s.Run(newPlan.Spec(in), true)
+
+		rows = append(rows, Fig8Row{
+			Config:      cfg.Name,
+			Selectivity: sel,
+			OldPlan:     methodLabel(oldPlan.Method, oldPlan.Degree),
+			NewPlan:     methodLabel(newPlan.Method, newPlan.Degree),
+			OldRuntime:  oldRes.Runtime,
+			NewRuntime:  newRes.Runtime,
+			Speedup:     float64(oldRes.Runtime) / float64(newRes.Runtime),
+		})
+	}
+	return rows
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"pioqo/internal/btree"
+	"pioqo/internal/buffer"
+	"pioqo/internal/calibrate"
+	"pioqo/internal/disk"
+	"pioqo/internal/exec"
+	"pioqo/internal/opt"
+	"pioqo/internal/sim"
+	"pioqo/internal/stats"
+	"pioqo/internal/table"
+	"pioqo/internal/workload"
+)
+
+// JoinRow is one point of the join-method ablation: the measured runtimes
+// of both join algorithms plus what the planner picked.
+type JoinRow struct {
+	BuildSkew   float64 // Zipf exponent (0 = uniform)
+	DistinctPct float64 // distinct keys as % of build rows
+	HashMs      float64
+	NLMs        float64
+	Chosen      string
+	Regret      float64 // chosen runtime / best runtime
+}
+
+// Joins is an ablation for the join extension: the same fact-table join is
+// driven with build sides of increasing key skew. With uniform keys the
+// range predicate pushes down and the hash join is unbeatable; as skew
+// concentrates the build rows onto fewer distinct keys, the index
+// nested-loop join's few lookups win. The planner — fed by distinct-count
+// statistics and the QDTT model — must track the crossover.
+func (sc Scale) Joins() []JoinRow {
+	var rows []JoinRow
+	for _, skew := range []float64{0, 1.1, 1.3, 1.6, 2.0} {
+		env := sim.NewEnv(808)
+		dev := workload.NewDevice(env, workload.SSD)
+		m := disk.NewManager(dev)
+
+		buildRows := sc.Pages * 4 // modest build side
+		var build *table.Materialized
+		if skew == 0 {
+			build = table.NewMaterialized(m, "build", buildRows, 33, 3)
+		} else {
+			build = table.NewMaterializedZipf(m, "build", buildRows, 33, 3, skew)
+		}
+		buildIdx := btree.NewMaterialized(m, build, 0, 0)
+		hist := stats.BuildHistogram(build, 0)
+
+		probe := table.NewSynthetic(m, "probe", sc.Pages*33, 33, 5)
+		probeIdx := btree.NewSynthetic(m, probe, 0, 0)
+
+		ctx := &exec.Context{
+			Env:   env,
+			CPU:   sim.NewResource(env, "cpu", sc.Cores),
+			Pool:  buffer.NewPool(env, sc.PoolPages),
+			Dev:   dev,
+			Costs: exec.DefaultCPUCosts(),
+		}
+		lo, hi := int64(0), buildRows-1 // whole build domain
+
+		spec := func(method exec.JoinMethod) exec.JoinSpec {
+			return exec.JoinSpec{
+				Method: method,
+				Build: exec.Spec{Table: build, Index: buildIdx, Lo: lo, Hi: hi,
+					Method: exec.FullScan, Degree: 8},
+				Probe: exec.Spec{Table: probe, Index: probeIdx, Lo: lo, Hi: hi,
+					Method: exec.IndexScan, Degree: 32},
+				Agg: exec.AggCount,
+			}
+		}
+		ctx.Pool.Flush()
+		hash := exec.ExecuteJoin(ctx, spec(exec.HashJoin))
+		ctx.Pool.Flush()
+		nl := exec.ExecuteJoin(ctx, spec(exec.IndexNLJoin))
+
+		// What would the planner have picked?
+		ccfg := calibrate.DefaultConfig(dev)
+		ccfg.MaxReads = sc.CalibReads
+		model := calibrate.Run(env, dev, ccfg).Model
+		cfg := opt.Config{
+			Model: model, Costs: ctx.Costs, Cores: sc.Cores,
+			PoolPages: int64(sc.PoolPages),
+		}
+		buildIn := opt.Input{Table: build, Index: buildIdx, Pool: ctx.Pool, Stats: hist, Lo: lo, Hi: hi}
+		probeIn := opt.Input{Table: probe, Index: probeIdx, Pool: ctx.Pool, Lo: lo, Hi: hi}
+		jp := opt.ChooseJoin(cfg, buildIn, probeIn)
+		ctx.Pool.Flush()
+		chosen := exec.ExecuteJoin(ctx, jp.Specs(buildIn, probeIn, exec.AggCount))
+
+		hashMs, nlMs, chosenMs := hash.Runtime.Millis(), nl.Runtime.Millis(), chosen.Runtime.Millis()
+		best := chosenMs
+		if hashMs < best {
+			best = hashMs
+		}
+		if nlMs < best {
+			best = nlMs
+		}
+		rows = append(rows, JoinRow{
+			BuildSkew:   skew,
+			DistinctPct: hist.DistinctRatio() * 100,
+			HashMs:      hashMs,
+			NLMs:        nlMs,
+			Chosen:      jp.Method.String(),
+			Regret:      chosenMs / best,
+		})
+	}
+	return rows
+}
+

@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"pioqo/internal/calibrate"
+	"pioqo/internal/disk"
+	"pioqo/internal/sim"
+	"pioqo/internal/workload"
+)
+
+// ModelRow is one calibrated point of a DTT or QDTT model.
+type ModelRow struct {
+	Device string
+	Band   int64 // pages
+	Depth  int
+	Micros float64
+	StdDev float64
+}
+
+// calibrateDevice runs one calibration on a fresh device of the given kind.
+func (sc Scale) calibrateDevice(kind workload.DeviceKind, mutate func(*calibrate.Config)) calibrate.Output {
+	env := sim.NewEnv(31)
+	dev := workload.NewDevice(env, kind)
+	cfg := calibrate.DefaultConfig(dev)
+	cfg.MaxReads = sc.CalibReads
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return calibrate.Run(env, dev, cfg)
+}
+
+// Fig6 produces the sample DTT models of the paper's Fig. 6: amortized
+// random-read cost versus band size at queue depth 1, for HDD and SSD.
+func (sc Scale) Fig6() []ModelRow {
+	var rows []ModelRow
+	for _, kind := range []workload.DeviceKind{workload.HDD, workload.SSD} {
+		out := sc.calibrateDevice(kind, func(c *calibrate.Config) {
+			c.Depths = []int{1}
+		})
+		for _, p := range out.Points {
+			rows = append(rows, ModelRow{
+				Device: kind.String(), Band: p.Band, Depth: p.Depth, Micros: p.MicrosPerPage,
+			})
+		}
+	}
+	return rows
+}
+
+// Fig7 produces the sample QDTT models of the paper's Fig. 7: one cost
+// curve over band size per queue depth, for HDD and SSD.
+func (sc Scale) Fig7() []ModelRow {
+	var rows []ModelRow
+	for _, kind := range []workload.DeviceKind{workload.HDD, workload.SSD} {
+		out := sc.calibrateDevice(kind, nil)
+		for _, p := range out.Points {
+			rows = append(rows, ModelRow{
+				Device: kind.String(), Band: p.Band, Depth: p.Depth, Micros: p.MicrosPerPage,
+			})
+		}
+	}
+	return rows
+}
+
+// Fig9 calibrates the SSD with the GW and AW methods (averaging Scale.Reps
+// repetitions per point, as the paper averages 50) and returns both grids.
+// The paper's finding: the two methods produce very similar models on SSD.
+func (sc Scale) Fig9() []ModelRow {
+	var rows []ModelRow
+	for _, m := range []calibrate.Method{calibrate.GroupWait, calibrate.ActiveWait} {
+		out := sc.calibrateDevice(workload.SSD, func(c *calibrate.Config) {
+			c.Method = m
+			c.Repetitions = sc.Reps
+		})
+		for _, p := range out.Points {
+			rows = append(rows, ModelRow{
+				Device: m.String(), Band: p.Band, Depth: p.Depth,
+				Micros: p.MicrosPerPage, StdDev: p.StdDev,
+			})
+		}
+	}
+	return rows
+}
+
+// DiffRow is one point of the paper's Figs. 10 and 11: the difference
+// between the GW- and AW-calibrated costs at a grid point.
+type DiffRow struct {
+	Band      int64
+	Depth     int
+	GWMicros  float64
+	AWMicros  float64
+	GWMinusAW float64
+}
+
+// gwVsAW calibrates a device kind with both methods and diffs the grids.
+func (sc Scale) gwVsAW(kind workload.DeviceKind) []DiffRow {
+	calib := func(m calibrate.Method) calibrate.Output {
+		return sc.calibrateDevice(kind, func(c *calibrate.Config) {
+			c.Method = m
+			c.Repetitions = sc.Reps
+		})
+	}
+	gw, aw := calib(calibrate.GroupWait), calib(calibrate.ActiveWait)
+	var rows []DiffRow
+	for i := range gw.Points {
+		g, a := gw.Points[i], aw.Points[i]
+		rows = append(rows, DiffRow{
+			Band: g.Band, Depth: g.Depth,
+			GWMicros: g.MicrosPerPage, AWMicros: a.MicrosPerPage,
+			GWMinusAW: g.MicrosPerPage - a.MicrosPerPage,
+		})
+	}
+	return rows
+}
+
+// Fig10 is the GW-vs-AW difference surface on SSD (paper: negligible,
+// within a few microseconds).
+func (sc Scale) Fig10() []DiffRow { return sc.gwVsAW(workload.SSD) }
+
+// Fig11 is the GW-vs-AW difference surface on the 8-spindle RAID (paper:
+// AW measures significantly smaller costs).
+func (sc Scale) Fig11() []DiffRow { return sc.gwVsAW(workload.RAID8) }
+
+// Fig12Row compares a directly measured cost against the value the
+// exponentially calibrated model interpolates for that point.
+type Fig12Row struct {
+	Band         int64
+	Depth        int
+	Measured     float64
+	Interpolated float64
+	ErrPercent   float64
+}
+
+// Fig12 validates §4.5 on the RAID array: calibrate at depths 1, 2, 4, 8,
+// 16, 32, then measure every depth 1..32 and compare against bilinear
+// interpolation. The paper concludes the exponential grid is "fairly
+// accurate".
+func (sc Scale) Fig12() []Fig12Row {
+	env := sim.NewEnv(33)
+	dev := workload.NewDevice(env, workload.RAID8)
+	bands := []int64{256, 64 << 10, dev.Size() / disk.PageSize}
+
+	expCfg := calibrate.DefaultConfig(dev)
+	expCfg.MaxReads = sc.CalibReads
+	expCfg.Bands = bands
+	model := calibrate.Run(env, dev, expCfg).Model
+
+	denseCfg := expCfg
+	denseCfg.Depths = nil
+	for d := 1; d <= 32; d++ {
+		denseCfg.Depths = append(denseCfg.Depths, d)
+	}
+	dense := calibrate.Run(env, dev, denseCfg)
+
+	var rows []Fig12Row
+	for _, p := range dense.Points {
+		interp := model.PageCost(p.Band, p.Depth)
+		rows = append(rows, Fig12Row{
+			Band: p.Band, Depth: p.Depth,
+			Measured: p.MicrosPerPage, Interpolated: interp,
+			ErrPercent: (interp - p.MicrosPerPage) / p.MicrosPerPage * 100,
+		})
+	}
+	return rows
+}
+
+// EarlyStopRow summarises one calibration run for the §4.6 comparison.
+type EarlyStopRow struct {
+	Device           string
+	Threshold        float64
+	SimTime          sim.Duration
+	Reads            int64
+	DepthsCalibrated int
+	StoppedEarly     bool
+}
+
+// EarlyStop compares full calibration against threshold-controlled
+// calibration (T = 20%) on HDD and SSD. The paper's point: the control
+// "results in a significant improvement in calibration time especially for
+// devices with weak parallel I/O capability" while leaving devices that do
+// benefit fully calibrated.
+func (sc Scale) EarlyStop() []EarlyStopRow {
+	var rows []EarlyStopRow
+	for _, kind := range []workload.DeviceKind{workload.HDD, workload.SSD} {
+		for _, threshold := range []float64{0, 0.20} {
+			out := sc.calibrateDevice(kind, func(c *calibrate.Config) {
+				c.StopThreshold = threshold
+			})
+			rows = append(rows, EarlyStopRow{
+				Device:           kind.String(),
+				Threshold:        threshold,
+				SimTime:          out.SimTime,
+				Reads:            out.TotalReads,
+				DepthsCalibrated: out.CalibratedDepths,
+				StoppedEarly:     out.StoppedEarly,
+			})
+		}
+	}
+	return rows
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"pioqo/internal/exec"
+	"pioqo/internal/sim"
+	"pioqo/internal/trace"
+	"pioqo/internal/workload"
+)
+
+// QDProfileRow summarises the device queue-depth profile of one PIS run.
+type QDProfileRow struct {
+	Degree    int
+	MeanDepth float64
+	P50Depth  int
+	MaxDepth  int
+}
+
+// QDProfile reproduces the paper's §2 profiling observation — "the I/O
+// pattern of PIS with parallel degree n is the parallel random I/O with
+// constant queue depth of n" — by sampling the SSD's outstanding request
+// count while parallel index scans of each degree run.
+func (sc Scale) QDProfile() []QDProfileRow {
+	var rows []QDProfileRow
+	for _, degree := range []int{1, 2, 4, 8, 16, 32} {
+		s := sc.system(workload.Config{
+			Name: "qdprofile", RowsPerPage: 1, Device: workload.SSD,
+		})
+		prof := trace.NewProfiler(s.Env, s.Dev, 250*sim.Microsecond)
+		lo, hi := s.RangeFor(0.3)
+		spec := s.Spec(exec.IndexScan, degree, lo, hi)
+		s.Env.Go("query", func(p *sim.Proc) {
+			prof.Start()
+			exec.RunScan(p, s.Ctx, spec)
+			prof.Stop()
+		})
+		s.Env.Run()
+		st := prof.Profile().Stats()
+		rows = append(rows, QDProfileRow{
+			Degree:    degree,
+			MeanDepth: st.Mean,
+			P50Depth:  st.P50,
+			MaxDepth:  st.Max,
+		})
+	}
+	return rows
+}

@@ -1,0 +1,97 @@
+package opt
+
+import "pioqo/internal/exec"
+
+// JoinPlan is a costed join plan: the algorithm plus one access path per
+// side. For an index nested-loop join, Probe carries the lookup degree
+// rather than a scan plan.
+type JoinPlan struct {
+	Method exec.JoinMethod
+	Build  Plan
+	Probe  Plan
+	// TotalMicros is the estimated join cost.
+	TotalMicros float64
+}
+
+// ChooseJoin picks the join algorithm and the access paths for both sides.
+// The phases run back to back, so each side is optimized with the device's
+// full queue depth — per phase this is exactly the single-table problem the
+// paper solves; the join-level decisions (hash vs index nested-loop, and
+// each side's method and degree) all fall out of the same QDTT-priced
+// costs. The probe input's range should already match the build range.
+func ChooseJoin(cfg Config, build, probe Input) JoinPlan {
+	b := Choose(cfg, build)
+
+	// Hash join: scan the probe range, hash every row.
+	hashProbe := Choose(cfg, probe)
+	hashCost := b.TotalMicros + hashProbe.TotalMicros +
+		b.EstRows*0.2 + hashProbe.EstRows*0.15
+	best := JoinPlan{
+		Method: exec.HashJoin, Build: b, Probe: hashProbe, TotalMicros: hashCost,
+	}
+
+	// Index nested-loop join: one probe-index lookup per build key. Only
+	// available when the probe side has an index.
+	if probe.Index != nil {
+		keys := b.EstRows // ≈ distinct keys when the domain is wide
+		if build.Stats != nil {
+			// Skewed build sides repeat keys; the NL join looks each
+			// distinct key up once.
+			keys *= build.Stats.DistinctRatio()
+		}
+		rowsPerKey := float64(probe.Table.Rows()) / float64(probe.Table.KeyDomain())
+		// The executor probes the keys in ascending order, so consecutive
+		// lookups mostly hit the same (pooled) leaf page: leaf I/O is
+		// bounded by the leaves spanning the probed key range, not by the
+		// key count.
+		rangeFrac := selectivity(probe, build.Lo, build.Hi)
+		leafFetches := rangeFrac * float64(probe.Index.Leaves())
+		if leafFetches > keys {
+			leafFetches = keys
+		}
+		for _, d := range cfg.degrees() {
+			if cfg.QueueBudget > 0 && d > cfg.QueueBudget && d > 1 {
+				continue
+			}
+			depth := d
+			if cfg.QueueBudget > 0 && depth > cfg.QueueBudget {
+				depth = cfg.QueueBudget
+			}
+			io := (keys*rowsPerKey + leafFetches) * cfg.Model.PageCost(probe.Table.Pages(), depth)
+			workers := d
+			if workers > cfg.Cores {
+				workers = cfg.Cores
+			}
+			cpu := keys * (cfg.Costs.PerPage.Micros() +
+				rowsPerKey*cfg.Costs.PerRowFetch.Micros()) / float64(workers)
+			startup := 0.0
+			if d > 1 {
+				startup = float64(d) * cfg.Costs.WorkerStartup.Micros()
+			}
+			total := b.TotalMicros + maxf(io, cpu) + startup + keys*0.2
+			if total < best.TotalMicros {
+				best = JoinPlan{
+					Method: exec.IndexNLJoin,
+					Build:  b,
+					Probe: Plan{
+						Method: exec.IndexScan, Degree: d,
+						EstRows: keys * rowsPerKey, EstPageIO: keys*rowsPerKey + leafFetches,
+						IOMicros: io, CPUMicros: cpu + startup, TotalMicros: maxf(io, cpu) + startup,
+					},
+					TotalMicros: total,
+				}
+			}
+		}
+	}
+	return best
+}
+
+// Specs converts the join plan into the executor's JoinSpec.
+func (jp JoinPlan) Specs(build, probe Input, agg exec.AggKind) exec.JoinSpec {
+	return exec.JoinSpec{
+		Method: jp.Method,
+		Build:  jp.Build.Spec(build),
+		Probe:  jp.Probe.Spec(probe),
+		Agg:    agg,
+	}
+}

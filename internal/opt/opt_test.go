@@ -1,0 +1,269 @@
+package opt
+
+import (
+	"testing"
+
+	"pioqo/internal/btree"
+	"pioqo/internal/buffer"
+	"pioqo/internal/calibrate"
+	"pioqo/internal/cost"
+	"pioqo/internal/device"
+	"pioqo/internal/disk"
+	"pioqo/internal/exec"
+	"pioqo/internal/sim"
+	"pioqo/internal/table"
+)
+
+// fixture bundles a table+index over a device with calibrated models.
+type fixture struct {
+	in   Input
+	qdtt *cost.QDTT
+	dtt  *cost.DTT
+	cfg  Config // with Model unset; tests plug in dtt or qdtt
+}
+
+func newFixture(t *testing.T, devKind string, rows int64, rpp int) *fixture {
+	t.Helper()
+	env := sim.NewEnv(11)
+	var dev device.Device
+	if devKind == "hdd" {
+		dev = device.NewHDD(env, device.DefaultHDDConfig())
+	} else {
+		dev = device.NewSSD(env, device.DefaultSSDConfig())
+	}
+	// Calibrate on a dedicated environment sharing the device model.
+	ccfg := calibrate.DefaultConfig(dev)
+	ccfg.MaxReads = 800
+	ccfg.Bands = []int64{1, 256, 64 << 10, dev.Size() / disk.PageSize}
+	out := calibrate.Run(env, dev, ccfg)
+
+	m := disk.NewManager(dev)
+	tab := table.NewSynthetic(m, "t", rows, rpp, 5)
+	idx := btree.NewSynthetic(m, tab, 0, 0)
+	pool := buffer.NewPool(env, 2048)
+	return &fixture{
+		in:   Input{Table: tab, Index: idx, Pool: pool},
+		qdtt: out.Model,
+		dtt:  out.Model.DepthOne(),
+		cfg: Config{
+			Costs:     exec.DefaultCPUCosts(),
+			Cores:     8,
+			PoolPages: 2048,
+		},
+	}
+}
+
+// rangeFor returns a predicate covering fraction sel of the key domain.
+func rangeFor(tab table.Table, sel float64) (int64, int64) {
+	hi := int64(sel*float64(tab.KeyDomain())) - 1
+	if hi < 0 {
+		hi = 0
+	}
+	return 0, hi
+}
+
+func (f *fixture) choose(t *testing.T, model cost.Model, sel float64) Plan {
+	t.Helper()
+	cfg := f.cfg
+	cfg.Model = model
+	in := f.in
+	in.Lo, in.Hi = rangeFor(f.in.Table, sel)
+	return Choose(cfg, in)
+}
+
+func TestOldOptimizerNeverParallelizesIndexScans(t *testing.T) {
+	// §4.3: under DTT, I/O-dominated plans gain nothing from parallelism,
+	// so the old optimizer never picks a parallel index scan — parallel I/O
+	// is the *only* thing PIS buys (its CPU work is negligible), and DTT
+	// cannot see it. (Unlike the paper's engine, our honest CPU model does
+	// let the old optimizer pick low-degree PFTS in the CPU-bound full-scan
+	// region; see DESIGN.md, Known deviations.)
+	f := newFixture(t, "ssd", 200000, 33)
+	cfg := f.cfg
+	cfg.Model = f.dtt
+	for _, sel := range []float64{0.0001, 0.001, 0.01, 0.1, 0.5} {
+		in := f.in
+		in.Lo, in.Hi = rangeFor(f.in.Table, sel)
+		for _, p := range Enumerate(cfg, in) {
+			if p.Method == exec.IndexScan && p.Degree > 1 {
+				best := Choose(cfg, in)
+				if best.Method == exec.IndexScan && best.Degree > 1 {
+					t.Errorf("sel=%.4f: old optimizer chose %v", sel, best)
+				}
+			}
+		}
+	}
+	// And in the I/O-bound region it chooses the plain non-parallel IS.
+	p := f.choose(t, f.dtt, 0.001)
+	if p.Method != exec.IndexScan || p.Degree != 1 {
+		t.Errorf("sel=0.1%%: old optimizer chose %v, want IS degree 1", p)
+	}
+}
+
+func TestNewOptimizerPicksParallelIndexScanOnSSD(t *testing.T) {
+	f := newFixture(t, "ssd", 200000, 33)
+	p := f.choose(t, f.qdtt, 0.001)
+	if p.Method != exec.IndexScan {
+		t.Fatalf("sel=0.1%%: chose %v, want IndexScan", p.Method)
+	}
+	if p.Degree < 16 {
+		t.Errorf("sel=0.1%%: chose degree %d, want high (>=16)", p.Degree)
+	}
+}
+
+func TestNewOptimizerPicksFullScanAtHighSelectivity(t *testing.T) {
+	f := newFixture(t, "ssd", 200000, 33)
+	p := f.choose(t, f.qdtt, 0.5)
+	if p.Method != exec.FullScan {
+		t.Errorf("sel=50%%: chose %v, want FullScan", p.Method)
+	}
+}
+
+// breakEven finds the selectivity where the optimizer switches from index
+// scan to full scan, by bisection.
+func (f *fixture) breakEven(t *testing.T, model cost.Model) float64 {
+	t.Helper()
+	lo, hi := 1e-6, 1.0
+	if f.choose(t, model, lo).Method != exec.IndexScan {
+		return lo
+	}
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		if f.choose(t, model, mid).Method == exec.IndexScan {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+func TestQDTTShiftsBreakEvenRightOnSSD(t *testing.T) {
+	// The paper's central claim (Table 2): on SSD the parallel break-even
+	// point sits at a much larger selectivity than the non-parallel one.
+	f := newFixture(t, "ssd", 200000, 33)
+	old := f.breakEven(t, f.dtt)
+	new_ := f.breakEven(t, f.qdtt)
+	if new_ < 3*old {
+		t.Errorf("break-even shifted %.4f%% -> %.4f%%, want >= 3x shift",
+			old*100, new_*100)
+	}
+}
+
+func TestBreakEvenShiftSmallOnHDD(t *testing.T) {
+	f := newFixture(t, "hdd", 200000, 33)
+	old := f.breakEven(t, f.dtt)
+	new_ := f.breakEven(t, f.qdtt)
+	if old == 0 {
+		t.Fatal("degenerate old break-even")
+	}
+	if new_ > 8*old {
+		t.Errorf("HDD break-even shifted %.4f%% -> %.4f%%; want modest shift",
+			old*100, new_*100)
+	}
+}
+
+func TestBreakEvenSmallerWithMoreRowsPerPage(t *testing.T) {
+	// Table 2, reading down a column: more rows per page => smaller
+	// break-even selectivity.
+	be := func(rpp int) float64 {
+		f := newFixture(t, "ssd", 200000, rpp)
+		return f.breakEven(t, f.qdtt)
+	}
+	if b1, b33 := be(1), be(33); b33 >= b1 {
+		t.Errorf("break-even rpp=33 (%.3f%%) not below rpp=1 (%.3f%%)", b33*100, b1*100)
+	}
+	if b33, b500 := be(33), be(500); b500 >= b33 {
+		t.Errorf("break-even rpp=500 (%.4f%%) not below rpp=33 (%.4f%%)", b500*100, b33*100)
+	}
+}
+
+func TestEnumerateSortedAndChooseIsMin(t *testing.T) {
+	f := newFixture(t, "ssd", 50000, 33)
+	cfg := f.cfg
+	cfg.Model = f.qdtt
+	in := f.in
+	in.Lo, in.Hi = rangeFor(in.Table, 0.01)
+	plans := Enumerate(cfg, in)
+	if len(plans) != 12 { // {FTS, IS} x {1,2,4,8,16,32}
+		t.Fatalf("%d plans, want 12", len(plans))
+	}
+	for i := 1; i < len(plans); i++ {
+		if plans[i].TotalMicros < plans[i-1].TotalMicros {
+			t.Fatal("Enumerate not sorted by cost")
+		}
+	}
+	if got := Choose(cfg, in); got != plans[0] {
+		t.Error("Choose differs from cheapest enumerated plan")
+	}
+}
+
+func TestSelectivityClamping(t *testing.T) {
+	f := newFixture(t, "ssd", 1000, 33)
+	in := f.in
+	if got := selectivity(in, 0, 1<<40); got != 1 {
+		t.Errorf("overshooting hi: selectivity %f, want 1", got)
+	}
+	if got := selectivity(in, -100, -1); got != 0 {
+		t.Errorf("negative range: selectivity %f, want 0", got)
+	}
+	if got := selectivity(in, 0, 99); got != 0.1 {
+		t.Errorf("10%% range: selectivity %f, want 0.1", got)
+	}
+}
+
+func TestResidentPagesReduceEstimatedIO(t *testing.T) {
+	f := newFixture(t, "ssd", 50000, 33)
+	cfg := f.cfg
+	cfg.Model = f.qdtt
+	in := f.in
+	in.Lo, in.Hi = rangeFor(in.Table, 0.9)
+	cold := costFullScan(cfg, in, 1)
+
+	// Warm part of the heap into the pool, then re-cost.
+	for p := int64(0); p < 1000; p++ {
+		in.Pool.Prefetch(in.Table.File(), p)
+	}
+	warm := costFullScan(cfg, in, 1)
+	if warm.IOMicros >= cold.IOMicros {
+		t.Errorf("warm FTS I/O estimate %.0fus not below cold %.0fus",
+			warm.IOMicros, cold.IOMicros)
+	}
+	if warm.EstPageIO >= cold.EstPageIO {
+		t.Errorf("warm page estimate %.0f not below cold %.0f",
+			warm.EstPageIO, cold.EstPageIO)
+	}
+}
+
+func TestNilModelPanics(t *testing.T) {
+	f := newFixture(t, "ssd", 1000, 33)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic with nil model")
+		}
+	}()
+	Choose(f.cfg, f.in)
+}
+
+func TestPlanSpecRoundTrip(t *testing.T) {
+	f := newFixture(t, "ssd", 1000, 33)
+	in := f.in
+	in.Lo, in.Hi = 10, 99
+	p := Plan{Method: exec.IndexScan, Degree: 8}
+	spec := p.Spec(in)
+	if spec.Method != exec.IndexScan || spec.Degree != 8 ||
+		spec.Lo != 10 || spec.Hi != 99 || spec.Table != in.Table || spec.Index != in.Index {
+		t.Errorf("Spec round trip lost fields: %+v", spec)
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	p := Plan{Method: exec.IndexScan, Degree: 32, TotalMicros: 1000}
+	if got := p.String(); got[:6] != "PIS32 " {
+		t.Errorf("String() = %q, want PIS32 prefix", got)
+	}
+	p = Plan{Method: exec.FullScan, Degree: 1}
+	if got := p.String(); got[:4] != "FTS " {
+		t.Errorf("String() = %q, want FTS prefix", got)
+	}
+}

@@ -1,0 +1,146 @@
+// Package plot renders small ASCII line charts, used by cmd/pioqo-bench to
+// draw the paper's figures directly in a terminal. It is intentionally
+// minimal: multiple named series over shared axes, optional log scales, a
+// legend, and nothing else.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Options control the canvas.
+type Options struct {
+	Width  int // plot area columns (default 64)
+	Height int // plot area rows (default 16)
+	LogX   bool
+	LogY   bool
+	Title  string
+	XLabel string
+	YLabel string
+}
+
+// markers assigns one rune per series, cycling if there are many.
+var markers = []rune{'*', 'o', '+', 'x', '#', '@', '%', '~'}
+
+// Render draws the series onto one text canvas. Series points with
+// non-positive coordinates on a log axis are skipped.
+func Render(series []Series, o Options) string {
+	if o.Width <= 0 {
+		o.Width = 64
+	}
+	if o.Height <= 0 {
+		o.Height = 16
+	}
+
+	// Collect the visible points and the axis ranges.
+	type pt struct {
+		x, y float64
+		m    rune
+	}
+	var pts []pt
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if (o.LogX && x <= 0) || (o.LogY && y <= 0) {
+				continue
+			}
+			if o.LogX {
+				x = math.Log10(x)
+			}
+			if o.LogY {
+				y = math.Log10(y)
+			}
+			pts = append(pts, pt{x, y, m})
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if len(pts) == 0 {
+		return "(no plottable points)"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	// Paint the canvas, later series over earlier ones.
+	grid := make([][]rune, o.Height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", o.Width))
+	}
+	for _, p := range pts {
+		col := int((p.x - minX) / (maxX - minX) * float64(o.Width-1))
+		row := o.Height - 1 - int((p.y-minY)/(maxY-minY)*float64(o.Height-1))
+		grid[row][col] = p.m
+	}
+
+	var b strings.Builder
+	if o.Title != "" {
+		fmt.Fprintf(&b, "%s\n", o.Title)
+	}
+	yLo, yHi := axisValue(minY, o.LogY), axisValue(maxY, o.LogY)
+	for r, row := range grid {
+		label := "          "
+		if r == 0 {
+			label = fmt.Sprintf("%-10s", compact(yHi))
+		}
+		if r == o.Height-1 {
+			label = fmt.Sprintf("%-10s", compact(yLo))
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(row))
+	}
+	xLo, xHi := axisValue(minX, o.LogX), axisValue(maxX, o.LogX)
+	fmt.Fprintf(&b, "%s+%s\n", strings.Repeat(" ", 10), strings.Repeat("-", o.Width))
+	fmt.Fprintf(&b, "%s%-*s%s\n", strings.Repeat(" ", 11),
+		o.Width-len(compact(xHi)), compact(xLo), compact(xHi))
+	if o.XLabel != "" || o.YLabel != "" || o.LogX || o.LogY {
+		fmt.Fprintf(&b, "x: %s   y: %s", o.XLabel, o.YLabel)
+		if o.LogX || o.LogY {
+			fmt.Fprint(&b, "   (log scale)")
+		}
+		fmt.Fprintln(&b)
+	}
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintf(&b, "legend: %s", strings.Join(legend, "   "))
+	return b.String()
+}
+
+func axisValue(v float64, log bool) float64 {
+	if log {
+		return math.Pow(10, v)
+	}
+	return v
+}
+
+// compact formats an axis value tersely.
+func compact(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e9:
+		return fmt.Sprintf("%.3ge9", v/1e9)
+	case av >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	case av >= 1:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}

@@ -1,0 +1,108 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func lines(s string) []string { return strings.Split(s, "\n") }
+
+func TestRenderBasicShape(t *testing.T) {
+	out := Render([]Series{
+		{Name: "a", X: []float64{1, 2, 3}, Y: []float64{1, 2, 3}},
+	}, Options{Width: 20, Height: 5, Title: "T", XLabel: "x", YLabel: "y"})
+	if !strings.HasPrefix(out, "T\n") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "legend: * a") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	got := lines(out)
+	// title + 5 rows + axis + ticks + labels + legend
+	if len(got) != 10 {
+		t.Errorf("%d lines, want 10:\n%s", len(got), out)
+	}
+	// An increasing series puts a marker in the top row and the bottom row.
+	if !strings.Contains(got[1], "*") {
+		t.Errorf("top row empty for increasing series:\n%s", out)
+	}
+	if !strings.Contains(got[5], "*") {
+		t.Errorf("bottom row empty for increasing series:\n%s", out)
+	}
+}
+
+func TestRenderMonotoneMapping(t *testing.T) {
+	out := Render([]Series{
+		{Name: "up", X: []float64{0, 1}, Y: []float64{0, 10}},
+	}, Options{Width: 10, Height: 4})
+	rows := lines(out)
+	// Low x, low y -> bottom-left; high x, high y -> top-right.
+	top, bottom := rows[0], rows[3]
+	if strings.IndexRune(top, '*') < strings.IndexRune(bottom, '*') {
+		t.Errorf("mapping not monotone:\n%s", out)
+	}
+}
+
+func TestRenderMultipleSeriesDistinctMarkers(t *testing.T) {
+	out := Render([]Series{
+		{Name: "a", X: []float64{1}, Y: []float64{1}},
+		{Name: "b", X: []float64{2}, Y: []float64{2}},
+	}, Options{Width: 10, Height: 4})
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("markers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Errorf("legend wrong:\n%s", out)
+	}
+}
+
+func TestLogScaleSkipsNonPositive(t *testing.T) {
+	out := Render([]Series{
+		{Name: "a", X: []float64{0, 1, 10, 100}, Y: []float64{-1, 1, 10, 100}},
+	}, Options{Width: 30, Height: 6, LogX: true, LogY: true})
+	if strings.Contains(out, "(no plottable points)") {
+		t.Fatal("all points skipped")
+	}
+	count := strings.Count(out, "*")
+	if count != 4 { // legend marker + 3 valid points
+		t.Errorf("marker count %d, want 4 (3 points + legend):\n%s", count, out)
+	}
+	if !strings.Contains(out, "(log scale)") {
+		t.Error("log scale not labelled")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	if got := Render(nil, Options{}); got != "(no plottable points)" {
+		t.Errorf("empty render = %q", got)
+	}
+	got := Render([]Series{{Name: "a", X: []float64{-1}, Y: []float64{1}}},
+		Options{LogX: true})
+	if got != "(no plottable points)" {
+		t.Errorf("all-invalid render = %q", got)
+	}
+}
+
+func TestDegenerateRanges(t *testing.T) {
+	// A single point must not divide by zero.
+	out := Render([]Series{{Name: "a", X: []float64{5}, Y: []float64{7}}},
+		Options{Width: 10, Height: 4})
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestCompactFormatting(t *testing.T) {
+	cases := map[float64]string{
+		2_500_000_000: "2.5e9",
+		3_200_000:     "3.2M",
+		4_500:         "4.5k",
+		7:             "7",
+		0.25:          "0.25",
+	}
+	for v, want := range cases {
+		if got := compact(v); got != want {
+			t.Errorf("compact(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkEventThroughput measures raw scheduler throughput: how many
+// plain events the kernel fires per second of host time.
+func BenchmarkEventThroughput(b *testing.B) {
+	e := NewEnv(1)
+	var tick func()
+	fired := 0
+	tick = func() {
+		fired++
+		if fired < b.N {
+			e.Schedule(Microsecond, tick)
+		}
+	}
+	b.ResetTimer()
+	e.Schedule(Microsecond, tick)
+	e.Run()
+}
+
+// BenchmarkProcessContextSwitch measures the coroutine handoff cost: one
+// process sleeping is two channel operations per event.
+func BenchmarkProcessContextSwitch(b *testing.B) {
+	e := NewEnv(1)
+	e.Go("sleeper", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(Microsecond)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkManyProcesses interleaves 64 sleeping processes.
+func BenchmarkManyProcesses(b *testing.B) {
+	e := NewEnv(1)
+	const procs = 64
+	each := b.N/procs + 1
+	for w := 0; w < procs; w++ {
+		e.Go(fmt.Sprintf("p%d", w), func(p *Proc) {
+			for i := 0; i < each; i++ {
+				p.Sleep(Microsecond)
+			}
+		})
+	}
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkResourceContention measures acquire/release under queueing.
+func BenchmarkResourceContention(b *testing.B) {
+	e := NewEnv(1)
+	r := NewResource(e, "core", 4)
+	const procs = 16
+	each := b.N/procs + 1
+	for w := 0; w < procs; w++ {
+		e.Go(fmt.Sprintf("w%d", w), func(p *Proc) {
+			for i := 0; i < each; i++ {
+				p.Use(r, Microsecond)
+			}
+		})
+	}
+	b.ResetTimer()
+	e.Run()
+}

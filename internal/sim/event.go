@@ -1,0 +1,126 @@
+package sim
+
+// Completion is a one-shot event that processes can wait on and any context
+// (process, device callback, event callback) can fire. It is the rendezvous
+// used for asynchronous I/O: the issuer receives a *Completion when it
+// submits a request and waits on it when — and only if — it needs the result.
+//
+// Waiting on an already-fired Completion returns immediately, which makes
+// group waiting ("fire n, wait for all n in any order") trivial.
+type Completion struct {
+	env       *Env
+	fired     bool
+	at        Time
+	waiters   []*Proc
+	callbacks []func()
+}
+
+// NewCompletion returns an unfired completion bound to e.
+func NewCompletion(e *Env) *Completion {
+	return &Completion{env: e}
+}
+
+// Fired reports whether the completion has fired.
+func (c *Completion) Fired() bool { return c.fired }
+
+// FiredAt returns the virtual time the completion fired. It panics if the
+// completion has not fired.
+func (c *Completion) FiredAt() Time {
+	if !c.fired {
+		panic("sim: FiredAt on unfired completion")
+	}
+	return c.at
+}
+
+// Fire marks the completion done at the current virtual time and schedules
+// every waiter to resume. Firing twice panics: a completion represents a
+// single asynchronous result.
+func (c *Completion) Fire() {
+	if c.fired {
+		panic("sim: completion fired twice")
+	}
+	c.fired = true
+	c.at = c.env.now
+	waiters := c.waiters
+	c.waiters = nil
+	for _, p := range waiters {
+		p := p
+		c.env.Schedule(0, func() { c.env.handoff(p, "completion") })
+	}
+	callbacks := c.callbacks
+	c.callbacks = nil
+	for _, fn := range callbacks {
+		fn()
+	}
+}
+
+// OnFire registers fn to run (in event context, at the firing time) when c
+// fires. If c has already fired, fn runs immediately.
+func (c *Completion) OnFire(fn func()) {
+	if c.fired {
+		fn()
+		return
+	}
+	c.callbacks = append(c.callbacks, fn)
+}
+
+// Wait suspends the process until c fires. If c has already fired, Wait
+// returns immediately without yielding.
+func (p *Proc) Wait(c *Completion) {
+	if c.fired {
+		return
+	}
+	c.waiters = append(c.waiters, p)
+	p.park("completion")
+}
+
+// WaitAll suspends the process until every completion in cs has fired.
+func (p *Proc) WaitAll(cs []*Completion) {
+	for _, c := range cs {
+		p.Wait(c)
+	}
+}
+
+// WaitGroup counts outstanding work items across processes, like
+// sync.WaitGroup but in virtual time. Add and Done may be called from any
+// simulation context; Wait only from process context.
+type WaitGroup struct {
+	env     *Env
+	count   int
+	waiters []*Proc
+}
+
+// NewWaitGroup returns an empty wait group bound to e.
+func NewWaitGroup(e *Env) *WaitGroup {
+	return &WaitGroup{env: e}
+}
+
+// Add adds delta (which may be negative) to the counter. The counter going
+// negative panics. When the counter reaches zero, all waiters resume.
+func (w *WaitGroup) Add(delta int) {
+	w.count += delta
+	if w.count < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if w.count == 0 && len(w.waiters) > 0 {
+		waiters := w.waiters
+		w.waiters = nil
+		for _, p := range waiters {
+			p := p
+			w.env.Schedule(0, func() { w.env.handoff(p, "waitgroup") })
+		}
+	}
+}
+
+// Done decrements the counter by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// WaitFor suspends the process until the counter is zero. If it is already
+// zero, WaitFor returns immediately.
+func (p *Proc) WaitFor(w *WaitGroup) {
+	if w.count == 0 {
+		return
+	}
+	w.waiters = append(w.waiters, p)
+	p.park("waitgroup")
+}

@@ -1,0 +1,102 @@
+package sim
+
+import "fmt"
+
+// Resource is a counted resource with FIFO admission, used to model CPU
+// cores: a worker acquires a core to burn compute time and releases it while
+// blocked on I/O. Capacity is fixed at construction.
+type Resource struct {
+	env      *Env
+	name     string
+	capacity int
+	inUse    int
+	queue    []*resourceWaiter
+
+	// busyTime integrates (units in use) × (time), for utilisation reports.
+	busyTime    Duration
+	lastChange  Time
+	acquisitions int64
+}
+
+type resourceWaiter struct {
+	proc    *Proc
+	granted bool
+}
+
+// NewResource returns a resource with the given capacity (> 0).
+func NewResource(e *Env, name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: resource %q with capacity %d", name, capacity))
+	}
+	return &Resource{env: e, name: name, capacity: capacity}
+}
+
+// Capacity returns the total number of units.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of processes waiting for a unit.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+func (r *Resource) account() {
+	now := r.env.now
+	r.busyTime += Duration(now-r.lastChange) * Duration(r.inUse)
+	r.lastChange = now
+}
+
+// Utilization reports the time-averaged fraction of capacity in use since
+// the start of the simulation.
+func (r *Resource) Utilization() float64 {
+	if r.env.now == 0 {
+		return 0
+	}
+	r.account()
+	return float64(r.busyTime) / (float64(r.env.now) * float64(r.capacity))
+}
+
+// Acquire blocks the process until a unit of r is available and takes it.
+// Units are granted in FIFO order.
+func (p *Proc) Acquire(r *Resource) {
+	if r.inUse < r.capacity && len(r.queue) == 0 {
+		r.account()
+		r.inUse++
+		r.acquisitions++
+		return
+	}
+	w := &resourceWaiter{proc: p}
+	r.queue = append(r.queue, w)
+	p.park("resource " + r.name)
+	if !w.granted {
+		panic("sim: resumed without grant from resource " + r.name)
+	}
+}
+
+// Release returns one unit of r, waking the longest-waiting process if any.
+// It may be called from any simulation context. Releasing more units than
+// were acquired panics.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: release of idle resource " + r.name)
+	}
+	if len(r.queue) > 0 {
+		// Hand the unit directly to the next waiter: inUse is unchanged.
+		w := r.queue[0]
+		r.queue = r.queue[1:]
+		w.granted = true
+		r.acquisitions++
+		r.env.Schedule(0, func() { r.env.handoff(w.proc, "resource grant") })
+		return
+	}
+	r.account()
+	r.inUse--
+}
+
+// Use acquires a unit, holds it for d of virtual time, and releases it.
+// This is the common "burn CPU for d" idiom.
+func (p *Proc) Use(r *Resource, d Duration) {
+	p.Acquire(r)
+	p.Sleep(d)
+	r.Release()
+}

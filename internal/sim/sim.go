@@ -1,0 +1,257 @@
+// Package sim implements a deterministic discrete-event simulation (DES)
+// kernel with coroutine-style processes.
+//
+// All database operators, calibration drivers, and storage devices in this
+// repository run in virtual time on top of this kernel: the clock jumps from
+// event to event, exactly one process executes at a time, and reruns with the
+// same seed are bit-identical. This is what lets a parameter sweep that
+// models minutes of device time finish in milliseconds of host time.
+//
+// The programming model mirrors classic process-oriented simulators
+// (SimPy, CSIM): a process is an ordinary function running on its own
+// goroutine that blocks in virtual time via Proc.Sleep, Proc.Wait, or
+// Proc.Acquire. The scheduler guarantees mutual exclusion between
+// processes, so simulation state needs no locking.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring the time package.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Micros reports d as a floating-point number of microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+// Millis reports d as a floating-point number of milliseconds.
+func (d Duration) Millis() float64 { return float64(d) / float64(Millisecond) }
+
+// Seconds reports d as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+func (d Duration) String() string {
+	switch {
+	case d < Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < Millisecond:
+		return fmt.Sprintf("%.2fus", d.Micros())
+	case d < Second:
+		return fmt.Sprintf("%.3fms", d.Millis())
+	default:
+		return fmt.Sprintf("%.4fs", d.Seconds())
+	}
+}
+
+// Sub reports the duration t - u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Add reports the time t + d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// event is a scheduled callback. Events with equal times fire in the order
+// they were scheduled (seq breaks ties), which keeps the simulation
+// deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Env is a simulation environment: a virtual clock, an event queue, and the
+// set of live processes. An Env is not safe for concurrent use from host
+// goroutines; all interaction happens from process context or between calls
+// to Run.
+type Env struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+
+	yield  chan struct{} // signalled when the running process parks or exits
+	live   map[*Proc]struct{}
+	parked map[*Proc]string // parked process -> wait reason, for deadlock reports
+
+	// panicked carries a panic raised inside a process goroutine so that it
+	// can be re-raised on the scheduler goroutine, where callers of Run can
+	// recover it.
+	panicked interface{}
+}
+
+// NewEnv returns an environment whose clock reads zero and whose random
+// source is seeded with seed. Two environments built with the same seed and
+// driven by the same process logic produce identical event sequences.
+func NewEnv(seed int64) *Env {
+	return &Env{
+		rng:    rand.New(rand.NewSource(seed)),
+		yield:  make(chan struct{}),
+		live:   make(map[*Proc]struct{}),
+		parked: make(map[*Proc]string),
+	}
+}
+
+// Now reports the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Rand returns the environment's deterministic random source.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// Schedule registers fn to run at time e.Now()+d. It may be called from
+// process context or from another event callback. Scheduling into the past
+// panics: it would make the clock non-monotonic.
+func (e *Env) Schedule(d Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: scheduling %v into the past", d))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: e.now.Add(d), seq: e.seq, fn: fn})
+}
+
+// Proc is a simulation process: a goroutine that runs under the scheduler's
+// control and blocks in virtual time. Methods on Proc must only be called
+// from the process's own goroutine.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan struct{}
+	done   bool
+}
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the diagnostic name the process was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Go spawns fn as a new process named name. The process starts at the
+// current virtual time, after the caller yields. Go may be called before Run
+// or from any process or event context.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	e.live[p] = struct{}{}
+	e.Schedule(0, func() {
+		go func() {
+			<-p.resume // wait for the scheduler to hand over control
+			defer func() {
+				if r := recover(); r != nil {
+					e.panicked = r
+				}
+				p.done = true
+				delete(e.live, p)
+				e.yield <- struct{}{}
+			}()
+			fn(p)
+		}()
+		e.handoff(p, "start")
+	})
+	return p
+}
+
+// handoff transfers control to p and blocks until p parks or exits. It must
+// run on the scheduler's goroutine (inside an event callback).
+func (e *Env) handoff(p *Proc, why string) {
+	delete(e.parked, p)
+	_ = why
+	p.resume <- struct{}{}
+	<-e.yield
+	if r := e.panicked; r != nil {
+		e.panicked = nil
+		panic(r)
+	}
+}
+
+// park suspends the calling process, recording why for deadlock reports, and
+// returns control to the scheduler until the process is resumed.
+func (p *Proc) park(why string) {
+	p.env.parked[p] = why
+	p.env.yield <- struct{}{}
+	<-p.resume
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: %s sleeping %v", p.name, d))
+	}
+	e := p.env
+	e.Schedule(d, func() { e.handoff(p, "sleep") })
+	p.park(fmt.Sprintf("sleeping %v", d))
+}
+
+// Run drives the simulation until the event queue is empty. It returns the
+// final virtual time. If processes are still parked when the queue drains,
+// the simulation has deadlocked and Run panics with the parked processes'
+// names and wait reasons.
+func (e *Env) Run() Time {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.at < e.now {
+			panic("sim: event queue went backwards")
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	if len(e.parked) > 0 {
+		var stuck []string
+		for p, why := range e.parked {
+			stuck = append(stuck, fmt.Sprintf("%s (%s)", p.name, why))
+		}
+		sort.Strings(stuck)
+		panic(fmt.Sprintf("sim: deadlock at t=%v: %d process(es) still waiting: %v",
+			Duration(e.now), len(stuck), stuck))
+	}
+	return e.now
+}
+
+// RunUntil drives the simulation until the event queue is empty or the clock
+// would pass deadline. Events at exactly deadline still fire. It reports
+// whether the queue drained (true) or the deadline cut the run short (false).
+func (e *Env) RunUntil(deadline Time) bool {
+	for len(e.events) > 0 {
+		if e.events[0].at > deadline {
+			return false
+		}
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	return true
+}

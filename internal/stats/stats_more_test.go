@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"pioqo/internal/table"
+)
+
+func TestDistinctCounts(t *testing.T) {
+	// Synthetic-style uniqueness is easiest to check with a tiny domain:
+	// materialized uniform draws over [0, n) collide, Zipf collides harder.
+	uni := table.NewMaterialized(newManager(), "u", 10000, 33, 4)
+	zipf := table.NewMaterializedZipf(newManager(), "z", 10000, 33, 4, 1.5)
+	hu, hz := BuildHistogram(uni, 0), BuildHistogram(zipf, 0)
+
+	if hu.Distinct() <= hz.Distinct() {
+		t.Errorf("uniform distinct %d not above zipf distinct %d",
+			hu.Distinct(), hz.Distinct())
+	}
+	// Uniform draws of n values from n keys leave ~63.2% distinct.
+	ratio := hu.DistinctRatio()
+	if ratio < 0.55 || ratio > 0.72 {
+		t.Errorf("uniform distinct ratio %.3f, want ~0.632", ratio)
+	}
+	if hz.DistinctRatio() > 0.35 {
+		t.Errorf("zipf(1.5) distinct ratio %.3f, want heavily collapsed", hz.DistinctRatio())
+	}
+	// Exact cross-check against a brute-force count.
+	seen := map[int64]bool{}
+	for r := int64(0); r < uni.Rows(); r++ {
+		seen[uni.RowAt(r).C2] = true
+	}
+	if int64(len(seen)) != hu.Distinct() {
+		t.Errorf("Distinct() = %d, brute force %d", hu.Distinct(), len(seen))
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := BuildHistogram(table.NewMaterialized(newManager(), "t", 1000, 10, 1), 8)
+	s := h.String()
+	for _, want := range []string{"8 buckets", "rows=1000"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestEmptyishHistogramSelectivity(t *testing.T) {
+	h := &Histogram{domain: 100, width: 10, buckets: make([]int64, 10)}
+	if got := h.Selectivity(0, 99); got != 0 {
+		t.Errorf("zero-row selectivity = %f", got)
+	}
+}

@@ -1,0 +1,171 @@
+package table
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pioqo/internal/device"
+	"pioqo/internal/disk"
+	"pioqo/internal/sim"
+)
+
+func newManager() *disk.Manager {
+	return disk.NewManager(device.NewSSD(sim.NewEnv(1), device.DefaultSSDConfig()))
+}
+
+func TestPageOf(t *testing.T) {
+	cases := []struct {
+		row  int64
+		rpp  int
+		want int64
+	}{
+		{0, 33, 0}, {32, 33, 0}, {33, 33, 1}, {99, 1, 99}, {499, 500, 0}, {500, 500, 1},
+	}
+	for _, c := range cases {
+		if got := PageOf(c.row, c.rpp); got != c.want {
+			t.Errorf("PageOf(%d, %d) = %d, want %d", c.row, c.rpp, got, c.want)
+		}
+	}
+}
+
+func TestMaterializedShape(t *testing.T) {
+	m := newManager()
+	tb := NewMaterialized(m, "t33", 1000, 33, 1)
+	if tb.Pages() != 31 { // ceil(1000/33)
+		t.Errorf("Pages = %d, want 31", tb.Pages())
+	}
+	if tb.File().Pages() != tb.Pages() {
+		t.Errorf("file extent %d pages, table reports %d", tb.File().Pages(), tb.Pages())
+	}
+	if tb.KeyDomain() != 1000 {
+		t.Errorf("KeyDomain = %d, want 1000", tb.KeyDomain())
+	}
+}
+
+func TestMaterializedValuesInDomain(t *testing.T) {
+	m := newManager()
+	tb := NewMaterialized(m, "t", 500, 33, 7)
+	for r := int64(0); r < tb.Rows(); r++ {
+		row := tb.RowAt(r)
+		if row.C1 < 0 || row.C1 >= 500 || row.C2 < 0 || row.C2 >= 500 {
+			t.Fatalf("row %d = %+v outside domain [0,500)", r, row)
+		}
+	}
+}
+
+func TestMaterializedDeterministicBySeed(t *testing.T) {
+	a := NewMaterialized(newManager(), "t", 200, 10, 42)
+	b := NewMaterialized(newManager(), "t", 200, 10, 42)
+	for r := int64(0); r < 200; r++ {
+		if a.RowAt(r) != b.RowAt(r) {
+			t.Fatalf("row %d differs across same-seed builds", r)
+		}
+	}
+}
+
+func TestSyntheticKeysAreAPermutation(t *testing.T) {
+	tb := NewSynthetic(newManager(), "t", 1000, 33, 3)
+	seen := make(map[int64]bool, 1000)
+	for r := int64(0); r < 1000; r++ {
+		k := tb.RowAt(r).C2
+		if k < 0 || k >= 1000 {
+			t.Fatalf("key %d outside domain", k)
+		}
+		if seen[k] {
+			t.Fatalf("key %d occurs twice", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestSyntheticInverseRoundTrip(t *testing.T) {
+	tb := NewSynthetic(newManager(), "t", 997, 7, 11) // prime cardinality
+	for r := int64(0); r < tb.Rows(); r++ {
+		if got := tb.RowForKey(tb.RowAt(r).C2); got != r {
+			t.Fatalf("RowForKey(key(%d)) = %d", r, got)
+		}
+	}
+}
+
+func TestSyntheticKeyRangeScattersAcrossPages(t *testing.T) {
+	// The rows matching a small key range should spread over many pages,
+	// like a uniform random column, not cluster in a few.
+	tb := NewSynthetic(newManager(), "t", 100000, 100, 5)
+	pages := make(map[int64]bool)
+	for k := int64(0); k < 500; k++ {
+		pages[PageOf(tb.RowForKey(k), 100)] = true
+	}
+	if len(pages) < 300 {
+		t.Errorf("500 consecutive keys hit only %d distinct pages, want scatter >= 300", len(pages))
+	}
+}
+
+func TestSyntheticOutOfDomainKeyPanics(t *testing.T) {
+	tb := NewSynthetic(newManager(), "t", 100, 10, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-domain key")
+		}
+	}()
+	tb.RowForKey(100)
+}
+
+func TestZeroRowsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero-row table")
+		}
+	}()
+	NewSynthetic(newManager(), "t", 0, 10, 1)
+}
+
+func TestModInverse(t *testing.T) {
+	cases := []struct{ a, n int64 }{{3, 10}, {7, 26}, {617, 1000}, {999999937, 1 << 40}}
+	for _, c := range cases {
+		inv := modInverse(c.a, c.n)
+		if mulMod(c.a, inv, c.n) != 1 {
+			t.Errorf("modInverse(%d, %d) = %d, product != 1", c.a, c.n, inv)
+		}
+	}
+}
+
+func TestMulModMatchesBigIntuition(t *testing.T) {
+	// Values small enough to check directly.
+	for a := int64(0); a < 50; a++ {
+		for b := int64(0); b < 50; b++ {
+			if got, want := mulMod(a, b, 37), (a*b)%37; got != want {
+				t.Fatalf("mulMod(%d,%d,37) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+// Property: for any table size, the affine map is a bijection — inverting
+// any key yields a row that maps back to that key.
+func TestPropertySyntheticBijection(t *testing.T) {
+	f := func(rowsRaw uint16, keyRaw uint16, seed int64) bool {
+		rows := int64(rowsRaw%5000) + 2
+		tb := NewSynthetic(newManager(), "t", rows, 10, seed)
+		key := int64(keyRaw) % rows
+		r := tb.RowForKey(key)
+		return r >= 0 && r < rows && tb.RowAt(r).C2 == key
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: pages × rows-per-page covers all rows with less than one spare
+// page of slack.
+func TestPropertyPageCount(t *testing.T) {
+	f := func(rowsRaw uint16, rppRaw uint8) bool {
+		rows := int64(rowsRaw) + 1
+		rpp := int(rppRaw%200) + 1
+		tb := NewSynthetic(newManager(), "t", rows, rpp, 1)
+		p := tb.Pages()
+		return p*int64(rpp) >= rows && (p-1)*int64(rpp) < rows
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,160 @@
+// Package trace provides time-series instrumentation over simulated
+// devices: a sampler that records the device queue depth over virtual
+// time, and summary statistics over the samples.
+//
+// The paper relies on exactly this view (§2): "By profiling the I/O queue
+// depth of the SSD during the execution of the PIS operator using n
+// workers, a queue depth of n is clearly observable." The profiler
+// reproduces that observable for any operator run.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"pioqo/internal/device"
+	"pioqo/internal/sim"
+)
+
+// Sample is one reading of the device's outstanding request count.
+type Sample struct {
+	At    sim.Time
+	Depth int
+}
+
+// Profile is a queue-depth time series.
+type Profile struct {
+	Samples  []Sample
+	Interval sim.Duration
+}
+
+// Profiler samples a device's queue depth on a fixed virtual-time period.
+// Start it before the work of interest; it stops automatically when the
+// simulation goes idle (its sampling stops scheduling once stopped
+// explicitly, or keeps the run alive otherwise — so call Stop from the
+// driving process when the measured work completes).
+type Profiler struct {
+	env      *sim.Env
+	dev      device.Device
+	interval sim.Duration
+	profile  Profile
+	stopped  bool
+}
+
+// NewProfiler returns a profiler sampling dev every interval.
+func NewProfiler(env *sim.Env, dev device.Device, interval sim.Duration) *Profiler {
+	if interval <= 0 {
+		panic("trace: non-positive sampling interval")
+	}
+	return &Profiler{env: env, dev: dev, interval: interval,
+		profile: Profile{Interval: interval}}
+}
+
+// Start begins sampling at the current virtual time.
+func (p *Profiler) Start() {
+	p.stopped = false
+	p.tick()
+}
+
+func (p *Profiler) tick() {
+	if p.stopped {
+		return
+	}
+	p.profile.Samples = append(p.profile.Samples, Sample{
+		At:    p.env.Now(),
+		Depth: p.dev.Metrics().Outstanding(),
+	})
+	p.env.Schedule(p.interval, p.tick)
+}
+
+// Stop ends sampling; the scheduled next tick becomes a no-op.
+func (p *Profiler) Stop() { p.stopped = true }
+
+// Profile returns the collected series.
+func (p *Profiler) Profile() Profile { return p.profile }
+
+// Stats summarises a profile.
+type Stats struct {
+	Samples int
+	Mean    float64
+	Max     int
+	// P50 and P90 are depth percentiles across samples.
+	P50, P90 int
+}
+
+// Stats computes summary statistics over the series, ignoring leading and
+// trailing zero-depth samples (ramp-up and drain).
+func (pr Profile) Stats() Stats {
+	samples := pr.Samples
+	for len(samples) > 0 && samples[0].Depth == 0 {
+		samples = samples[1:]
+	}
+	for len(samples) > 0 && samples[len(samples)-1].Depth == 0 {
+		samples = samples[:len(samples)-1]
+	}
+	st := Stats{Samples: len(samples)}
+	if len(samples) == 0 {
+		return st
+	}
+	depths := make([]int, len(samples))
+	sum := 0
+	for i, s := range samples {
+		depths[i] = s.Depth
+		sum += s.Depth
+		if s.Depth > st.Max {
+			st.Max = s.Depth
+		}
+	}
+	sort.Ints(depths)
+	st.Mean = float64(sum) / float64(len(depths))
+	st.P50 = depths[len(depths)/2]
+	st.P90 = depths[int(math.Ceil(float64(len(depths))*0.9))-1]
+	return st
+}
+
+// Histogram renders the series as a textual depth histogram with the given
+// number of buckets over the observed depth range — a quick visual check
+// that an operator sustains its intended queue depth.
+func (pr Profile) Histogram(buckets int) string {
+	st := pr.Stats()
+	if st.Samples == 0 || buckets <= 0 {
+		return "(no samples)"
+	}
+	if buckets > st.Max+1 {
+		buckets = st.Max + 1
+	}
+	counts := make([]int, buckets)
+	width := float64(st.Max+1) / float64(buckets)
+	for _, s := range pr.Samples {
+		if s.Depth == 0 {
+			continue
+		}
+		b := int(float64(s.Depth) / width)
+		if b >= buckets {
+			b = buckets - 1
+		}
+		counts[b]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range counts {
+		lo := int(float64(i) * width)
+		hi := int(float64(i+1)*width) - 1
+		if hi < lo {
+			hi = lo
+		}
+		bar := ""
+		if maxCount > 0 {
+			bar = strings.Repeat("#", c*40/maxCount)
+		}
+		fmt.Fprintf(&b, "qd %3d-%3d | %-40s %d\n", lo, hi, bar, c)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"pioqo/internal/device"
+	"pioqo/internal/exec"
+	"pioqo/internal/sim"
+	"pioqo/internal/workload"
+)
+
+func TestProfilerObservesPISQueueDepth(t *testing.T) {
+	// §2 of the paper: PIS with n workers sustains a device queue depth
+	// of n. Profile an 8-way PIS and check the plateau.
+	s := workload.New(workload.Options{
+		Device: workload.SSD, Rows: 60000, RowsPerPage: 1,
+		PoolPages: 512, Synthetic: true,
+	})
+	prof := NewProfiler(s.Env, s.Dev, 500*sim.Microsecond)
+	lo, hi := s.RangeFor(0.3)
+	spec := s.Spec(exec.IndexScan, 8, lo, hi)
+
+	var res exec.Result
+	s.Env.Go("query", func(p *sim.Proc) {
+		prof.Start()
+		res = exec.RunScan(p, s.Ctx, spec)
+		prof.Stop()
+	})
+	s.Env.Run()
+	if res.RowsMatched == 0 {
+		t.Fatal("query matched nothing")
+	}
+	st := prof.Profile().Stats()
+	if st.Samples < 50 {
+		t.Fatalf("only %d samples; interval too coarse for this run", st.Samples)
+	}
+	if st.P50 != 8 {
+		t.Errorf("median queue depth = %d, want 8 (PIS with 8 workers)", st.P50)
+	}
+	if st.Mean < 6 || st.Mean > 9 {
+		t.Errorf("mean queue depth = %.1f, want ~8", st.Mean)
+	}
+	if st.Max > 10 {
+		t.Errorf("max queue depth = %d, want bounded near 8", st.Max)
+	}
+}
+
+func TestProfilerIdleDeviceReadsZero(t *testing.T) {
+	env := sim.NewEnv(1)
+	dev := device.NewSSD(env, device.DefaultSSDConfig())
+	prof := NewProfiler(env, dev, sim.Millisecond)
+	env.Go("idle", func(p *sim.Proc) {
+		prof.Start()
+		p.Sleep(10 * sim.Millisecond)
+		prof.Stop()
+	})
+	env.Run()
+	st := prof.Profile().Stats()
+	if st.Samples != 0 {
+		t.Errorf("idle profile has %d non-zero-trimmed samples, want 0", st.Samples)
+	}
+}
+
+func TestStatsPercentiles(t *testing.T) {
+	pr := Profile{}
+	for i, d := range []int{0, 2, 4, 4, 4, 8, 0} { // zeros trimmed
+		pr.Samples = append(pr.Samples, Sample{At: sim.Time(i), Depth: d})
+	}
+	st := pr.Stats()
+	if st.Samples != 5 {
+		t.Fatalf("samples = %d, want 5 after trimming", st.Samples)
+	}
+	if st.P50 != 4 || st.Max != 8 {
+		t.Errorf("p50=%d max=%d, want 4 and 8", st.P50, st.Max)
+	}
+	if st.Mean != 4.4 {
+		t.Errorf("mean = %f, want 4.4", st.Mean)
+	}
+	if st.P90 != 8 {
+		t.Errorf("p90 = %d, want 8", st.P90)
+	}
+}
+
+func TestHistogramRenders(t *testing.T) {
+	pr := Profile{}
+	for i := 0; i < 100; i++ {
+		pr.Samples = append(pr.Samples, Sample{At: sim.Time(i), Depth: 1 + i%4})
+	}
+	out := pr.Histogram(4)
+	if !strings.Contains(out, "#") {
+		t.Errorf("histogram has no bars:\n%s", out)
+	}
+	if len(strings.Split(out, "\n")) != 4 {
+		t.Errorf("histogram rows != 4:\n%s", out)
+	}
+	if got := (Profile{}).Histogram(4); got != "(no samples)" {
+		t.Errorf("empty profile histogram = %q", got)
+	}
+}
+
+func TestBadIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero interval")
+		}
+	}()
+	env := sim.NewEnv(1)
+	NewProfiler(env, device.NewSSD(env, device.DefaultSSDConfig()), 0)
+}

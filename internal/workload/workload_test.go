@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"testing"
+
+	"pioqo/internal/exec"
+)
+
+func TestTable1HasSixConfigs(t *testing.T) {
+	cfgs := Table1()
+	if len(cfgs) != 6 {
+		t.Fatalf("%d configs, want 6", len(cfgs))
+	}
+	wantRPP := map[string]int{
+		"E1-HDD": 1, "E1-SSD": 1,
+		"E33-HDD": 33, "E33-SSD": 33,
+		"E500-HDD": 500, "E500-SSD": 500,
+	}
+	for _, c := range cfgs {
+		if want, ok := wantRPP[c.Name]; !ok || c.RowsPerPage != want {
+			t.Errorf("config %q rpp=%d unexpected", c.Name, c.RowsPerPage)
+		}
+	}
+}
+
+func TestNewSystemDefaults(t *testing.T) {
+	s := New(Options{Device: SSD})
+	if s.Table.Rows() != 200000 || s.Table.RowsPerPage() != 33 {
+		t.Errorf("default table %dx%d, want 200000x33", s.Table.Rows(), s.Table.RowsPerPage())
+	}
+	if s.Pool.Capacity() != 2048 {
+		t.Errorf("pool capacity %d, want 2048", s.Pool.Capacity())
+	}
+	if s.CPU.Capacity() != 8 {
+		t.Errorf("cores %d, want 8", s.CPU.Capacity())
+	}
+}
+
+func TestSyntheticAndMaterializedAgree(t *testing.T) {
+	run := func(synthetic bool) exec.Result {
+		s := New(Options{Device: SSD, Rows: 5000, Synthetic: synthetic})
+		lo, hi := s.RangeFor(0.02)
+		return s.Run(s.Spec(exec.IndexScan, 4, lo, hi), true)
+	}
+	mat, syn := run(false), run(true)
+	// Different data distributions, but both must match ~2% of rows.
+	for _, r := range []exec.Result{mat, syn} {
+		if r.RowsMatched < 50 || r.RowsMatched > 150 {
+			t.Errorf("2%% of 5000 rows matched %d, want ~100", r.RowsMatched)
+		}
+	}
+}
+
+func TestRangeForSelectivity(t *testing.T) {
+	s := New(Options{Device: SSD, Rows: 10000, Synthetic: true})
+	lo, hi := s.RangeFor(0.1)
+	if lo != 0 || hi != 999 {
+		t.Errorf("RangeFor(0.1) = [%d,%d], want [0,999]", lo, hi)
+	}
+	lo, hi = s.RangeFor(0)
+	if hi != 0 {
+		t.Errorf("RangeFor(0) hi = %d, want 0", hi)
+	}
+	lo, hi = s.RangeFor(5) // clamped
+	if hi != 9999 {
+		t.Errorf("RangeFor(5) hi = %d, want 9999", hi)
+	}
+}
+
+func TestColdRunFlushesPool(t *testing.T) {
+	s := New(Options{Device: SSD, Rows: 5000})
+	lo, hi := s.RangeFor(0.5)
+	first := s.Run(s.Spec(exec.FullScan, 1, lo, hi), true)
+	second := s.Run(s.Spec(exec.FullScan, 1, lo, hi), true)
+	if second.IO.Requests == 0 {
+		t.Error("cold rerun issued no I/O; pool not flushed")
+	}
+	if diff := second.Runtime - first.Runtime; diff > first.Runtime/10 || -diff > first.Runtime/10 {
+		t.Errorf("two cold runs differ: %v vs %v", first.Runtime, second.Runtime)
+	}
+	warm := s.Run(s.Spec(exec.FullScan, 1, lo, hi), false)
+	if warm.Runtime >= first.Runtime {
+		t.Errorf("warm run %v not faster than cold %v", warm.Runtime, first.Runtime)
+	}
+}
+
+func TestAllDeviceKindsBuild(t *testing.T) {
+	for _, k := range []DeviceKind{SSD, HDD, RAID8} {
+		s := New(Options{Device: k, Rows: 1000})
+		lo, hi := s.RangeFor(0.01)
+		res := s.Run(s.Spec(exec.IndexScan, 2, lo, hi), true)
+		if res.RowsMatched == 0 {
+			t.Errorf("%v: no rows matched", k)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package pioqo
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pioqo/internal/exec"
+	"pioqo/internal/opt"
+)
+
+// JoinQuery is an equi-join over two tables' C2 columns with a range
+// predicate on the join key:
+//
+//	SELECT <Agg>(probe.C1) FROM probe JOIN build ON probe.C2 = build.C2
+//	WHERE build.C2 BETWEEN Low AND High
+//
+// Joins are an extension beyond the paper's evaluation (its conclusion
+// defers "more complex database operators" to future research); both sides
+// are planned with the same QDTT-aware access-path selection as single
+// scans.
+type JoinQuery struct {
+	Build,
+	Probe *Table
+	Low,
+	High int64
+	Agg Aggregate
+}
+
+// JoinResult reports an executed join.
+type JoinResult struct {
+	// Value is the aggregate over probe-side C1 across joined pairs.
+	Value int64
+	Found bool
+	// Pairs is the number of joined pairs; BuildRows and ProbeRows count
+	// the rows each side's scan produced.
+	Pairs     int64
+	BuildRows int64
+	ProbeRows int64
+	// Method is the chosen join algorithm: "HashJoin" or "IndexNLJoin".
+	Method string
+	// BuildPlan and ProbePlan are the chosen access paths (for an index
+	// nested-loop join, ProbePlan describes the per-key lookup degree).
+	BuildPlan Plan
+	ProbePlan Plan
+	Runtime   time.Duration
+}
+
+// JoinPlan describes the optimizer's choice for a join without running it.
+type JoinPlan struct {
+	// Method is "HashJoin" or "IndexNLJoin".
+	Method string
+	Build  Plan
+	Probe  Plan
+	// EstimatedCost is the total join estimate.
+	EstimatedCost time.Duration
+}
+
+func (p JoinPlan) String() string {
+	return fmt.Sprintf("%s (build %v, probe %v, cost %v)",
+		p.Method, p.Build, p.Probe, p.EstimatedCost)
+}
+
+// PlanJoin returns the optimizer's join plan without executing it.
+func (s *System) PlanJoin(q JoinQuery, o PlanOptions) (JoinPlan, error) {
+	jp, _, _, err := s.planJoin(q, o)
+	if err != nil {
+		return JoinPlan{}, err
+	}
+	return JoinPlan{
+		Method:        jp.Method.String(),
+		Build:         fromInternalPlan(jp.Build),
+		Probe:         fromInternalPlan(jp.Probe),
+		EstimatedCost: time.Duration(jp.TotalMicros * 1e3),
+	}, nil
+}
+
+func (s *System) planJoin(q JoinQuery, po PlanOptions) (opt.JoinPlan, opt.Input, opt.Input, error) {
+	if q.Build == nil || q.Probe == nil {
+		return opt.JoinPlan{}, opt.Input{}, opt.Input{}, errors.New("pioqo: join requires both tables")
+	}
+	cfg, buildIn, err := s.optConfig(Query{Table: q.Build, Low: q.Low, High: q.High, Agg: q.Agg}, po)
+	if err != nil {
+		return opt.JoinPlan{}, opt.Input{}, opt.Input{}, err
+	}
+	_, probeIn, err := s.optConfig(Query{Table: q.Probe, Low: q.Low, High: q.High, Agg: q.Agg}, po)
+	if err != nil {
+		return opt.JoinPlan{}, opt.Input{}, opt.Input{}, err
+	}
+	return opt.ChooseJoin(cfg, buildIn, probeIn), buildIn, probeIn, nil
+}
+
+// ExecuteJoin optimizes and runs a join. Both sides require an index only
+// if their chosen plan needs one; unindexed tables simply restrict the
+// planner (to full scans, and to the hash join on the probe side).
+func (s *System) ExecuteJoin(q JoinQuery, opts ...ExecOption) (JoinResult, error) {
+	var eo execOptions
+	for _, o := range opts {
+		o(&eo)
+	}
+	if eo.cold {
+		// Flush before planning: residency statistics feed the optimizer.
+		s.pool.Flush()
+	}
+	jp, buildIn, probeIn, err := s.planJoin(q, eo.plan)
+	if err != nil {
+		return JoinResult{}, err
+	}
+	spec := jp.Specs(buildIn, probeIn, q.Agg.internal())
+	start := s.env.Now()
+	res := exec.ExecuteJoin(s.execContext(), spec)
+	buildPlan, _ := s.planFromSpec(spec.Build)
+	probePlan, _ := s.planFromSpec(spec.Probe)
+	return JoinResult{
+		Value:     res.Value,
+		Found:     res.Found,
+		Pairs:     res.Pairs,
+		BuildRows: res.BuildRows,
+		ProbeRows: res.ProbeRows,
+		Method:    spec.Method.String(),
+		BuildPlan: buildPlan,
+		ProbePlan: probePlan,
+		Runtime:   time.Duration(s.env.Now() - start),
+	}, nil
+}

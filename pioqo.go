@@ -1,0 +1,261 @@
+// Package pioqo is a parallel-I/O-aware query optimization engine — a full
+// reproduction of "Parallel I/O Aware Query Optimization" (Ghodsnia, Bowman,
+// Nica; SIGMOD 2014).
+//
+// The package bundles a deterministic virtual-time storage stack (HDD, SSD,
+// and RAID0 device models; buffer pool; heap tables; B+-tree index), the
+// paper's four access methods (full table scan and index scan, serial and
+// intra-query parallel, with asynchronous prefetching), and its two I/O cost
+// models: the classic band-size-only DTT model and the queue-depth-aware
+// QDTT model that is the paper's contribution. A calibration pass measures
+// the attached device and produces the QDTT model; the cost-based optimizer
+// then chooses access method and parallel degree per query.
+//
+// A minimal session:
+//
+//	sys := pioqo.New(pioqo.Config{Device: pioqo.SSD})
+//	tab, _ := sys.CreateTable("orders", 200_000, 33)
+//	cal, _ := sys.Calibrate(pioqo.CalibrationOptions{})
+//	res, _ := sys.Execute(pioqo.Query{Table: tab, Low: 0, High: 999})
+//	fmt.Println(res.Value, res.Runtime)
+//
+// Everything runs in simulated time: Execute's Result.Runtime is the
+// modelled wall-clock of the query on the modelled device, typically
+// computed in well under a millisecond of host time.
+package pioqo
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"pioqo/internal/btree"
+	"pioqo/internal/buffer"
+	"pioqo/internal/cost"
+	"pioqo/internal/device"
+	"pioqo/internal/disk"
+	"pioqo/internal/exec"
+	"pioqo/internal/sim"
+	"pioqo/internal/stats"
+	"pioqo/internal/table"
+	"pioqo/internal/workload"
+)
+
+// DeviceKind selects the simulated storage device backing a System.
+type DeviceKind = workload.DeviceKind
+
+// Available device models: a consumer PCIe SSD (~1.5 GB/s sequential,
+// ~200 K IOPS at queue depth 32), a commodity 7200 RPM hard drive
+// (~110 MB/s sequential), a stripe set of eight 15 kRPM spindles, a
+// SATA-generation SSD (beneficial queue depth ~16), and a datacenter NVMe
+// drive (beneficial depth beyond 32) — the "range of storage technologies"
+// the paper argues a calibrated cost model must span.
+const (
+	SSD   = workload.SSD
+	HDD   = workload.HDD
+	RAID8 = workload.RAID8
+	SATA  = workload.SATA
+	NVME  = workload.NVME
+)
+
+// Config sizes a System. Zero values take the documented defaults.
+type Config struct {
+	// Device is the storage model to attach. Default SSD.
+	Device DeviceKind
+
+	// PoolPages is the buffer pool size in 4 KiB frames. Default 16384
+	// (64 MiB, the paper's small-pool setting).
+	PoolPages int
+
+	// Cores is the number of logical CPU cores. Default 8.
+	Cores int
+
+	// Seed makes all data generation and device behaviour reproducible.
+	// Default 1.
+	Seed int64
+}
+
+// System is a single-user analytical engine over one simulated device. It
+// is not safe for concurrent use by multiple host goroutines; queries
+// within it execute with intra-query parallelism in virtual time.
+type System struct {
+	env     *sim.Env
+	dev     device.Device
+	manager *disk.Manager
+	pool    *buffer.Pool
+	cpu     *sim.Resource
+	costs   exec.CPUCosts
+	cores   int
+	seed    int64
+
+	tables map[string]*Table
+	model  *cost.QDTT
+}
+
+// New builds a system per cfg.
+func New(cfg Config) *System {
+	if cfg.PoolPages == 0 {
+		cfg.PoolPages = 16384
+	}
+	if cfg.Cores == 0 {
+		cfg.Cores = 8
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	env := sim.NewEnv(cfg.Seed)
+	dev := workload.NewDevice(env, cfg.Device)
+	return &System{
+		env:     env,
+		dev:     dev,
+		manager: disk.NewManager(dev),
+		pool:    buffer.NewPool(env, cfg.PoolPages),
+		cpu:     sim.NewResource(env, "cpu", cfg.Cores),
+		costs:   exec.DefaultCPUCosts(),
+		cores:   cfg.Cores,
+		seed:    cfg.Seed,
+		tables:  make(map[string]*Table),
+	}
+}
+
+// Table is a heap table with two integer columns, C1 (aggregated) and C2
+// (uniform by default, optionally Zipf-skewed, optionally indexed), plus
+// padding captured by the rows-per-page parameter.
+type Table struct {
+	sys  *System
+	tab  table.Table
+	idx  *btree.Index
+	hist *stats.Histogram // nil for synthetic (uniform-by-construction) tables
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.tab.Name() }
+
+// Rows returns the table cardinality.
+func (t *Table) Rows() int64 { return t.tab.Rows() }
+
+// Pages returns the heap size in pages.
+func (t *Table) Pages() int64 { return t.tab.Pages() }
+
+// Indexed reports whether the C2 index has been created.
+func (t *Table) Indexed() bool { return t.idx != nil }
+
+// TableOption configures CreateTable.
+type TableOption func(*tableOptions)
+
+type tableOptions struct {
+	synthetic bool
+	noIndex   bool
+	seed      int64
+	zipf      float64
+}
+
+// WithSyntheticData stores no row values: C2 is an invertible permutation
+// of the row number and C1 a hash, so arbitrarily large tables use O(1)
+// memory. Use for large-scale sweeps; the default materialized backing is
+// better for verifying answers.
+func WithSyntheticData() TableOption { return func(o *tableOptions) { o.synthetic = true } }
+
+// WithoutIndex skips creating the non-clustered C2 index; index scans on
+// the table become unavailable and the optimizer will only consider full
+// scans.
+func WithoutIndex() TableOption { return func(o *tableOptions) { o.noIndex = true } }
+
+// WithTableSeed overrides the data-generation seed for this table.
+func WithTableSeed(seed int64) TableOption { return func(o *tableOptions) { o.seed = seed } }
+
+// WithZipfData draws C2 from a Zipf distribution with the given exponent
+// (> 1) instead of uniformly — heavily skewed toward small keys. The
+// engine builds an equi-width histogram on C2 at load time and the
+// optimizer estimates predicate cardinalities from it, so plans stay sound
+// on skewed data. Incompatible with WithSyntheticData.
+func WithZipfData(exponent float64) TableOption {
+	return func(o *tableOptions) { o.zipf = exponent }
+}
+
+// CreateTable builds a heap of rows rows at rowsPerPage occupancy together
+// with (unless disabled) the non-clustered C2 index, allocating both on the
+// system device.
+func (s *System) CreateTable(name string, rows int64, rowsPerPage int, options ...TableOption) (*Table, error) {
+	if name == "" {
+		return nil, errors.New("pioqo: empty table name")
+	}
+	if _, dup := s.tables[name]; dup {
+		return nil, fmt.Errorf("pioqo: table %q already exists", name)
+	}
+	if rows <= 0 || rowsPerPage <= 0 {
+		return nil, fmt.Errorf("pioqo: table %q: rows=%d rowsPerPage=%d", name, rows, rowsPerPage)
+	}
+	o := tableOptions{seed: s.seed}
+	for _, opt := range options {
+		opt(&o)
+	}
+	heapPages := (rows + int64(rowsPerPage) - 1) / int64(rowsPerPage)
+	need := heapPages + rows/btree.DefaultLeafCap + 8
+	if need > s.manager.Free() {
+		return nil, fmt.Errorf("pioqo: table %q needs %d pages, device has %d free",
+			name, need, s.manager.Free())
+	}
+
+	t := &Table{sys: s}
+	switch {
+	case o.synthetic && o.zipf > 0:
+		return nil, fmt.Errorf("pioqo: table %q: synthetic data is uniform by construction; WithZipfData needs a materialized table", name)
+	case o.synthetic:
+		st := table.NewSynthetic(s.manager, name, rows, rowsPerPage, o.seed)
+		t.tab = st
+		if !o.noIndex {
+			t.idx = btree.NewSynthetic(s.manager, st, 0, 0)
+		}
+	default:
+		var mt *table.Materialized
+		if o.zipf > 0 {
+			if o.zipf <= 1 {
+				return nil, fmt.Errorf("pioqo: table %q: zipf exponent %f must exceed 1", name, o.zipf)
+			}
+			mt = table.NewMaterializedZipf(s.manager, name, rows, rowsPerPage, o.seed, o.zipf)
+		} else {
+			mt = table.NewMaterialized(s.manager, name, rows, rowsPerPage, o.seed)
+		}
+		t.tab = mt
+		if !o.noIndex {
+			t.idx = btree.NewMaterialized(s.manager, mt, 0, 0)
+		}
+		t.hist = stats.BuildHistogram(mt, 0)
+	}
+	s.tables[name] = t
+	return t, nil
+}
+
+// TableByName returns a previously created table, or false.
+func (s *System) TableByName(name string) (*Table, bool) {
+	t, ok := s.tables[name]
+	return t, ok
+}
+
+// Tables returns the names of all created tables, sorted.
+func (s *System) Tables() []string {
+	names := make([]string, 0, len(s.tables))
+	for name := range s.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FlushBufferPool drops every unpinned page, modelling a cold cache.
+func (s *System) FlushBufferPool() { s.pool.Flush() }
+
+// BufferPoolResident reports how many of t's heap pages are cached.
+func (s *System) BufferPoolResident(t *Table) int64 { return s.pool.Resident(t.tab.File()) }
+
+// DeviceName reports the attached device model.
+func (s *System) DeviceName() string { return s.dev.Name() }
+
+func (s *System) execContext() *exec.Context {
+	return &exec.Context{Env: s.env, CPU: s.cpu, Pool: s.pool, Dev: s.dev, Costs: s.costs}
+}
+
+// Now reports the system's virtual clock.
+func (s *System) Now() time.Duration { return time.Duration(s.env.Now()) }

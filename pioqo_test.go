@@ -1,0 +1,315 @@
+package pioqo
+
+import (
+	"testing"
+	"time"
+)
+
+// newCalibrated returns a small calibrated SSD system with one table.
+func newCalibrated(t *testing.T, dev DeviceKind, rows int64, rpp int) (*System, *Table) {
+	t.Helper()
+	sys := New(Config{Device: dev, PoolPages: 1024})
+	tab, err := sys.CreateTable("t", rows, rpp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Calibrate(CalibrationOptions{MaxReads: 640}); err != nil {
+		t.Fatal(err)
+	}
+	return sys, tab
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	sys, tab := newCalibrated(t, SSD, 50000, 33)
+	res, err := sys.Execute(Query{Table: tab, Low: 0, High: 499}, Cold())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("1% range matched nothing")
+	}
+	if res.Rows < 300 || res.Rows > 800 {
+		t.Errorf("matched %d rows, want ~500", res.Rows)
+	}
+	if res.Runtime <= 0 {
+		t.Error("non-positive runtime")
+	}
+	if res.Plan.Method != IndexScan {
+		t.Errorf("plan = %v, want an index scan at 1%% selectivity", res.Plan)
+	}
+}
+
+func TestExecuteRequiresCalibration(t *testing.T) {
+	sys := New(Config{Device: SSD})
+	tab, err := sys.CreateTable("t", 1000, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Execute(Query{Table: tab, Low: 0, High: 10}); err == nil {
+		t.Error("Execute before Calibrate did not fail")
+	}
+	if _, err := sys.Model(); err == nil {
+		t.Error("Model before Calibrate did not fail")
+	}
+}
+
+func TestCreateTableValidation(t *testing.T) {
+	sys := New(Config{Device: SSD})
+	if _, err := sys.CreateTable("", 10, 1); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := sys.CreateTable("t", 0, 1); err == nil {
+		t.Error("zero rows accepted")
+	}
+	if _, err := sys.CreateTable("t", 10, 0); err == nil {
+		t.Error("zero rows/page accepted")
+	}
+	if _, err := sys.CreateTable("t", 10, 1); err != nil {
+		t.Fatalf("valid table rejected: %v", err)
+	}
+	if _, err := sys.CreateTable("t", 10, 1); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := sys.CreateTable("huge", 1<<40, 1); err == nil {
+		t.Error("table beyond device capacity accepted")
+	}
+}
+
+func TestExecuteAnswersMatchAcrossPlans(t *testing.T) {
+	sys, tab := newCalibrated(t, SSD, 20000, 33)
+	q := Query{Table: tab, Low: 100, High: 2099}
+	var results []Result
+	for _, plan := range []Plan{
+		{Method: FullTableScan, Degree: 1},
+		{Method: FullTableScan, Degree: 8},
+		{Method: IndexScan, Degree: 1},
+		{Method: IndexScan, Degree: 32},
+	} {
+		res, err := sys.ExecutePlan(q, plan, Cold())
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Value != results[0].Value || results[i].Rows != results[0].Rows {
+			t.Errorf("plan %d answer (max=%d rows=%d) differs from plan 0 (max=%d rows=%d)",
+				i, results[i].Value, results[i].Rows, results[0].Value, results[0].Rows)
+		}
+	}
+}
+
+func TestDepthObliviousPlannerAvoidsParallelIndexScan(t *testing.T) {
+	sys, tab := newCalibrated(t, SSD, 100000, 33)
+	q := Query{Table: tab, Low: 0, High: 99} // 0.1% selectivity
+	oldPlan, err := sys.Plan(q, PlanOptions{DepthOblivious: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newPlan, err := sys.Plan(q, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldPlan.Method == IndexScan && oldPlan.Degree > 1 {
+		t.Errorf("DTT planner chose parallel index scan %v", oldPlan)
+	}
+	if newPlan.Method != IndexScan || newPlan.Degree < 8 {
+		t.Errorf("QDTT planner chose %v, want high-degree index scan", newPlan)
+	}
+}
+
+func TestQDTTPlanRunsFasterOnSSD(t *testing.T) {
+	sys, tab := newCalibrated(t, SSD, 100000, 33)
+	q := Query{Table: tab, Low: 0, High: 99}
+	oldRes, err := sys.Execute(q, Cold(), WithPlanOptions(PlanOptions{DepthOblivious: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRes, err := sys.Execute(q, Cold())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if speedup := float64(oldRes.Runtime) / float64(newRes.Runtime); speedup < 3 {
+		t.Errorf("QDTT speedup = %.1fx (old %v via %v, new %v via %v), want >= 3x",
+			speedup, oldRes.Runtime, oldRes.Plan, newRes.Runtime, newRes.Plan)
+	}
+}
+
+func TestExplainIsSortedAndConsistentWithPlan(t *testing.T) {
+	sys, tab := newCalibrated(t, SSD, 20000, 33)
+	q := Query{Table: tab, Low: 0, High: 1999}
+	plans, err := sys.Explain(q, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 12 {
+		t.Fatalf("%d candidates, want 12", len(plans))
+	}
+	for i := 1; i < len(plans); i++ {
+		if plans[i].EstimatedCost < plans[i-1].EstimatedCost {
+			t.Fatal("Explain not sorted by cost")
+		}
+	}
+	chosen, err := sys.Plan(q, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen != plans[0] {
+		t.Error("Plan differs from Explain's cheapest candidate")
+	}
+}
+
+func TestMaxDegreeCap(t *testing.T) {
+	sys, tab := newCalibrated(t, SSD, 100000, 1)
+	plans, err := sys.Explain(Query{Table: tab, Low: 0, High: 99}, PlanOptions{MaxDegree: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range plans {
+		if p.Degree > 4 {
+			t.Errorf("plan %v exceeds MaxDegree 4", p)
+		}
+	}
+}
+
+func TestWithoutIndexTableOnlyFullScans(t *testing.T) {
+	sys := New(Config{Device: SSD, PoolPages: 512})
+	tab, err := sys.CreateTable("t", 5000, 33, WithoutIndex())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Indexed() {
+		t.Fatal("WithoutIndex table reports an index")
+	}
+	if _, err := sys.Calibrate(CalibrationOptions{MaxReads: 400}); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sys.Plan(Query{Table: tab, Low: 0, High: 9}, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Method != FullTableScan {
+		t.Errorf("plan %v on unindexed table, want full scan", plan)
+	}
+	if _, err := sys.ExecutePlan(Query{Table: tab, Low: 0, High: 9},
+		Plan{Method: IndexScan, Degree: 1}); err == nil {
+		t.Error("index-scan plan on unindexed table did not fail")
+	}
+}
+
+func TestSyntheticTableOption(t *testing.T) {
+	sys := New(Config{Device: SSD, PoolPages: 512})
+	tab, err := sys.CreateTable("big", 1_000_000, 33, WithSyntheticData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 1_000_000 {
+		t.Errorf("rows = %d", tab.Rows())
+	}
+	if _, err := sys.Calibrate(CalibrationOptions{MaxReads: 400}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Execute(Query{Table: tab, Low: 0, High: 999}, Cold())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 1000 {
+		t.Errorf("matched %d rows, want exactly 1000 (synthetic keys are a permutation)", res.Rows)
+	}
+}
+
+func TestColdVsWarm(t *testing.T) {
+	sys, tab := newCalibrated(t, SSD, 10000, 33)
+	q := Query{Table: tab, Low: 0, High: 9999}
+	cold, err := sys.Execute(q, Cold())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := sys.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Runtime >= cold.Runtime {
+		t.Errorf("warm run %v not faster than cold %v", warm.Runtime, cold.Runtime)
+	}
+	if sys.BufferPoolResident(tab) == 0 {
+		t.Error("no resident pages after a warm run")
+	}
+}
+
+func TestWithPrefetchSpeedsUpSerialIndexScan(t *testing.T) {
+	sys, tab := newCalibrated(t, SSD, 100000, 1)
+	q := Query{Table: tab, Low: 0, High: 9999}
+	plan := Plan{Method: IndexScan, Degree: 1}
+	plain, err := sys.ExecutePlan(q, plan, Cold())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefetched, err := sys.ExecutePlan(q, plan, Cold(), WithPrefetch(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain := float64(plain.Runtime) / float64(prefetched.Runtime); gain < 4 {
+		t.Errorf("prefetch gain = %.1fx, want >= 4x on SSD", gain)
+	}
+}
+
+func TestCalibrationEarlyStopsOnHDD(t *testing.T) {
+	sys := New(Config{Device: HDD})
+	cal, err := sys.Calibrate(CalibrationOptions{MaxReads: 640})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cal.StoppedEarly {
+		t.Error("HDD calibration did not stop early at the default threshold")
+	}
+	if cal.Elapsed <= 0 || cal.Reads <= 0 {
+		t.Errorf("degenerate calibration stats: %+v", cal)
+	}
+}
+
+func TestHDDPlannerPrefersSerialIndexScan(t *testing.T) {
+	sys := New(Config{Device: HDD, PoolPages: 1024})
+	tab, err := sys.CreateTable("t", 50000, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Calibrate(CalibrationOptions{MaxReads: 640}); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sys.Plan(Query{Table: tab, Low: 0, High: 4}, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On the HDD the QDTT model reports little parallel benefit, so even
+	// the new optimizer should stay at a low degree for a tiny range.
+	if plan.Method != IndexScan {
+		t.Errorf("plan %v, want index scan for 0.01%% selectivity", plan)
+	}
+	if plan.Degree > 8 {
+		t.Errorf("plan %v: HDD should not warrant high parallel degrees", plan)
+	}
+}
+
+func TestResultRuntimeIsVirtual(t *testing.T) {
+	sys, tab := newCalibrated(t, SSD, 200000, 1)
+	start := time.Now()
+	res, err := sys.Execute(Query{Table: tab, Low: 0, High: 49999}, Cold())
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := time.Since(start)
+	if res.Runtime < 100*time.Millisecond {
+		t.Errorf("modelled runtime %v suspiciously small for 50k random reads", res.Runtime)
+	}
+	if host > 10*time.Second {
+		t.Errorf("host time %v too large; simulation should be fast", host)
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	p := Plan{Method: IndexScan, Degree: 32, EstimatedCost: time.Millisecond}
+	if got := p.String(); got[:6] != "PIS32 " {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,341 @@
+package pioqo
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pioqo/internal/cost"
+	"pioqo/internal/exec"
+	"pioqo/internal/opt"
+)
+
+// Aggregate selects the aggregate function a query computes over C1.
+type Aggregate int
+
+// Supported aggregates. Max is the paper's probe; the others exercise the
+// same access paths with identical I/O behaviour.
+const (
+	Max Aggregate = iota
+	Min
+	Count // COUNT(*), never NULL
+	Sum
+)
+
+func (a Aggregate) String() string { return a.internal().String() }
+
+func (a Aggregate) internal() exec.AggKind {
+	switch a {
+	case Min:
+		return exec.AggMin
+	case Count:
+		return exec.AggCount
+	case Sum:
+		return exec.AggSum
+	default:
+		return exec.AggMax
+	}
+}
+
+// Query is the paper's probe query over a table:
+//
+//	SELECT <Agg>(C1) FROM t WHERE C2 BETWEEN Low AND High
+//
+// Agg defaults to Max, the aggregate the paper evaluates.
+type Query struct {
+	Table *Table
+	Low,
+	High int64
+	Agg Aggregate
+}
+
+func (q Query) validate() error {
+	if q.Table == nil {
+		return errors.New("pioqo: query without a table")
+	}
+	return nil
+}
+
+// AccessMethod names a plan's access path family.
+type AccessMethod int
+
+const (
+	// FullTableScan reads every heap page (FTS; PFTS when parallel).
+	FullTableScan AccessMethod = iota
+	// IndexScan walks the C2 index and fetches qualifying rows (IS/PIS).
+	IndexScan
+	// SortedIndexScan collects qualifying row ids from the index, sorts
+	// them by heap page, and fetches each needed page exactly once. An
+	// extension beyond the paper's engine (see DESIGN.md §6); enabled in
+	// the optimizer via PlanOptions.EnableSortedScan.
+	SortedIndexScan
+)
+
+func (m AccessMethod) String() string {
+	switch m {
+	case IndexScan:
+		return "IndexScan"
+	case SortedIndexScan:
+		return "SortedIndexScan"
+	default:
+		return "FullTableScan"
+	}
+}
+
+func (m AccessMethod) internal() exec.Method {
+	switch m {
+	case IndexScan:
+		return exec.IndexScan
+	case SortedIndexScan:
+		return exec.SortedIndexScan
+	default:
+		return exec.FullScan
+	}
+}
+
+// Plan is a costed access path chosen or enumerated by the optimizer.
+type Plan struct {
+	Method AccessMethod
+	// Degree is the intra-query parallel degree (1 = serial).
+	Degree int
+	// Prefetch is the per-worker prefetch depth for index scans, chosen by
+	// the optimizer when PlanOptions.EnablePrefetchPlanning is set.
+	Prefetch int
+	// EstimatedCost is the optimizer's total cost estimate; EstimatedIO
+	// and EstimatedCPU are its components. All are virtual durations.
+	EstimatedCost time.Duration
+	EstimatedIO   time.Duration
+	EstimatedCPU  time.Duration
+	// EstimatedRows is the expected number of matching rows.
+	EstimatedRows float64
+}
+
+func (p Plan) String() string {
+	var name string
+	switch p.Method {
+	case IndexScan:
+		name = "IS"
+	case SortedIndexScan:
+		name = "SortedIS"
+	default:
+		name = "FTS"
+	}
+	if p.Degree > 1 {
+		name = fmt.Sprintf("P%s%d", name, p.Degree)
+	}
+	return fmt.Sprintf("%s (cost %v, ~%.0f rows)", name, p.EstimatedCost, p.EstimatedRows)
+}
+
+// PlanOptions tune optimization.
+type PlanOptions struct {
+	// DepthOblivious prices I/O with the DTT model (the queue-depth-1
+	// slice of the calibrated QDTT) — the paper's "old optimizer". The
+	// default uses the full QDTT model.
+	DepthOblivious bool
+
+	// MaxDegree caps the enumerated parallel degrees. Default 32.
+	MaxDegree int
+
+	// EnableSortedScan adds the sorted index scan extension to the
+	// enumeration.
+	EnableSortedScan bool
+
+	// EnablePrefetchPlanning lets the optimizer also choose a per-worker
+	// prefetch depth for index scans, pricing the combined queue depth
+	// degree × prefetch with the QDTT model (§3.3). It will then often
+	// prefer a few workers with deep prefetch over a large worker fleet.
+	EnablePrefetchPlanning bool
+
+	// QueueBudget caps the device queue depth a plan may generate, for
+	// running multiple queries concurrently (§4.3: "when multiple queries
+	// are running ... the optimizer needs to pass a lower queue depth").
+	// Zero means uncapped.
+	QueueBudget int
+}
+
+func (s *System) optConfig(q Query, o PlanOptions) (opt.Config, opt.Input, error) {
+	if err := q.validate(); err != nil {
+		return opt.Config{}, opt.Input{}, err
+	}
+	if s.model == nil {
+		return opt.Config{}, opt.Input{}, errors.New("pioqo: optimize requires calibration; call Calibrate first")
+	}
+	var model cost.Model = s.model
+	if o.DepthOblivious {
+		model = s.model.DepthOne()
+	}
+	degrees := []int{1, 2, 4, 8, 16, 32}
+	if o.MaxDegree > 0 {
+		trimmed := degrees[:0]
+		for _, d := range degrees {
+			if d <= o.MaxDegree {
+				trimmed = append(trimmed, d)
+			}
+		}
+		degrees = trimmed
+	}
+	cfg := opt.Config{
+		Model:            model,
+		Costs:            s.costs,
+		Cores:            s.cores,
+		Degrees:          degrees,
+		PoolPages:        int64(s.pool.Capacity()),
+		EnableSortedScan: o.EnableSortedScan,
+		QueueBudget:      o.QueueBudget,
+	}
+	if o.EnablePrefetchPlanning {
+		cfg.PrefetchDepths = []int{2, 4, 8, 16, 32}
+	}
+	in := opt.Input{
+		Table: q.Table.tab,
+		Index: q.Table.idx,
+		Pool:  s.pool,
+		Stats: q.Table.hist,
+		Lo:    q.Low,
+		Hi:    q.High,
+	}
+	return cfg, in, nil
+}
+
+func fromInternalPlan(p opt.Plan) Plan {
+	method := FullTableScan
+	switch p.Method {
+	case exec.IndexScan:
+		method = IndexScan
+	case exec.SortedIndexScan:
+		method = SortedIndexScan
+	}
+	return Plan{
+		Method:        method,
+		Degree:        p.Degree,
+		Prefetch:      p.Prefetch,
+		EstimatedCost: time.Duration(p.TotalMicros * 1e3),
+		EstimatedIO:   time.Duration(p.IOMicros * 1e3),
+		EstimatedCPU:  time.Duration(p.CPUMicros * 1e3),
+		EstimatedRows: p.EstRows,
+	}
+}
+
+// Plan returns the optimizer's chosen plan for q without executing it.
+func (s *System) Plan(q Query, o PlanOptions) (Plan, error) {
+	cfg, in, err := s.optConfig(q, o)
+	if err != nil {
+		return Plan{}, err
+	}
+	return fromInternalPlan(opt.Choose(cfg, in)), nil
+}
+
+// Explain returns every candidate plan the optimizer considered for q,
+// cheapest first.
+func (s *System) Explain(q Query, o PlanOptions) ([]Plan, error) {
+	cfg, in, err := s.optConfig(q, o)
+	if err != nil {
+		return nil, err
+	}
+	var plans []Plan
+	for _, p := range opt.Enumerate(cfg, in) {
+		plans = append(plans, fromInternalPlan(p))
+	}
+	return plans, nil
+}
+
+// Result reports an executed query.
+type Result struct {
+	// Value is the aggregate over the matching rows' C1 (MAX by default);
+	// Found is false when the aggregate is NULL (no row matched — except
+	// COUNT, which reports 0 and is always Found).
+	Value int64
+	Found bool
+	// Rows is the number of matching rows.
+	Rows int64
+	// Plan is the plan that was executed.
+	Plan Plan
+	// Runtime is the query's virtual wall-clock time.
+	Runtime time.Duration
+	// PageReads is the number of device read requests the query issued;
+	// IOThroughputMBps is the device throughput it sustained.
+	PageReads        int64
+	IOThroughputMBps float64
+}
+
+// Execute optimizes and runs q, returning the answer and its runtime.
+// With Cold(), the buffer pool is flushed *before* planning: the optimizer
+// consults pool residency statistics, and planning for a cache that is
+// about to be dropped would mis-cost every candidate.
+func (s *System) Execute(q Query, opts ...ExecOption) (Result, error) {
+	var eo execOptions
+	for _, o := range opts {
+		o(&eo)
+	}
+	if eo.cold {
+		s.pool.Flush()
+	}
+	plan, err := s.Plan(q, eo.plan)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.ExecutePlan(q, plan, opts...)
+}
+
+// ExecutePlan runs q with a caller-supplied plan, bypassing the optimizer.
+func (s *System) ExecutePlan(q Query, plan Plan, opts ...ExecOption) (Result, error) {
+	if err := q.validate(); err != nil {
+		return Result{}, err
+	}
+	var eo execOptions
+	for _, o := range opts {
+		o(&eo)
+	}
+	if plan.Method != FullTableScan && q.Table.idx == nil {
+		return Result{}, fmt.Errorf("pioqo: table %q has no index", q.Table.Name())
+	}
+	if plan.Degree <= 0 {
+		plan.Degree = 1
+	}
+	if eo.cold {
+		s.pool.Flush()
+	}
+	prefetch := eo.prefetch
+	if prefetch == 0 {
+		prefetch = plan.Prefetch
+	}
+	spec := exec.Spec{
+		Table:             q.Table.tab,
+		Index:             q.Table.idx,
+		Lo:                q.Low,
+		Hi:                q.High,
+		Method:            plan.Method.internal(),
+		Degree:            plan.Degree,
+		Agg:               q.Agg.internal(),
+		PrefetchPerWorker: prefetch,
+	}
+	res := exec.Execute(s.execContext(), spec)
+	return Result{
+		Value:            res.Value,
+		Found:            res.Found,
+		Rows:             res.RowsMatched,
+		Plan:             plan,
+		Runtime:          time.Duration(res.Runtime),
+		PageReads:        res.IO.Requests,
+		IOThroughputMBps: res.IO.ThroughputMBps,
+	}, nil
+}
+
+// ExecOption tunes Execute/ExecutePlan.
+type ExecOption func(*execOptions)
+
+type execOptions struct {
+	cold     bool
+	prefetch int
+	plan     PlanOptions
+}
+
+// Cold flushes the buffer pool before running, modelling a cold cache.
+func Cold() ExecOption { return func(o *execOptions) { o.cold = true } }
+
+// WithPrefetch sets the per-worker table-page prefetch depth for index
+// scans (§3.3 of the paper).
+func WithPrefetch(n int) ExecOption { return func(o *execOptions) { o.prefetch = n } }
+
+// WithPlanOptions forwards optimizer options through Execute.
+func WithPlanOptions(po PlanOptions) ExecOption { return func(o *execOptions) { o.plan = po } }
