@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	pioqo-bench [-scale quick|default] [-panel a..f] [-ascii] <experiment>
+//	pioqo-bench [-scale quick|default] [-panel a..f] [-ascii] [-trace out.json] [-json] <experiment>
+//
+// Flags may also follow the experiment name. -trace writes every
+// virtual-time span the run produced (one process lane per system, one
+// thread lane per worker) as Chrome trace_event JSON for chrome://tracing.
+// -json makes qdprofile emit its sampled queue-depth series as JSON.
 //
 // Paper experiments: fig1, table1, fig4, table2, table3, fig5, fig6, fig7,
 // fig8, fig9, fig10, fig11, fig12, earlystop. Extensions: qdprofile,
@@ -16,24 +21,40 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"text/tabwriter"
 
 	"pioqo/internal/experiments"
+	"pioqo/internal/obs"
 	"pioqo/internal/plot"
 	"pioqo/internal/workload"
 )
 
-var ascii = flag.Bool("ascii", false, "render curve figures (fig1, fig4, fig5, fig8) as ASCII charts")
+var (
+	ascii    = flag.Bool("ascii", false, "render curve figures (fig1, fig4, fig5, fig8) as ASCII charts")
+	traceOut = flag.String("trace", "", "write the run's virtual-time spans as Chrome trace_event JSON to this file (open in chrome://tracing)")
+	jsonOut  = flag.Bool("json", false, "qdprofile: emit the sampled queue-depth series as JSON instead of the TSV summary")
+)
 
 func main() {
 	scaleFlag := flag.String("scale", "default", "experiment scale: quick or default")
 	panel := flag.String("panel", "", "panel letter for fig4 (a-f) / fig8 (a-c)")
 	flag.Usage = usage
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	exp := flag.Arg(0)
+	// Accept flags after the experiment name too, so
+	// "pioqo-bench fig4 -panel=a -trace out.json" works.
+	if err := flag.CommandLine.Parse(flag.Args()[1:]); err != nil {
+		os.Exit(2)
+	}
+	if flag.NArg() != 0 {
 		usage()
 		os.Exit(2)
 	}
@@ -49,7 +70,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	exp := flag.Arg(0)
+	var tr *obs.Trace
+	if *traceOut != "" {
+		tr = obs.NewTrace()
+		sc.Trace = tr
+	}
+
 	if exp == "all" {
 		for _, e := range []string{"fig1", "table1", "fig4", "table2", "table3",
 			"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
@@ -61,16 +87,41 @@ func main() {
 			}
 			fmt.Println()
 		}
+		writeTrace(tr)
 		return
 	}
 	if err := run(sc, exp, *panel); err != nil {
 		fmt.Fprintf(os.Stderr, "pioqo-bench: %v\n", err)
 		os.Exit(1)
 	}
+	writeTrace(tr)
+}
+
+// writeTrace exports the collected spans as Chrome trace_event JSON to the
+// -trace file, if tracing was requested.
+func writeTrace(tr *obs.Trace) {
+	if tr == nil {
+		return
+	}
+	f, err := os.Create(*traceOut)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pioqo-bench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := tr.WriteChrome(f); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pioqo-bench: writing trace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "pioqo-bench: wrote Chrome trace to %s (open in chrome://tracing)\n", *traceOut)
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: pioqo-bench [-scale quick|default] [-panel a..f] <experiment>
+	fmt.Fprintf(os.Stderr, `usage: pioqo-bench [-scale quick|default] [-panel a..f] [-trace out.json] [-json] <experiment>
 
 experiments:
   fig1       sequential vs parallel-random throughput, HDD & SSD
@@ -337,6 +388,11 @@ func run(sc experiments.Scale, exp, panel string) error {
 				r.Strategy, r.Queries, r.Degree, r.MakespanMs, r.MeanLatMs, r.Throughput)
 		}
 	case "qdprofile":
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(sc.QDProfileSeries())
+		}
 		fmt.Fprintln(w, "degree\tmean_depth\tp50_depth\tmax_depth")
 		for _, r := range sc.QDProfile() {
 			fmt.Fprintf(w, "%d\t%.2f\t%d\t%d\n", r.Degree, r.MeanDepth, r.P50Depth, r.MaxDepth)

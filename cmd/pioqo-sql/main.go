@@ -9,6 +9,11 @@
 //	pioqo> SELECT MAX(C1) FROM t WHERE C2 BETWEEN 0 AND 999;
 //	pioqo> SET OPTIMIZER NEW;
 //	pioqo> SELECT MAX(C1) FROM t WHERE C2 BETWEEN 0 AND 999;
+//	pioqo> EXPLAIN ANALYZE SELECT MAX(C1) FROM t WHERE C2 BETWEEN 0 AND 999;
+//
+// EXPLAIN shows the optimizer's candidate plans; EXPLAIN ANALYZE executes
+// the query and prints its virtual-time span tree (per-worker CPU/I/O-wait
+// split) plus the engine metrics attributed to it.
 //
 // Statements end with ';'. Non-interactive use: pipe a script on stdin.
 package main

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"pioqo/internal/disk"
+	"pioqo/internal/obs"
 	"pioqo/internal/sim"
 )
 
@@ -40,6 +41,11 @@ type Pool struct {
 	inFlightWrites *sim.WaitGroup
 
 	Stats Stats
+
+	// Cumulative registry mirrors, nil until Publish. Unlike Stats, these
+	// never reset — per-query numbers come from registry snapshot diffs.
+	obsHits, obsMisses, obsJoined, obsPrefetch, obsEvict, obsDirty *obs.Counter
+	obsCached                                                      *obs.Gauge
 }
 
 // Stats counts pool traffic since the last ResetStats.
@@ -86,8 +92,37 @@ func (p *Pool) Cached() int { return len(p.frames) }
 // the statistic the optimizer uses to correct I/O estimates for warm data.
 func (p *Pool) Resident(f *disk.File) int64 { return p.resident[f.ID()] }
 
-// ResetStats zeroes the traffic counters.
+// ResetStats zeroes the traffic counters. Published registry mirrors keep
+// accumulating.
 func (p *Pool) ResetStats() { p.Stats = Stats{} }
+
+// Publish registers the pool's instruments in reg under prefix (e.g.
+// "buffer"): cumulative counters mirroring Stats, plus a cached_pages gauge
+// tracking residency over virtual time.
+func (p *Pool) Publish(reg *obs.Registry, prefix string) {
+	p.obsHits = reg.Counter(prefix + ".hits")
+	p.obsMisses = reg.Counter(prefix + ".misses")
+	p.obsJoined = reg.Counter(prefix + ".joined_loads")
+	p.obsPrefetch = reg.Counter(prefix + ".prefetch_reads")
+	p.obsEvict = reg.Counter(prefix + ".evictions")
+	p.obsDirty = reg.Counter(prefix + ".dirty_writes")
+	p.obsCached = reg.Gauge(prefix + ".cached_pages")
+	p.obsCached.Set(float64(len(p.frames)))
+}
+
+// bump increments a registry mirror if the pool has been Published.
+func bump(c *obs.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+// trackCached refreshes the cached_pages gauge after residency changes.
+func (p *Pool) trackCached() {
+	if p.obsCached != nil {
+		p.obsCached.Set(float64(len(p.frames)))
+	}
+}
 
 // evictOne removes the least recently used unpinned frame, writing it back
 // asynchronously first if dirty. It reports whether a frame was freed. The
@@ -107,6 +142,8 @@ func (p *Pool) evictOne() bool {
 	delete(p.frames, f.key)
 	p.resident[f.key.File]--
 	p.Stats.Evictions++
+	bump(p.obsEvict)
+	p.trackCached()
 	return true
 }
 
@@ -119,6 +156,7 @@ func (p *Pool) writeBack(f *frame) {
 	}
 	f.dirty = false
 	p.Stats.DirtyWrites++
+	bump(p.obsDirty)
 	p.inFlightWrites.Add(1)
 	file.WritePage(f.key.Page).OnFire(p.inFlightWrites.Done)
 }
@@ -141,6 +179,7 @@ func (p *Pool) install(key PageKey, c *sim.Completion) *frame {
 	f := &frame{key: key, loading: c}
 	p.frames[key] = f
 	p.resident[key.File]++
+	p.trackCached()
 	c.OnFire(func() {
 		f.loading = nil
 		if f.pins == 0 && f.lruEl == nil {
@@ -193,15 +232,19 @@ func (p *Pool) FetchPage(proc *sim.Proc, file *disk.File, page int64) Handle {
 		if f.loading != nil {
 			p.Stats.Misses++
 			p.Stats.JoinedLoads++
+			bump(p.obsMisses)
+			bump(p.obsJoined)
 			p.pin(f)
 			proc.Wait(f.loading)
 			return Handle{p, f}
 		}
 		p.Stats.Hits++
+		bump(p.obsHits)
 		p.pin(f)
 		return Handle{p, f}
 	}
 	p.Stats.Misses++
+	bump(p.obsMisses)
 	f := p.install(key, file.ReadPage(page))
 	p.pin(f)
 	proc.Wait(f.loading)
@@ -217,6 +260,7 @@ func (p *Pool) Prefetch(file *disk.File, page int64) bool {
 		return false
 	}
 	p.Stats.PrefetchReads++
+	bump(p.obsPrefetch)
 	p.install(key, file.ReadPage(page))
 	return true
 }
@@ -240,6 +284,7 @@ func (p *Pool) PrefetchRun(file *disk.File, page int64, count int) bool {
 	}
 	c := file.ReadRun(page, count)
 	p.Stats.PrefetchReads++
+	bump(p.obsPrefetch)
 	for i := int64(0); i < int64(count); i++ {
 		key := PageKey{file.ID(), page + i}
 		if _, ok := p.frames[key]; ok {

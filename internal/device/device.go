@@ -25,6 +25,7 @@ package device
 import (
 	"fmt"
 
+	"pioqo/internal/obs"
 	"pioqo/internal/sim"
 )
 
@@ -69,57 +70,81 @@ func validate(dev Device, offset int64, length int) {
 // request latency. Snapshot/Reset let experiments meter an interval, which
 // is how Table 3's throughput numbers and the queue-depth profiles of §2
 // are produced.
+//
+// The queue-depth integral lives in an obs.Gauge so the same reading feeds
+// both the interval Summary and any registry the device is Published into.
+// The gauge and the published counters are cumulative across the device's
+// lifetime; Reset only moves this struct's interval baseline.
 type Metrics struct {
 	env *sim.Env
 
-	outstanding int     // requests submitted but not completed
-	qdIntegral  float64 // ∫ outstanding dt, in queue-depth·ns
-	lastChange  sim.Time
+	depth  *obs.Gauge // outstanding requests; its integral is ∫ depth dt
+	qdBase float64    // depth.Integral() at the last Reset
 
 	started sim.Time // interval start (set by Reset)
 
 	Requests   int64        // completed requests
 	Bytes      int64        // completed bytes
 	LatencySum sim.Duration // sum of request latencies
+
+	// Cumulative registry mirrors, nil until Publish.
+	reqCtr, byteCtr, latCtr *obs.Counter
+	latHist                 *obs.Histogram
 }
 
 // NewMetrics returns zeroed metrics bound to e.
-func NewMetrics(e *sim.Env) *Metrics { return &Metrics{env: e} }
+func NewMetrics(e *sim.Env) *Metrics {
+	return &Metrics{env: e, depth: obs.NewGauge(e)}
+}
 
-func (m *Metrics) integrate() {
-	now := m.env.Now()
-	m.qdIntegral += float64(m.outstanding) * float64(now-m.lastChange)
-	m.lastChange = now
+// latencyBucketsUs are histogram edges for published request latencies, in
+// microseconds: 50 µs flash reads through multi-rotation HDD waits.
+var latencyBucketsUs = []float64{50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000}
+
+// Publish registers this device's instruments in reg under prefix (e.g.
+// "device.ssd"): the live queue-depth gauge plus cumulative counters for
+// requests, bytes, and latency, and a request-latency histogram. Counters
+// never reset — callers attribute intervals by diffing registry snapshots.
+func (m *Metrics) Publish(reg *obs.Registry, prefix string) {
+	reg.AdoptGauge(prefix+".queue_depth", m.depth)
+	m.reqCtr = reg.Counter(prefix + ".requests")
+	m.byteCtr = reg.Counter(prefix + ".bytes")
+	m.latCtr = reg.Counter(prefix + ".latency_ns")
+	m.latHist = reg.Histogram(prefix+".latency_us", latencyBucketsUs)
 }
 
 // Submitted records a request entering the device.
 func (m *Metrics) Submitted() {
-	m.integrate()
-	m.outstanding++
+	m.depth.Add(1)
 }
 
 // Completed records a request leaving the device after latency d moving n
 // bytes.
 func (m *Metrics) Completed(n int, d sim.Duration) {
-	m.integrate()
-	m.outstanding--
-	if m.outstanding < 0 {
+	m.depth.Add(-1)
+	if m.depth.Value() < 0 {
 		panic("device: more completions than submissions")
 	}
 	m.Requests++
 	m.Bytes += int64(n)
 	m.LatencySum += d
+	if m.reqCtr != nil {
+		m.reqCtr.Inc()
+		m.byteCtr.Add(int64(n))
+		m.latCtr.Add(int64(d))
+		m.latHist.Observe(d.Micros())
+	}
 }
 
 // Outstanding reports the number of in-flight requests right now.
-func (m *Metrics) Outstanding() int { return m.outstanding }
+func (m *Metrics) Outstanding() int { return int(m.depth.Value()) }
 
-// Reset zeroes the counters and restarts the metering interval at the
-// current virtual time. In-flight requests remain accounted for queue-depth
-// purposes.
+// Reset zeroes the interval counters and restarts the metering interval at
+// the current virtual time. In-flight requests remain accounted for
+// queue-depth purposes, and published registry instruments keep
+// accumulating.
 func (m *Metrics) Reset() {
-	m.integrate()
-	m.qdIntegral = 0
+	m.qdBase = m.depth.Integral()
 	m.started = m.env.Now()
 	m.Requests = 0
 	m.Bytes = 0
@@ -129,7 +154,6 @@ func (m *Metrics) Reset() {
 // Snapshot summarises the interval since the last Reset (or the start of
 // the simulation).
 func (m *Metrics) Snapshot() Summary {
-	m.integrate()
 	elapsed := m.env.Now() - m.started
 	s := Summary{
 		Requests: m.Requests,
@@ -137,7 +161,7 @@ func (m *Metrics) Snapshot() Summary {
 		Elapsed:  sim.Duration(elapsed),
 	}
 	if elapsed > 0 {
-		s.AvgQueueDepth = m.qdIntegral / float64(elapsed)
+		s.AvgQueueDepth = (m.depth.Integral() - m.qdBase) / float64(elapsed)
 		s.ThroughputMBps = float64(m.Bytes) / 1e6 / sim.Duration(elapsed).Seconds()
 	}
 	if m.Requests > 0 {

@@ -17,6 +17,8 @@ import (
 	"pioqo/internal/btree"
 	"pioqo/internal/buffer"
 	"pioqo/internal/device"
+	"pioqo/internal/disk"
+	"pioqo/internal/obs"
 	"pioqo/internal/sim"
 	"pioqo/internal/table"
 )
@@ -53,6 +55,15 @@ type Context struct {
 	Pool  *buffer.Pool
 	Dev   device.Device // for per-query I/O metering
 	Costs CPUCosts
+
+	// Tracer, when set, records a virtual-time span per operator (under
+	// Spec.Span) and one track span per worker, each annotated with pages
+	// fetched, rows matched, CPU time, and I/O wait. Nil disables tracing.
+	Tracer *obs.Tracer
+
+	// Reg, when set, receives engine-wide execution counters (exec.scans,
+	// exec.rows_matched). Nil disables them.
+	Reg *obs.Registry
 }
 
 // Method selects the access path family.
@@ -150,6 +161,11 @@ type Spec struct {
 	// happens on eviction or checkpoint. This is the UPDATE operator's
 	// hook; it composes with Emit and the aggregates.
 	Update func(rowID int64)
+
+	// Span, when Context.Tracer is set, is the parent the operator span is
+	// opened under — typically the query span opened by the caller. Nil
+	// makes the operator span a root.
+	Span *obs.Span
 }
 
 // deliver routes one matching row to the emit hook or the aggregate.
@@ -217,25 +233,84 @@ func Execute(ctx *Context, spec Spec) Result {
 
 // RunScan executes the query from within an existing process and returns
 // when the scan has finished. Runtime and I/O metering are left to the
-// caller (see Execute).
+// caller (see Execute). With a Context.Tracer, the scan records an operator
+// span (under spec.Span) with per-worker child spans on their own tracks.
 func RunScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 	spec = spec.withDefaults()
+	op := ctx.Tracer.Start(spec.Span, spec.Method.String(),
+		obs.KV("degree", spec.Degree),
+		obs.KV("agg", spec.Agg.String()))
+	spec.Span = op
+
+	var res Result
 	switch spec.Method {
 	case FullScan:
-		return runFullScan(p, ctx, spec)
+		res = runFullScan(p, ctx, spec)
 	case IndexScan:
 		if spec.Index == nil {
 			panic("exec: IndexScan without an index")
 		}
-		return runIndexScan(p, ctx, spec)
+		res = runIndexScan(p, ctx, spec)
 	case SortedIndexScan:
 		if spec.Index == nil {
 			panic("exec: SortedIndexScan without an index")
 		}
-		return runSortedIndexScan(p, ctx, spec)
+		res = runSortedIndexScan(p, ctx, spec)
 	default:
 		panic("exec: unknown method " + spec.Method.String())
 	}
+
+	op.SetAttr("rows", res.RowsMatched)
+	op.End()
+	if ctx.Reg != nil {
+		ctx.Reg.Counter("exec.scans").Inc()
+		ctx.Reg.Counter("exec.rows_matched").Add(res.RowsMatched)
+	}
+	return res
+}
+
+// meter measures one worker's activity for its span: pages fetched through
+// the pool, virtual time blocked on those fetches, and virtual time spent
+// acquiring and holding CPU. It wraps the pool and CPU calls the workers
+// make, so the split is measured where the blocking happens.
+type meter struct {
+	ctx   *Context
+	span  *obs.Span
+	pages int64
+	io    sim.Duration // time blocked in FetchPage (device + join waits)
+	cpu   sim.Duration // time queueing for and holding the CPU resource
+}
+
+// newMeter opens a track span for one worker under parent. With a nil
+// tracer the meter still works; it just has no span to annotate.
+func newMeter(ctx *Context, parent *obs.Span, name string) *meter {
+	return &meter{ctx: ctx, span: ctx.Tracer.StartTrack(parent, name)}
+}
+
+func (m *meter) fetch(wp *sim.Proc, f *disk.File, page int64) buffer.Handle {
+	t0 := m.ctx.Env.Now()
+	h := m.ctx.Pool.FetchPage(wp, f, page)
+	m.io += sim.Duration(m.ctx.Env.Now() - t0)
+	m.pages++
+	return h
+}
+
+func (m *meter) use(wp *sim.Proc, d sim.Duration) {
+	t0 := m.ctx.Env.Now()
+	wp.Use(m.ctx.CPU, d)
+	m.cpu += sim.Duration(m.ctx.Env.Now() - t0)
+}
+
+// finish annotates and closes the worker span.
+func (m *meter) finish(a *agg) {
+	if m.span == nil {
+		return
+	}
+	m.span.SetAttr("pages", m.pages)
+	m.span.SetAttr("rows", a.rows)
+	m.span.SetAttr("cpu", m.cpu)
+	m.span.SetAttr("io_wait", m.io)
+	m.span.End()
 }
 
 // agg accumulates one aggregate over C1 plus the matched-row count.
@@ -329,6 +404,8 @@ func runFullScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 		var issued, reachedCount int64
 		var wakeup *sim.Completion
 		ctx.Env.Go("fts-prefetcher", func(pf *sim.Proc) {
+			ps := ctx.Tracer.StartTrack(spec.Span, "fts-prefetcher",
+				obs.KV("blocks", blocks), obs.KV("block_pages", spec.BlockPages))
 			for b := int64(0); b < blocks; b++ {
 				for issued-reachedCount >= int64(spec.PrefetchBlocks) {
 					wakeup = sim.NewCompletion(ctx.Env)
@@ -342,6 +419,7 @@ func runFullScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 				ctx.Pool.PrefetchRun(file, start, count)
 				issued++
 			}
+			ps.End()
 		})
 		onClaim := func(page int64) {
 			b := page / int64(spec.BlockPages)
@@ -370,8 +448,10 @@ func runFullScanWorkers(p *sim.Proc, ctx *Context, spec Spec, nextPage *int64, o
 		wg.Add(1)
 		ctx.Env.Go(fmt.Sprintf("fts-w%d", w), func(wp *sim.Proc) {
 			defer wg.Done()
+			m := newMeter(ctx, spec.Span, fmt.Sprintf("fts-w%d", w))
+			defer m.finish(&results[w])
 			if spec.Degree > 1 {
-				wp.Use(ctx.CPU, ctx.Costs.WorkerStartup)
+				m.use(wp, ctx.Costs.WorkerStartup)
 			}
 			for {
 				page := *nextPage
@@ -382,13 +462,13 @@ func runFullScanWorkers(p *sim.Proc, ctx *Context, spec Spec, nextPage *int64, o
 				if onClaim != nil {
 					onClaim(page)
 				}
-				h := ctx.Pool.FetchPage(wp, file, page)
+				h := m.fetch(wp, file, page)
 				firstRow := page * int64(rpp)
 				lastRow := firstRow + int64(rpp)
 				if lastRow > t.Rows() {
 					lastRow = t.Rows()
 				}
-				wp.Use(ctx.CPU, ctx.Costs.PerPage+
+				m.use(wp, ctx.Costs.PerPage+
 					sim.Duration(lastRow-firstRow)*ctx.Costs.PerRow)
 				for r := firstRow; r < lastRow; r++ {
 					row := t.RowAt(r)
@@ -480,21 +560,31 @@ func runIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 		wg.Add(1)
 		ctx.Env.Go(fmt.Sprintf("pis-w%d", w), func(wp *sim.Proc) {
 			defer wg.Done()
+			m := newMeter(ctx, spec.Span, fmt.Sprintf("pis-w%d", w))
+			defer m.finish(&results[w])
 			if spec.Degree > 1 {
-				wp.Use(ctx.CPU, ctx.Costs.WorkerStartup)
+				m.use(wp, ctx.Costs.WorkerStartup)
 			}
 			var buf, matches []btree.Entry
 			pos := posLo
 			for pos < posHi {
+				// One iteration is the §3.3 I/O batch: a leaf read plus the
+				// bounded prefetch-and-fetch of its table pages. Span it only
+				// in detailed traces — at realistic scales a query touches
+				// thousands of leaves.
+				var ls *obs.Span
+				if ctx.Tracer.Detailed() {
+					ls = ctx.Tracer.Start(m.span, "leaf-batch")
+				}
 				leaf, slot := x.LeafOf(pos)
-				lh := ctx.Pool.FetchPage(wp, x.File(), x.LeafPage(leaf))
+				lh := m.fetch(wp, x.File(), x.LeafPage(leaf))
 				buf = x.LeafEntries(leaf, buf)
 				take := len(buf) - slot
 				if rem := posHi - pos; int64(take) > rem {
 					take = int(rem)
 				}
 				matches = append(matches[:0], buf[slot:slot+take]...)
-				wp.Use(ctx.CPU, ctx.Costs.PerPage+
+				m.use(wp, ctx.Costs.PerPage+
 					sim.Duration(len(matches))*ctx.Costs.PerEntry)
 				lh.Release()
 
@@ -508,18 +598,20 @@ func runIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 					for prefetched < i+spec.PrefetchPerWorker && prefetched < len(matches) {
 						if ctx.Pool.Prefetch(t.File(),
 							table.PageOf(matches[prefetched].Row, rpp)) {
-							wp.Use(ctx.CPU, ctx.Costs.PerPrefetch)
+							m.use(wp, ctx.Costs.PerPrefetch)
 						}
 						prefetched++
 					}
-					th := ctx.Pool.FetchPage(wp, t.File(), table.PageOf(e.Row, rpp))
-					wp.Use(ctx.CPU, ctx.Costs.PerRowFetch)
+					th := m.fetch(wp, t.File(), table.PageOf(e.Row, rpp))
+					m.use(wp, ctx.Costs.PerRowFetch)
 					row := t.RowAt(e.Row)
 					if row.C2 >= spec.Lo && row.C2 <= spec.Hi {
 						spec.deliver(&results[w], th, e.Row, row)
 					}
 					th.Release()
 				}
+				ls.SetAttr("entries", take)
+				ls.End()
 				pos += int64(take)
 			}
 		})

@@ -65,25 +65,27 @@ func runSortedIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 		wg.Add(1)
 		ctx.Env.Go(fmt.Sprintf("sis-collect%d", w), func(wp *sim.Proc) {
 			defer wg.Done()
+			m := newMeter(ctx, spec.Span, fmt.Sprintf("sis-collect%d", w))
 			if spec.Degree > 1 {
-				wp.Use(ctx.CPU, ctx.Costs.WorkerStartup)
+				m.use(wp, ctx.Costs.WorkerStartup)
 			}
 			var buf []btree.Entry
 			pos := posLo
 			for pos < posHi {
 				leaf, slot := x.LeafOf(pos)
-				lh := ctx.Pool.FetchPage(wp, x.File(), x.LeafPage(leaf))
+				lh := m.fetch(wp, x.File(), x.LeafPage(leaf))
 				buf = x.LeafEntries(leaf, buf)
 				take := len(buf) - slot
 				if rem := posHi - pos; int64(take) > rem {
 					take = int(rem)
 				}
-				wp.Use(ctx.CPU, ctx.Costs.PerPage+
+				m.use(wp, ctx.Costs.PerPage+
 					sim.Duration(take)*ctx.Costs.PerEntry)
 				collected[w] = append(collected[w], buf[slot:slot+take]...)
 				lh.Release()
 				pos += int64(take)
 			}
+			m.finish(&agg{rows: int64(len(collected[w]))})
 		})
 	}
 	p.WaitFor(wg)
@@ -112,6 +114,8 @@ func runSortedIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 		wg2.Add(1)
 		ctx.Env.Go(fmt.Sprintf("sis-fetch%d", w), func(wp *sim.Proc) {
 			defer wg2.Done()
+			m := newMeter(ctx, spec.Span, fmt.Sprintf("sis-fetch%d", w))
+			defer m.finish(&results[w])
 			for {
 				i := nextIdx
 				if i >= len(entries) {
@@ -133,7 +137,7 @@ func runSortedIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 					for covered < spec.PrefetchPerWorker && k < len(entries) {
 						pg := table.PageOf(entries[k].Row, rpp)
 						if ctx.Pool.Prefetch(t.File(), pg) {
-							wp.Use(ctx.CPU, ctx.Costs.PerPrefetch)
+							m.use(wp, ctx.Costs.PerPrefetch)
 						}
 						covered++
 						for k < len(entries) && table.PageOf(entries[k].Row, rpp) == pg {
@@ -142,9 +146,9 @@ func runSortedIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 					}
 				}
 
-				th := ctx.Pool.FetchPage(wp, t.File(), page)
+				th := m.fetch(wp, t.File(), page)
 				for _, e := range entries[i:j] {
-					wp.Use(ctx.CPU, ctx.Costs.PerRowFetch)
+					m.use(wp, ctx.Costs.PerRowFetch)
 					row := t.RowAt(e.Row)
 					if row.C2 >= spec.Lo && row.C2 <= spec.Hi {
 						spec.deliver(&results[w], th, e.Row, row)

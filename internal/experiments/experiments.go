@@ -15,6 +15,7 @@ import (
 	"pioqo/internal/calibrate"
 	"pioqo/internal/cost"
 	"pioqo/internal/disk"
+	"pioqo/internal/obs"
 	"pioqo/internal/sim"
 	"pioqo/internal/workload"
 )
@@ -42,6 +43,11 @@ type Scale struct {
 
 	// Cores is the number of logical CPU cores (the paper's machine has 8).
 	Cores int
+
+	// Trace, when non-nil, collects virtual-time spans from every system an
+	// experiment builds (one tracer process lane per system), for Chrome
+	// trace_event export via Trace.WriteChrome.
+	Trace *obs.Trace
 }
 
 // DefaultScale is the full-size configuration used by cmd/pioqo-bench.
@@ -79,6 +85,7 @@ func (sc Scale) system(cfg workload.Config) *workload.System {
 		PoolPages:   sc.PoolPages,
 		Cores:       sc.Cores,
 		Synthetic:   true,
+		Trace:       sc.Trace,
 	})
 }
 

@@ -7,6 +7,9 @@ import (
 	"pioqo/internal/workload"
 )
 
+// qdDegrees is the parallel-degree sweep profiled by the §2 reproduction.
+var qdDegrees = []int{1, 2, 4, 8, 16, 32}
+
 // QDProfileRow summarises the device queue-depth profile of one PIS run.
 type QDProfileRow struct {
 	Degree    int
@@ -15,32 +18,78 @@ type QDProfileRow struct {
 	MaxDepth  int
 }
 
+// QDSample is one queue-depth reading in a machine-readable profile.
+type QDSample struct {
+	TimeUs float64 `json:"t_us"`
+	Depth  int     `json:"depth"`
+}
+
+// QDProfileSeriesRow is one degree's full sampled series plus its summary —
+// the machine-readable form behind pioqo-bench qdprofile -json.
+type QDProfileSeriesRow struct {
+	Degree     int        `json:"degree"`
+	IntervalUs float64    `json:"interval_us"`
+	MeanDepth  float64    `json:"mean_depth"`
+	P50Depth   int        `json:"p50_depth"`
+	MaxDepth   int        `json:"max_depth"`
+	Samples    []QDSample `json:"samples"`
+}
+
+// qdProfileRun executes one PIS run at the given degree on a fresh SSD
+// system and returns the sampled queue-depth profile.
+func (sc Scale) qdProfileRun(degree int) trace.Profile {
+	s := sc.system(workload.Config{
+		Name: "qdprofile", RowsPerPage: 1, Device: workload.SSD,
+	})
+	prof := trace.NewProfiler(s.Env, s.Dev, 250*sim.Microsecond)
+	lo, hi := s.RangeFor(0.3)
+	spec := s.Spec(exec.IndexScan, degree, lo, hi)
+	s.Env.Go("query", func(p *sim.Proc) {
+		prof.Start()
+		exec.RunScan(p, s.Ctx, spec)
+		prof.Stop()
+	})
+	s.Env.Run()
+	return prof.Profile()
+}
+
 // QDProfile reproduces the paper's §2 profiling observation — "the I/O
 // pattern of PIS with parallel degree n is the parallel random I/O with
 // constant queue depth of n" — by sampling the SSD's outstanding request
 // count while parallel index scans of each degree run.
 func (sc Scale) QDProfile() []QDProfileRow {
 	var rows []QDProfileRow
-	for _, degree := range []int{1, 2, 4, 8, 16, 32} {
-		s := sc.system(workload.Config{
-			Name: "qdprofile", RowsPerPage: 1, Device: workload.SSD,
-		})
-		prof := trace.NewProfiler(s.Env, s.Dev, 250*sim.Microsecond)
-		lo, hi := s.RangeFor(0.3)
-		spec := s.Spec(exec.IndexScan, degree, lo, hi)
-		s.Env.Go("query", func(p *sim.Proc) {
-			prof.Start()
-			exec.RunScan(p, s.Ctx, spec)
-			prof.Stop()
-		})
-		s.Env.Run()
-		st := prof.Profile().Stats()
+	for _, degree := range qdDegrees {
+		st := sc.qdProfileRun(degree).Stats()
 		rows = append(rows, QDProfileRow{
 			Degree:    degree,
 			MeanDepth: st.Mean,
 			P50Depth:  st.P50,
 			MaxDepth:  st.Max,
 		})
+	}
+	return rows
+}
+
+// QDProfileSeries runs the same sweep as QDProfile but keeps every sample,
+// for machine-readable export.
+func (sc Scale) QDProfileSeries() []QDProfileSeriesRow {
+	var rows []QDProfileSeriesRow
+	for _, degree := range qdDegrees {
+		prof := sc.qdProfileRun(degree)
+		st := prof.Stats()
+		row := QDProfileSeriesRow{
+			Degree:     degree,
+			IntervalUs: prof.Interval.Micros(),
+			MeanDepth:  st.Mean,
+			P50Depth:   st.P50,
+			MaxDepth:   st.Max,
+			Samples:    make([]QDSample, len(prof.Samples)),
+		}
+		for i, s := range prof.Samples {
+			row.Samples[i] = QDSample{TimeUs: sim.Duration(s.At).Micros(), Depth: s.Depth}
+		}
+		rows = append(rows, row)
 	}
 	return rows
 }

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pioqo/internal/obs"
+	"pioqo/internal/workload"
+)
+
+// TestFig4ChromeTraceExport drives the pioqo-bench -trace flow: a Fig 4
+// sweep with Scale.Trace set must export valid Chrome trace_event JSON with
+// one span per worker of every parallel run.
+func TestFig4ChromeTraceExport(t *testing.T) {
+	t.Parallel()
+	sc := QuickScale()
+	sc.SelPoints = 2
+	sc.Trace = obs.NewTrace()
+	degree := 8
+	rows := sc.Fig4(cfgFor(33, workload.SSD), []int{degree})
+	if len(rows) == 0 {
+		t.Fatal("fig4 produced no rows")
+	}
+
+	var buf bytes.Buffer
+	if err := sc.Trace.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string  `json:"ph"`
+			Name string  `json:"name"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit == "" {
+		t.Error("trace has no displayTimeUnit")
+	}
+
+	// Each parallel scan must have produced one worker span per worker, on
+	// its own thread lane.
+	ftsWorkers := map[string]bool{}
+	pisWorkers := map[string]bool{}
+	spans := 0
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		spans++
+		if e.Dur < 0 || e.Ts < 0 {
+			t.Fatalf("span %q has negative ts/dur (%v/%v)", e.Name, e.Ts, e.Dur)
+		}
+		switch {
+		case strings.HasPrefix(e.Name, "fts-w"):
+			ftsWorkers[e.Name] = true
+		case strings.HasPrefix(e.Name, "pis-w"):
+			pisWorkers[e.Name] = true
+		}
+	}
+	if spans == 0 {
+		t.Fatal("trace has no complete (ph=X) events")
+	}
+	if len(ftsWorkers) != degree {
+		t.Errorf("distinct PFTS worker spans = %d, want %d", len(ftsWorkers), degree)
+	}
+	if len(pisWorkers) != degree {
+		t.Errorf("distinct PIS worker spans = %d, want %d", len(pisWorkers), degree)
+	}
+}

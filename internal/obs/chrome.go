@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pioqo/internal/sim"
+)
+
+// chromeEvent is one Chrome trace_event. Complete events ("ph":"X") carry a
+// start timestamp and duration in microseconds; metadata events ("ph":"M")
+// name processes and threads.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat,omitempty"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"`
+	Dur  *float64               `json:"dur,omitempty"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome exports the trace as Chrome trace_event JSON — the format
+// chrome://tracing and ui.perfetto.dev load directly. Each tracer becomes a
+// process; each track becomes a thread, so concurrent worker spans render
+// as parallel lanes. Timestamps are virtual microseconds since simulation
+// start.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	file := chromeFile{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for _, tr := range t.tracers {
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: tr.pid,
+			Args: map[string]interface{}{"name": tr.name},
+		})
+		named := map[int]bool{}
+		for _, root := range tr.roots {
+			root.Walk(func(s *Span) {
+				if !named[s.tid] {
+					named[s.tid] = true
+					file.TraceEvents = append(file.TraceEvents, chromeEvent{
+						Name: "thread_name", Ph: "M", Pid: tr.pid, Tid: s.tid,
+						Args: map[string]interface{}{"name": trackName(s)},
+					})
+				}
+				file.TraceEvents = append(file.TraceEvents, s.chrome(tr.pid))
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(file)
+}
+
+// trackName labels a Chrome thread lane after the first span seen on it.
+func trackName(s *Span) string {
+	if s.tid == 0 {
+		return "main"
+	}
+	return s.Name
+}
+
+func (s *Span) chrome(pid int) chromeEvent {
+	ev := chromeEvent{
+		Name: s.Name,
+		Cat:  "span",
+		Ph:   "X",
+		Ts:   sim.Duration(s.Start).Micros(),
+		Pid:  pid,
+		Tid:  s.tid,
+	}
+	dur := s.Duration().Micros()
+	ev.Dur = &dur
+	if len(s.Attrs) > 0 {
+		ev.Args = make(map[string]interface{}, len(s.Attrs))
+		for _, a := range s.Attrs {
+			switch v := a.Value.(type) {
+			case int, int64, int32, float64, float32, bool, string:
+				ev.Args[a.Key] = v
+			case sim.Duration:
+				ev.Args[a.Key] = v.String()
+			default:
+				ev.Args[a.Key] = fmt.Sprint(v)
+			}
+		}
+	}
+	return ev
+}

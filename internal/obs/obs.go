@@ -1,0 +1,31 @@
+// Package obs is the engine-wide observability subsystem: virtual-time
+// span tracing, a metrics registry, and exporters.
+//
+// The paper's central empirical move is *observing* the I/O pipeline — §2
+// profiles the device queue depth during a parallel index scan to show that
+// "a queue depth of n is clearly observable". This package generalises that
+// single signal to the whole stack:
+//
+//   - Spans (span.go) form a hierarchical virtual-time trace of one or more
+//     query executions: query → optimize → operator → worker → I/O batch.
+//     Each span carries attributes (plan chosen, degree, pages read, cache
+//     hits, CPU vs I/O wait split) and renders as a compact text tree
+//     (EXPLAIN ANALYZE) or as Chrome trace_event JSON loadable in
+//     chrome://tracing and Perfetto (chrome.go).
+//
+//   - The metrics registry (metrics.go) holds named counters, gauges, and
+//     fixed-bucket histograms that the device, buffer pool, executor, and
+//     optimizer register into. Gauges integrate over virtual time, so a
+//     snapshot diff between two instants yields exact time-weighted means —
+//     the mean device queue depth of a single query, for example. Counters
+//     are cumulative and never reset; per-query attribution is always a
+//     diff of two snapshots, which cannot leak across queries.
+//
+//   - The sampler (sampler.go) periodically reads any instantaneous value
+//     into a time series; internal/trace's queue-depth Profiler is a thin
+//     shim over it.
+//
+// Everything runs against sim.Env's clock: the subsystem observes virtual
+// time, not host time, so traces and metrics are bit-reproducible across
+// runs with the same seed.
+package obs

@@ -20,6 +20,7 @@ import (
 	"pioqo/internal/buffer"
 	"pioqo/internal/cost"
 	"pioqo/internal/exec"
+	"pioqo/internal/obs"
 	"pioqo/internal/stats"
 	"pioqo/internal/table"
 )
@@ -62,6 +63,10 @@ type Config struct {
 	// queries active, each gets roughly 1/n of the device's beneficial
 	// queue depth. Zero means uncapped.
 	QueueBudget int
+
+	// Obs, when set, receives optimizer counters (opt.optimizations,
+	// opt.plans_enumerated) for engine-wide observability.
+	Obs *obs.Registry
 }
 
 func (c Config) degrees() []int {
@@ -182,6 +187,10 @@ func Enumerate(cfg Config, in Input) []Plan {
 	sort.SliceStable(plans, func(i, j int) bool {
 		return plans[i].TotalMicros < plans[j].TotalMicros
 	})
+	if cfg.Obs != nil {
+		cfg.Obs.Counter("opt.optimizations").Inc()
+		cfg.Obs.Counter("opt.plans_enumerated").Add(int64(len(plans)))
+	}
 	return plans
 }
 

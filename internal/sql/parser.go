@@ -29,6 +29,9 @@ type Statement struct {
 	Low     int64
 	High    int64
 	Explain bool
+	// Analyze marks EXPLAIN ANALYZE: execute the query and report its span
+	// tree and attributed metrics alongside the result.
+	Analyze bool
 
 	// GROUP BY C2 / width (0 = no grouping)
 	GroupWidth int64
@@ -154,7 +157,13 @@ func (p *parser) statement() (*Statement, error) {
 		return p.updateStmt()
 	case "EXPLAIN":
 		p.pos++
-		return p.selectStmt(true)
+		analyze := p.accept(tokenIdent, "ANALYZE")
+		st, err := p.selectStmt(true)
+		if err != nil {
+			return nil, err
+		}
+		st.Analyze = analyze
+		return st, nil
 	case "SET":
 		return p.set()
 	case "SHOW":

@@ -119,6 +119,9 @@ func (s *Session) query(st *Statement) (pioqo.Query, error) {
 }
 
 func (s *Session) selectStmt(st *Statement) (string, error) {
+	if st.Analyze && (st.Join != "" || st.GroupWidth > 0) {
+		return "", fmt.Errorf("sql: EXPLAIN ANALYZE supports single-table scans only")
+	}
 	if st.Join != "" {
 		return s.joinStmt(st)
 	}
@@ -128,6 +131,9 @@ func (s *Session) selectStmt(st *Statement) (string, error) {
 	q, err := s.query(st)
 	if err != nil {
 		return "", err
+	}
+	if st.Analyze {
+		return s.explainAnalyze(st, q)
 	}
 	if st.Explain {
 		plans, err := s.sys.Explain(q, s.planOptions())
@@ -154,6 +160,31 @@ func (s *Session) selectStmt(st *Statement) (string, error) {
 	}
 	return fmt.Sprintf("%s(%s) = %s  (%d rows, %v via %v)",
 		st.Agg, aggArg(st.Agg), value, res.Rows, res.Runtime, res.Plan), nil
+}
+
+// explainAnalyze runs the query with telemetry capture and renders the
+// answer, the virtual-time span tree (query → optimize → operator →
+// workers), and the engine metrics attributed to exactly this query.
+func (s *Session) explainAnalyze(st *Statement, q pioqo.Query) (string, error) {
+	var tel pioqo.QueryTelemetry
+	res, err := s.sys.Execute(q,
+		pioqo.WithPlanOptions(s.planOptions()), pioqo.CaptureTelemetry(&tel))
+	if err != nil {
+		return "", err
+	}
+	value := fmt.Sprint(res.Value)
+	if !res.Found {
+		value = "NULL"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(%s) = %s  (%d rows, %v via %v)\n",
+		st.Agg, aggArg(st.Agg), value, res.Rows, res.Runtime, res.Plan)
+	b.WriteString(tel.Tree())
+	if m := tel.Metrics.String(); m != "" {
+		b.WriteString("\n-- metrics --\n")
+		b.WriteString(m)
+	}
+	return b.String(), nil
 }
 
 // groupByStmt executes SELECT agg ... GROUP BY C2 DIV width as a parallel

@@ -81,6 +81,23 @@ func TestParseExplain(t *testing.T) {
 	}
 }
 
+func TestParseExplainAnalyze(t *testing.T) {
+	st, err := Parse("EXPLAIN ANALYZE SELECT SUM(C1) FROM t WHERE C2 BETWEEN 0 AND 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Analyze || st.Agg != "SUM" {
+		t.Errorf("parsed %+v", st)
+	}
+	st, err = Parse("EXPLAIN SELECT SUM(C1) FROM t WHERE C2 BETWEEN 0 AND 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Analyze {
+		t.Error("plain EXPLAIN parsed as ANALYZE")
+	}
+}
+
 func TestParseCreateTable(t *testing.T) {
 	st, err := Parse("CREATE TABLE t33 ROWS 400000 ROWSPERPAGE 33 SYNTHETIC NOINDEX")
 	if err != nil {
@@ -175,6 +192,15 @@ func TestSessionEndToEnd(t *testing.T) {
 	out = s.mustExec(t, "EXPLAIN SELECT MAX(C1) FROM t WHERE C2 BETWEEN 0 AND 499;")
 	if !strings.Contains(out, "=>") {
 		t.Errorf("explain output %q missing chosen-plan marker", out)
+	}
+
+	out = s.mustExec(t, "EXPLAIN ANALYZE SELECT MAX(C1) FROM t WHERE C2 BETWEEN 0 AND 499;")
+	// The preceding COUNT warmed this range, so the run is all buffer hits
+	// (zero counter deltas, device reads included, are omitted).
+	for _, want := range []string{"query ", "optimize", "-- metrics --", "buffer.hits", "exec.scans +1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("EXPLAIN ANALYZE output missing %q:\n%s", want, out)
+		}
 	}
 
 	out = s.mustExec(t, "SHOW TABLES;")
@@ -347,5 +373,8 @@ func TestSessionErrors(t *testing.T) {
 	}
 	if out := s.mustExec(t, "   "); out != "" {
 		t.Errorf("blank statement output %q", out)
+	}
+	if _, err := s.Exec("EXPLAIN ANALYZE SELECT COUNT(*) FROM t WHERE C2 BETWEEN 0 AND 9 GROUP BY C2 / 5;"); err == nil {
+		t.Error("EXPLAIN ANALYZE with GROUP BY succeeded")
 	}
 }

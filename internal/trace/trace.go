@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"pioqo/internal/device"
+	"pioqo/internal/obs"
 	"pioqo/internal/sim"
 )
 
@@ -35,12 +36,11 @@ type Profile struct {
 // simulation goes idle (its sampling stops scheduling once stopped
 // explicitly, or keeps the run alive otherwise — so call Stop from the
 // driving process when the measured work completes).
+//
+// It is a thin device-specific view over the obs.Sampler primitive.
 type Profiler struct {
-	env      *sim.Env
-	dev      device.Device
 	interval sim.Duration
-	profile  Profile
-	stopped  bool
+	sampler  *obs.Sampler
 }
 
 // NewProfiler returns a profiler sampling dev every interval.
@@ -48,32 +48,29 @@ func NewProfiler(env *sim.Env, dev device.Device, interval sim.Duration) *Profil
 	if interval <= 0 {
 		panic("trace: non-positive sampling interval")
 	}
-	return &Profiler{env: env, dev: dev, interval: interval,
-		profile: Profile{Interval: interval}}
+	return &Profiler{
+		interval: interval,
+		sampler: obs.NewSampler(env, interval, func() float64 {
+			return float64(dev.Metrics().Outstanding())
+		}),
+	}
 }
 
 // Start begins sampling at the current virtual time.
-func (p *Profiler) Start() {
-	p.stopped = false
-	p.tick()
-}
-
-func (p *Profiler) tick() {
-	if p.stopped {
-		return
-	}
-	p.profile.Samples = append(p.profile.Samples, Sample{
-		At:    p.env.Now(),
-		Depth: p.dev.Metrics().Outstanding(),
-	})
-	p.env.Schedule(p.interval, p.tick)
-}
+func (p *Profiler) Start() { p.sampler.Start() }
 
 // Stop ends sampling; the scheduled next tick becomes a no-op.
-func (p *Profiler) Stop() { p.stopped = true }
+func (p *Profiler) Stop() { p.sampler.Stop() }
 
 // Profile returns the collected series.
-func (p *Profiler) Profile() Profile { return p.profile }
+func (p *Profiler) Profile() Profile {
+	series := p.sampler.Series()
+	prof := Profile{Interval: p.interval, Samples: make([]Sample, len(series))}
+	for i, s := range series {
+		prof.Samples[i] = Sample{At: s.At, Depth: int(s.Value)}
+	}
+	return prof
+}
 
 // Stats summarises a profile.
 type Stats struct {
@@ -109,9 +106,24 @@ func (pr Profile) Stats() Stats {
 	}
 	sort.Ints(depths)
 	st.Mean = float64(sum) / float64(len(depths))
-	st.P50 = depths[len(depths)/2]
-	st.P90 = depths[int(math.Ceil(float64(len(depths))*0.9))-1]
+	st.P50 = percentile(depths, 0.50)
+	st.P90 = percentile(depths, 0.90)
 	return st
+}
+
+// percentile returns the nearest-rank percentile over ascending-sorted
+// values: the smallest value with at least p·n of the samples at or below
+// it. Both reported percentiles use this one method, so P50 of a 2-sample
+// profile is the lower sample, not an out-of-range index.
+func percentile(sorted []int, p float64) int {
+	rank := int(math.Ceil(p * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
 }
 
 // Histogram renders the series as a textual depth histogram with the given
@@ -122,20 +134,25 @@ func (pr Profile) Histogram(buckets int) string {
 	if st.Samples == 0 || buckets <= 0 {
 		return "(no samples)"
 	}
-	if buckets > st.Max+1 {
-		buckets = st.Max + 1
+	// Bucket the observed non-zero depth range [min, max] with integer
+	// boundaries min + i·span/buckets, so the top bucket ends exactly at
+	// the maximum observed depth instead of overshooting the range.
+	min := st.Max
+	for _, s := range pr.Samples {
+		if s.Depth > 0 && s.Depth < min {
+			min = s.Depth
+		}
+	}
+	span := st.Max - min + 1
+	if buckets > span {
+		buckets = span
 	}
 	counts := make([]int, buckets)
-	width := float64(st.Max+1) / float64(buckets)
 	for _, s := range pr.Samples {
 		if s.Depth == 0 {
 			continue
 		}
-		b := int(float64(s.Depth) / width)
-		if b >= buckets {
-			b = buckets - 1
-		}
-		counts[b]++
+		counts[(s.Depth-min)*buckets/span]++
 	}
 	maxCount := 0
 	for _, c := range counts {
@@ -145,11 +162,8 @@ func (pr Profile) Histogram(buckets int) string {
 	}
 	var b strings.Builder
 	for i, c := range counts {
-		lo := int(float64(i) * width)
-		hi := int(float64(i+1)*width) - 1
-		if hi < lo {
-			hi = lo
-		}
+		lo := min + i*span/buckets
+		hi := min + (i+1)*span/buckets - 1
 		bar := ""
 		if maxCount > 0 {
 			bar = strings.Repeat("#", c*40/maxCount)

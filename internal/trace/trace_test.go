@@ -82,6 +82,62 @@ func TestStatsPercentiles(t *testing.T) {
 	}
 }
 
+func TestStatsPercentilesSmallProfiles(t *testing.T) {
+	// Nearest-rank on tiny profiles: P50 of two samples is the lower one
+	// (rank ceil(0.5·2) = 1), and every percentile stays in range.
+	cases := []struct {
+		depths   []int
+		p50, p90 int
+	}{
+		{[]int{5}, 5, 5},
+		{[]int{3, 7}, 3, 7},
+		{[]int{2, 5, 9}, 5, 9},
+	}
+	for _, c := range cases {
+		pr := Profile{}
+		for i, d := range c.depths {
+			pr.Samples = append(pr.Samples, Sample{At: sim.Time(i), Depth: d})
+		}
+		st := pr.Stats()
+		if st.P50 != c.p50 || st.P90 != c.p90 {
+			t.Errorf("depths %v: p50=%d p90=%d, want %d and %d",
+				c.depths, st.P50, st.P90, c.p50, c.p90)
+		}
+	}
+}
+
+func TestHistogramBucketsCoverObservedRange(t *testing.T) {
+	// A constant-depth profile must render as a single exact bucket; the
+	// old [0, max+1) bucketing stretched the top bucket well past the
+	// observed range.
+	pr := Profile{}
+	for i := 0; i < 20; i++ {
+		pr.Samples = append(pr.Samples, Sample{At: sim.Time(i), Depth: 8})
+	}
+	out := pr.Histogram(4)
+	if lines := strings.Split(out, "\n"); len(lines) != 1 {
+		t.Fatalf("constant-depth histogram has %d buckets, want 1:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "qd   8-  8") {
+		t.Errorf("bucket range not pinned to the observed depth:\n%s", out)
+	}
+
+	// A narrow high range [7, 8] with a generous bucket budget clamps to
+	// one bucket per depth, ending exactly at the maximum.
+	pr = Profile{}
+	for i := 0; i < 20; i++ {
+		pr.Samples = append(pr.Samples, Sample{At: sim.Time(i), Depth: 7 + i%2})
+	}
+	out = pr.Histogram(8)
+	lines := strings.Split(out, "\n")
+	if len(lines) != 2 {
+		t.Fatalf("two-depth histogram has %d buckets, want 2:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "qd   7-  7") || !strings.Contains(lines[1], "qd   8-  8") {
+		t.Errorf("bucket edges not integer-aligned to the observed range:\n%s", out)
+	}
+}
+
 func TestHistogramRenders(t *testing.T) {
 	pr := Profile{}
 	for i := 0; i < 100; i++ {

@@ -13,6 +13,7 @@ import (
 	"pioqo/internal/device"
 	"pioqo/internal/disk"
 	"pioqo/internal/exec"
+	"pioqo/internal/obs"
 	"pioqo/internal/sim"
 	"pioqo/internal/table"
 )
@@ -125,6 +126,11 @@ type Options struct {
 	Cores       int   // logical cores; default 8 (the paper's machine)
 	Seed        int64 // default 1
 	Synthetic   bool  // use the O(1)-memory synthetic backing
+
+	// Trace, when set, attaches a tracer for this system (one process lane
+	// in a Chrome export) and wires it into the exec context, so every scan
+	// the system runs records operator and worker spans.
+	Trace *obs.Trace
 }
 
 func (o Options) withDefaults() Options {
@@ -157,6 +163,12 @@ type System struct {
 	Table   table.Table
 	Index   *btree.Index
 	Ctx     *exec.Context
+
+	// Obs is the system's metrics registry; the device and pool publish
+	// into it at assembly time.
+	Obs *obs.Registry
+	// Tracer is non-nil when Options.Trace was set.
+	Tracer *obs.Tracer
 }
 
 // New assembles a system per opts.
@@ -187,13 +199,22 @@ func New(opts Options) *System {
 		CPU:     sim.NewResource(env, "cpu", opts.Cores),
 		Table:   tab,
 		Index:   idx,
+		Obs:     obs.NewRegistry(env),
+	}
+	dev.Metrics().Publish(s.Obs, "device")
+	s.Pool.Publish(s.Obs, "buffer")
+	if opts.Trace != nil {
+		s.Tracer = opts.Trace.NewTracer(env,
+			fmt.Sprintf("E%d-%s", opts.RowsPerPage, opts.Device))
 	}
 	s.Ctx = &exec.Context{
-		Env:   env,
-		CPU:   s.CPU,
-		Pool:  s.Pool,
-		Dev:   dev,
-		Costs: exec.DefaultCPUCosts(),
+		Env:    env,
+		CPU:    s.CPU,
+		Pool:   s.Pool,
+		Dev:    dev,
+		Costs:  exec.DefaultCPUCosts(),
+		Tracer: s.Tracer,
+		Reg:    s.Obs,
 	}
 	return s
 }

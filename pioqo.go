@@ -36,6 +36,7 @@ import (
 	"pioqo/internal/device"
 	"pioqo/internal/disk"
 	"pioqo/internal/exec"
+	"pioqo/internal/obs"
 	"pioqo/internal/sim"
 	"pioqo/internal/stats"
 	"pioqo/internal/table"
@@ -91,6 +92,12 @@ type System struct {
 
 	tables map[string]*Table
 	model  *cost.QDTT
+
+	// reg is the engine-wide metrics registry; the device and pool publish
+	// cumulative instruments into it at assembly time. observer, when set,
+	// receives per-query telemetry.
+	reg      *obs.Registry
+	observer Observer
 }
 
 // New builds a system per cfg.
@@ -106,7 +113,7 @@ func New(cfg Config) *System {
 	}
 	env := sim.NewEnv(cfg.Seed)
 	dev := workload.NewDevice(env, cfg.Device)
-	return &System{
+	s := &System{
 		env:     env,
 		dev:     dev,
 		manager: disk.NewManager(dev),
@@ -116,7 +123,11 @@ func New(cfg Config) *System {
 		cores:   cfg.Cores,
 		seed:    cfg.Seed,
 		tables:  make(map[string]*Table),
+		reg:     obs.NewRegistry(env),
 	}
+	dev.Metrics().Publish(s.reg, "device")
+	s.pool.Publish(s.reg, "buffer")
+	return s
 }
 
 // Table is a heap table with two integer columns, C1 (aggregated) and C2
@@ -254,7 +265,8 @@ func (s *System) BufferPoolResident(t *Table) int64 { return s.pool.Resident(t.t
 func (s *System) DeviceName() string { return s.dev.Name() }
 
 func (s *System) execContext() *exec.Context {
-	return &exec.Context{Env: s.env, CPU: s.cpu, Pool: s.pool, Dev: s.dev, Costs: s.costs}
+	return &exec.Context{Env: s.env, CPU: s.cpu, Pool: s.pool, Dev: s.dev,
+		Costs: s.costs, Reg: s.reg}
 }
 
 // Now reports the system's virtual clock.

@@ -182,6 +182,7 @@ func (s *System) optConfig(q Query, o PlanOptions) (opt.Config, opt.Input, error
 		PoolPages:        int64(s.pool.Capacity()),
 		EnableSortedScan: o.EnableSortedScan,
 		QueueBudget:      o.QueueBudget,
+		Obs:              s.reg,
 	}
 	if o.EnablePrefetchPlanning {
 		cfg.PrefetchDepths = []int{2, 4, 8, 16, 32}
@@ -267,14 +268,21 @@ func (s *System) Execute(q Query, opts ...ExecOption) (Result, error) {
 	for _, o := range opts {
 		o(&eo)
 	}
+	if err := q.validate(); err != nil {
+		return Result{}, err
+	}
 	if eo.cold {
 		s.pool.Flush()
 	}
+	ts := s.startTelemetry(q, eo)
+	ospan := ts.trc().Start(ts.span(), "optimize")
 	plan, err := s.Plan(q, eo.plan)
 	if err != nil {
 		return Result{}, err
 	}
-	return s.ExecutePlan(q, plan, opts...)
+	ospan.SetAttr("plan", plan.String())
+	ospan.End()
+	return s.executePlan(q, plan, eo, ts)
 }
 
 // ExecutePlan runs q with a caller-supplied plan, bypassing the optimizer.
@@ -286,14 +294,21 @@ func (s *System) ExecutePlan(q Query, plan Plan, opts ...ExecOption) (Result, er
 	for _, o := range opts {
 		o(&eo)
 	}
+	if eo.cold {
+		s.pool.Flush()
+	}
+	return s.executePlan(q, plan, eo, s.startTelemetry(q, eo))
+}
+
+// executePlan is the shared execution tail of Execute and ExecutePlan: it
+// runs the scan under the telemetry session's query span (if any) and
+// delivers telemetry to the observer/capture listeners.
+func (s *System) executePlan(q Query, plan Plan, eo execOptions, ts *telemetrySession) (Result, error) {
 	if plan.Method != FullTableScan && q.Table.idx == nil {
 		return Result{}, fmt.Errorf("pioqo: table %q has no index", q.Table.Name())
 	}
 	if plan.Degree <= 0 {
 		plan.Degree = 1
-	}
-	if eo.cold {
-		s.pool.Flush()
 	}
 	prefetch := eo.prefetch
 	if prefetch == 0 {
@@ -308,9 +323,12 @@ func (s *System) ExecutePlan(q Query, plan Plan, opts ...ExecOption) (Result, er
 		Degree:            plan.Degree,
 		Agg:               q.Agg.internal(),
 		PrefetchPerWorker: prefetch,
+		Span:              ts.span(),
 	}
-	res := exec.Execute(s.execContext(), spec)
-	return Result{
+	ctx := s.execContext()
+	ctx.Tracer = ts.trc()
+	res := exec.Execute(ctx, spec)
+	result := Result{
 		Value:            res.Value,
 		Found:            res.Found,
 		Rows:             res.RowsMatched,
@@ -318,16 +336,20 @@ func (s *System) ExecutePlan(q Query, plan Plan, opts ...ExecOption) (Result, er
 		Runtime:          time.Duration(res.Runtime),
 		PageReads:        res.IO.Requests,
 		IOThroughputMBps: res.IO.ThroughputMBps,
-	}, nil
+	}
+	ts.finish(s, plan, result.Runtime, eo)
+	return result, nil
 }
 
 // ExecOption tunes Execute/ExecutePlan.
 type ExecOption func(*execOptions)
 
 type execOptions struct {
-	cold     bool
-	prefetch int
-	plan     PlanOptions
+	cold      bool
+	prefetch  int
+	plan      PlanOptions
+	telemetry *QueryTelemetry
+	detail    bool
 }
 
 // Cold flushes the buffer pool before running, modelling a cold cache.

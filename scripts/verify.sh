@@ -1,0 +1,16 @@
+#!/bin/sh
+# Full verification gate: the tier-1 check from ROADMAP.md, plus static
+# analysis and a race-detector pass over the packages with the most
+# scheduling-sensitive state (the simulator core and the observability
+# primitives layered on it).
+set -eux
+
+cd "$(dirname "$0")/.."
+
+# Tier 1 (keep in sync with ROADMAP.md).
+go build ./...
+go test ./...
+
+# Tier 2: vet everything, race-test the event loop and metrics/span layer.
+go vet ./...
+go test -race ./internal/sim/... ./internal/obs/...
