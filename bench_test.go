@@ -31,9 +31,10 @@ func cfg(rpp int, dev workload.DeviceKind) workload.Config {
 }
 
 func BenchmarkFig1(b *testing.B) {
+	sc := benchScale()
 	var ssdRatio float64
 	for i := 0; i < b.N; i++ {
-		for _, r := range experiments.Fig1() {
+		for _, r := range sc.Fig1() {
 			if r.Device == "SSD" && r.QueueDepth == 32 {
 				ssdRatio = r.RatioPercent
 			}
@@ -66,6 +67,17 @@ func BenchmarkFig4E1SSD(b *testing.B) {
 
 func BenchmarkFig4E33HDD(b *testing.B) {
 	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		sc.Fig4(cfg(33, workload.HDD), []int{32})
+	}
+}
+
+// BenchmarkFig4E33HDDSerial is the same experiment with the host-parallel
+// sweep disabled; comparing it against BenchmarkFig4E33HDD shows the
+// wall-clock gain from fanning independent grid points across cores.
+func BenchmarkFig4E33HDDSerial(b *testing.B) {
+	sc := benchScale()
+	sc.Parallel = 1
 	for i := 0; i < b.N; i++ {
 		sc.Fig4(cfg(33, workload.HDD), []int{32})
 	}

@@ -4,12 +4,15 @@
 //
 // Usage:
 //
-//	pioqo-bench [-scale quick|default] [-panel a..f] [-ascii] [-trace out.json] [-json] <experiment>
+//	pioqo-bench [-scale quick|default] [-panel a..f] [-ascii] [-trace out.json] [-json] [-parallel n] <experiment>
 //
 // Flags may also follow the experiment name. -trace writes every
 // virtual-time span the run produced (one process lane per system, one
 // thread lane per worker) as Chrome trace_event JSON for chrome://tracing.
 // -json makes qdprofile emit its sampled queue-depth series as JSON.
+// -parallel sets how many host workers run independent sweep points
+// concurrently (0, the default, uses one per core; 1 runs serially) —
+// output is byte-identical at any setting, only wall-clock time changes.
 //
 // Paper experiments: fig1, table1, fig4, table2, table3, fig5, fig6, fig7,
 // fig8, fig9, fig10, fig11, fig12, earlystop. Extensions: qdprofile,
@@ -37,6 +40,7 @@ var (
 	ascii    = flag.Bool("ascii", false, "render curve figures (fig1, fig4, fig5, fig8) as ASCII charts")
 	traceOut = flag.String("trace", "", "write the run's virtual-time spans as Chrome trace_event JSON to this file (open in chrome://tracing)")
 	jsonOut  = flag.Bool("json", false, "qdprofile: emit the sampled queue-depth series as JSON instead of the TSV summary")
+	parallel = flag.Int("parallel", 0, "host workers for sweep points: 0 = one per core, 1 = serial (output is identical either way)")
 )
 
 func main() {
@@ -69,6 +73,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pioqo-bench: unknown scale %q\n", *scaleFlag)
 		os.Exit(2)
 	}
+
+	sc.Parallel = *parallel
 
 	var tr *obs.Trace
 	if *traceOut != "" {
@@ -121,7 +127,7 @@ func writeTrace(tr *obs.Trace) {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: pioqo-bench [-scale quick|default] [-panel a..f] [-trace out.json] [-json] <experiment>
+	fmt.Fprintf(os.Stderr, `usage: pioqo-bench [-scale quick|default] [-panel a..f] [-trace out.json] [-json] [-parallel n] <experiment>
 
 experiments:
   fig1       sequential vs parallel-random throughput, HDD & SSD
@@ -184,7 +190,7 @@ func run(sc experiments.Scale, exp, panel string) error {
 	defer w.Flush()
 	switch exp {
 	case "fig1":
-		rows := experiments.Fig1()
+		rows := sc.Fig1()
 		if *ascii {
 			byDev := map[string]*plot.Series{}
 			var order []string

@@ -26,21 +26,26 @@ type AccuracyRow struct {
 // runtime. A usable cost model keeps the ratio within a small constant
 // band; more importantly, it must *rank* plans correctly (see Optimality).
 func (sc Scale) Accuracy(cfg workload.Config) []AccuracyRow {
-	s := sc.system(cfg)
-	model := sc.calibrated(s)
-	optCfg := opt.Config{
-		Model:     model,
-		Costs:     s.Ctx.Costs,
-		Cores:     s.CPU.Capacity(),
-		PoolPages: int64(s.Pool.Capacity()),
-		Degrees:   []int{1, 8, 32},
-	}
+	// Calibrate once on a dedicated system; the QDTT grid is immutable and
+	// shared read-only. Each selectivity then enumerates and measures its
+	// candidates on a fresh system, making the points independent.
+	model := sc.calibrated(sc.system(cfg))
 
 	lo, hi := fig4Grid(cfg)
-	var rows []AccuracyRow
-	for _, sel := range selGrid(lo, hi, sc.SelPoints) {
+	sels := selGrid(lo, hi, sc.SelPoints)
+	perSel := sweep(sc.workers(), len(sels), func(i int) []AccuracyRow {
+		sel := sels[i]
+		s := sc.system(cfg)
+		optCfg := opt.Config{
+			Model:     model,
+			Costs:     s.Ctx.Costs,
+			Cores:     s.CPU.Capacity(),
+			PoolPages: int64(s.Pool.Capacity()),
+			Degrees:   []int{1, 8, 32},
+		}
 		plo, phi := s.RangeFor(sel)
 		in := opt.Input{Table: s.Table, Index: s.Index, Pool: s.Pool, Lo: plo, Hi: phi}
+		var rows []AccuracyRow
 		for _, plan := range opt.Enumerate(optCfg, in) {
 			res := s.Run(plan.Spec(in), true)
 			measuredMs := res.Runtime.Millis()
@@ -54,8 +59,9 @@ func (sc Scale) Accuracy(cfg workload.Config) []AccuracyRow {
 				Ratio:       estimatedMs / measuredMs,
 			})
 		}
-	}
-	return rows
+		return rows
+	})
+	return flatten(perSel)
 }
 
 // OptimalityRow reports, for one selectivity, how far each optimizer's
@@ -78,21 +84,25 @@ type OptimalityRow struct {
 // choices sit near regret 1 while the DTT optimizer's are off by up to
 // ~20x at low selectivities.
 func (sc Scale) Optimality(cfg workload.Config) []OptimalityRow {
-	s := sc.system(cfg)
-	model := sc.calibrated(s)
-	base := opt.Config{
-		Costs:     s.Ctx.Costs,
-		Cores:     s.CPU.Capacity(),
-		PoolPages: int64(s.Pool.Capacity()),
-		Degrees:   []int{1, 8, 32},
-	}
-	newCfg, oldCfg := base, base
-	newCfg.Model = model
-	oldCfg.Model = model.DepthOne()
+	// As in Accuracy: one shared read-only calibration, one fresh system per
+	// selectivity point.
+	model := sc.calibrated(sc.system(cfg))
 
 	lo, hi := fig4Grid(cfg)
-	var rows []OptimalityRow
-	for _, sel := range selGrid(lo, hi, sc.SelPoints) {
+	sels := selGrid(lo, hi, sc.SelPoints)
+	return sweep(sc.workers(), len(sels), func(i int) OptimalityRow {
+		sel := sels[i]
+		s := sc.system(cfg)
+		base := opt.Config{
+			Costs:     s.Ctx.Costs,
+			Cores:     s.CPU.Capacity(),
+			PoolPages: int64(s.Pool.Capacity()),
+			Degrees:   []int{1, 8, 32},
+		}
+		newCfg, oldCfg := base, base
+		newCfg.Model = model
+		oldCfg.Model = model.DepthOne()
+
 		plo, phi := s.RangeFor(sel)
 		in := opt.Input{Table: s.Table, Index: s.Index, Pool: s.Pool, Lo: plo, Hi: phi}
 
@@ -121,7 +131,7 @@ func (sc Scale) Optimality(cfg workload.Config) []OptimalityRow {
 		newChoice := opt.Choose(newCfg, in)
 		oldRt := measured[key{oldChoice.Method, oldChoice.Degree}]
 		newRt := measured[key{newChoice.Method, newChoice.Degree}]
-		rows = append(rows, OptimalityRow{
+		return OptimalityRow{
 			Config:      cfg.Name,
 			Selectivity: sel,
 			BestPlan:    bestPlan,
@@ -130,9 +140,8 @@ func (sc Scale) Optimality(cfg workload.Config) []OptimalityRow {
 			OldRegret:   oldRt / best,
 			NewPlan:     methodLabel(newChoice.Method, newChoice.Degree),
 			NewRegret:   newRt / best,
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // meanRegret averages a column of Optimality output (used by tests and

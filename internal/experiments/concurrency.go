@@ -49,10 +49,8 @@ func (sc Scale) Concurrency() []ConcurrencyRow {
 	}
 	cfg := workload.Config{Name: "conc", RowsPerPage: 33, Device: workload.SSD}
 
-	var rows []ConcurrencyRow
-	serial := func(name string, degree int) {
+	serial := func(name string, degree int) ConcurrencyRow {
 		s := sc.system(cfg)
-		start := s.Env.Now()
 		var totalLat sim.Duration
 		var bytes float64
 		var elapsed sim.Duration
@@ -62,17 +60,16 @@ func (sc Scale) Concurrency() []ConcurrencyRow {
 			bytes += float64(res.IO.Bytes)
 			elapsed += res.Runtime
 		}
-		_ = start
-		rows = append(rows, ConcurrencyRow{
+		return ConcurrencyRow{
 			Strategy:   name,
 			Queries:    nQueries,
 			Degree:     degree,
 			MakespanMs: elapsed.Millis(),
 			MeanLatMs:  totalLat.Millis() / nQueries,
 			Throughput: bytes / 1e6 / elapsed.Seconds(),
-		})
+		}
 	}
-	concurrent := func(name string, degree int) {
+	concurrent := func(name string, degree int) ConcurrencyRow {
 		s := sc.system(cfg)
 		s.Pool.Flush()
 		results, io := exec.ExecuteAll(s.Ctx, makeSpecs(s, degree))
@@ -83,20 +80,26 @@ func (sc Scale) Concurrency() []ConcurrencyRow {
 				makespan = r.Runtime
 			}
 		}
-		rows = append(rows, ConcurrencyRow{
+		return ConcurrencyRow{
 			Strategy:   name,
 			Queries:    nQueries,
 			Degree:     degree,
 			MakespanMs: makespan.Millis(),
 			MeanLatMs:  totalLat.Millis() / nQueries,
 			Throughput: io.ThroughputMBps,
-		})
+		}
 	}
 
-	serial("serial, IS", 1)
-	serial("serial, PIS32", 32)
-	concurrent("concurrent, IS (inter-query only)", 1)
-	concurrent("concurrent, PIS8 (budgeted)", 8)
-	concurrent("concurrent, PIS32 (oversubscribed)", 32)
-	return rows
+	// Each strategy runs its batch on its own fresh system, so the five
+	// strategies are independent simulations and fan out across host workers.
+	strategies := []func() ConcurrencyRow{
+		func() ConcurrencyRow { return serial("serial, IS", 1) },
+		func() ConcurrencyRow { return serial("serial, PIS32", 32) },
+		func() ConcurrencyRow { return concurrent("concurrent, IS (inter-query only)", 1) },
+		func() ConcurrencyRow { return concurrent("concurrent, PIS8 (budgeted)", 8) },
+		func() ConcurrencyRow { return concurrent("concurrent, PIS32 (oversubscribed)", 32) },
+	}
+	return sweep(sc.workers(), len(strategies), func(i int) ConcurrencyRow {
+		return strategies[i]()
+	})
 }

@@ -44,9 +44,17 @@ type Scale struct {
 	// Cores is the number of logical CPU cores (the paper's machine has 8).
 	Cores int
 
+	// Parallel is the number of host worker goroutines a sweep fans its
+	// grid points out over. Every grid point builds its own sim.Env, so
+	// points share no state and the collected output is byte-identical for
+	// any worker count. 0 means GOMAXPROCS (the default: parallel on);
+	// 1 restores the fully serial sweep.
+	Parallel int
+
 	// Trace, when non-nil, collects virtual-time spans from every system an
 	// experiment builds (one tracer process lane per system), for Chrome
-	// trace_event export via Trace.WriteChrome.
+	// trace_event export via Trace.WriteChrome. Tracing forces the serial
+	// sweep so span lanes are appended in deterministic order.
 	Trace *obs.Trace
 }
 

@@ -24,7 +24,7 @@ func cfgFor(rpp int, dev workload.DeviceKind) workload.Config {
 
 func TestFig1Shape(t *testing.T) {
 	t.Parallel()
-	rows := Fig1()
+	rows := quick().Fig1()
 	byDev := map[string][]Fig1Row{}
 	for _, r := range rows {
 		byDev[r.Device] = append(byDev[r.Device], r)

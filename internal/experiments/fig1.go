@@ -21,13 +21,26 @@ type Fig1Row struct {
 // Fig1 measures sequential vs parallel-random throughput on HDD and SSD at
 // queue depths 1..32, raw on the devices (no database layers). The paper
 // reports that at queue depth 32 random reads reach ~51.7% of sequential on
-// its SSD and ~1.3% on its HDD.
-func Fig1() []Fig1Row {
+// its SSD and ~1.3% on its HDD. Every measurement builds its own device in
+// its own environment, so the grid fans out as independent points.
+func (sc Scale) Fig1() []Fig1Row {
+	kinds := []workload.DeviceKind{workload.HDD, workload.SSD}
+	qds := []int{1, 2, 4, 8, 16, 32}
+	// Point layout per device kind: one sequential baseline, then one
+	// random measurement per queue depth.
+	perKind := 1 + len(qds)
+	vals := sweep(sc.workers(), len(kinds)*perKind, func(i int) float64 {
+		kind, slot := kinds[i/perKind], i%perKind
+		if slot == 0 {
+			return fig1Sequential(kind)
+		}
+		return fig1Random(kind, qds[slot-1])
+	})
 	var rows []Fig1Row
-	for _, kind := range []workload.DeviceKind{workload.HDD, workload.SSD} {
-		seq := fig1Sequential(kind)
-		for _, qd := range []int{1, 2, 4, 8, 16, 32} {
-			rnd := fig1Random(kind, qd)
+	for ki, kind := range kinds {
+		seq := vals[ki*perKind]
+		for qi, qd := range qds {
+			rnd := vals[ki*perKind+1+qi]
 			rows = append(rows, Fig1Row{
 				Device:       kind.String(),
 				QueueDepth:   qd,

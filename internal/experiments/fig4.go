@@ -46,17 +46,23 @@ func fig4Grid(cfg workload.Config) (lo, hi float64) {
 // and PFTS access methods on one Table 1 configuration. degrees lists the
 // parallel degrees beyond 1 to include (the paper plots degree 32 and notes
 // that 2–16 were omitted from the diagrams for readability).
+//
+// Each selectivity is one grid point with its own freshly assembled system
+// (its own sim.Env), so the points are independent and fan out over the
+// Scale's host worker pool.
 func (sc Scale) Fig4(cfg workload.Config, degrees []int) []Fig4Row {
 	if len(degrees) == 0 {
 		degrees = []int{32}
 	}
-	s := sc.system(cfg)
+	allDegrees := append([]int{1}, degrees...)
 	lo, hi := fig4Grid(cfg)
-	var rows []Fig4Row
-	for _, sel := range selGrid(lo, hi, sc.SelPoints) {
+	sels := selGrid(lo, hi, sc.SelPoints)
+	return flatten(sweep(sc.workers(), len(sels), func(i int) []Fig4Row {
+		s := sc.system(cfg)
+		sel := sels[i]
 		plo, phi := s.RangeFor(sel)
+		var rows []Fig4Row
 		for _, m := range []exec.Method{exec.IndexScan, exec.FullScan} {
-			allDegrees := append([]int{1}, degrees...)
 			for _, d := range allDegrees {
 				res := s.Run(s.Spec(m, d, plo, phi), true)
 				rows = append(rows, Fig4Row{
@@ -67,8 +73,8 @@ func (sc Scale) Fig4(cfg workload.Config, degrees []int) []Fig4Row {
 				})
 			}
 		}
-	}
-	return rows
+		return rows
+	}))
 }
 
 func methodLabel(m exec.Method, degree int) string {
@@ -89,27 +95,44 @@ type Table2Row struct {
 
 // Table2 finds the four break-even selectivities for each rows-per-page
 // setting by bisecting measured runtimes, exactly as the crossings are read
-// off the paper's Fig. 4 curves.
+// off the paper's Fig. 4 curves. Each (rows-per-page, device, degree)
+// bisection builds its own systems, so the twelve of them fan out as
+// independent grid points.
 func (sc Scale) Table2() []Table2Row {
-	var out []Table2Row
-	for _, rpp := range []int{1, 33, 500} {
-		row := Table2Row{RowsPerPage: rpp}
-		for _, dev := range []workload.DeviceKind{workload.HDD, workload.SSD} {
-			cfg := workload.Config{
-				Name:        fmt.Sprintf("E%d-%s", rpp, dev),
-				RowsPerPage: rpp,
-				Device:      dev,
-			}
-			np := sc.breakEven(cfg, 1)
-			p := sc.breakEven(cfg, 32)
-			switch dev {
-			case workload.HDD:
-				row.NPHDD, row.PHDD = np, p
-			case workload.SSD:
-				row.NPSSD, row.PSSD = np, p
+	rpps := []int{1, 33, 500}
+	devs := []workload.DeviceKind{workload.HDD, workload.SSD}
+	degrees := []int{1, 32}
+	type point struct {
+		rpp    int
+		dev    workload.DeviceKind
+		degree int
+	}
+	var pts []point
+	for _, rpp := range rpps {
+		for _, dev := range devs {
+			for _, degree := range degrees {
+				pts = append(pts, point{rpp, dev, degree})
 			}
 		}
-		out = append(out, row)
+	}
+	vals := sweep(sc.workers(), len(pts), func(i int) float64 {
+		p := pts[i]
+		return sc.breakEven(workload.Config{
+			Name:        fmt.Sprintf("E%d-%s", p.rpp, p.dev),
+			RowsPerPage: p.rpp,
+			Device:      p.dev,
+		}, p.degree)
+	})
+	var out []Table2Row
+	for i, rpp := range rpps {
+		base := i * len(devs) * len(degrees)
+		out = append(out, Table2Row{
+			RowsPerPage: rpp,
+			NPHDD:       vals[base+0],
+			PHDD:        vals[base+1],
+			NPSSD:       vals[base+2],
+			PSSD:        vals[base+3],
+		})
 	}
 	return out
 }
@@ -166,23 +189,38 @@ type Table3Row struct {
 }
 
 // Table3 measures full-scan I/O throughput at degrees 32 and 1 on all six
-// Table 1 configurations and forms the paper's SSD-over-HDD ratios.
+// Table 1 configurations and forms the paper's SSD-over-HDD ratios. Every
+// (configuration, degree) measurement is one isolated grid point.
 func (sc Scale) Table3() []Table3Row {
-	throughput := func(cfg workload.Config, degree int) float64 {
-		s := sc.system(cfg)
-		plo, phi := s.RangeFor(0.1)
-		return s.Run(s.Spec(exec.FullScan, degree, plo, phi), true).IO.ThroughputMBps
+	rpps := []int{1, 33, 500}
+	type point struct {
+		rpp    int
+		dev    workload.DeviceKind
+		degree int
 	}
+	var pts []point
+	for _, rpp := range rpps {
+		for _, dev := range []workload.DeviceKind{workload.HDD, workload.SSD} {
+			for _, degree := range []int{32, 1} {
+				pts = append(pts, point{rpp, dev, degree})
+			}
+		}
+	}
+	vals := sweep(sc.workers(), len(pts), func(i int) float64 {
+		p := pts[i]
+		s := sc.system(workload.Config{Name: "t3", RowsPerPage: p.rpp, Device: p.dev})
+		plo, phi := s.RangeFor(0.1)
+		return s.Run(s.Spec(exec.FullScan, p.degree, plo, phi), true).IO.ThroughputMBps
+	})
 	var out []Table3Row
-	for _, rpp := range []int{1, 33, 500} {
-		hdd := workload.Config{Name: "hdd", RowsPerPage: rpp, Device: workload.HDD}
-		ssd := workload.Config{Name: "ssd", RowsPerPage: rpp, Device: workload.SSD}
+	for i, rpp := range rpps {
+		base := i * 4
 		r := Table3Row{
 			RowsPerPage: rpp,
-			PFTS32HDD:   throughput(hdd, 32),
-			PFTS32SSD:   throughput(ssd, 32),
-			FTSHDD:      throughput(hdd, 1),
-			FTSSSD:      throughput(ssd, 1),
+			PFTS32HDD:   vals[base+0],
+			FTSHDD:      vals[base+1],
+			PFTS32SSD:   vals[base+2],
+			FTSSSD:      vals[base+3],
 		}
 		r.PFTS32Ratio = r.PFTS32SSD / r.PFTS32HDD
 		r.FTSRatio = r.FTSSSD / r.FTSHDD

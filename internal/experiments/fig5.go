@@ -22,26 +22,28 @@ type Fig5Row struct {
 // the scan; one worker prefetching n does not quite equal n workers; and a
 // few workers with deep prefetch beat many workers without it.
 func (sc Scale) Fig5() []Fig5Row {
-	var rows []Fig5Row
-	for _, degree := range []int{1, 2, 4, 8, 16, 32} {
-		for _, prefetch := range []int{0, 1, 2, 4, 8, 16, 32} {
-			// A fresh system per run keeps device and pool state identical
-			// across the grid.
-			s := sc.system(workload.Config{
-				Name:        "fig5",
-				RowsPerPage: 33,
-				Device:      workload.SSD,
-			})
-			lo, hi := s.RangeFor(0.03)
-			spec := s.Spec(exec.IndexScan, degree, lo, hi)
-			spec.PrefetchPerWorker = prefetch
-			res := s.Run(spec, true)
-			rows = append(rows, Fig5Row{
-				Degree:   degree,
-				Prefetch: prefetch,
-				Runtime:  res.Runtime,
-			})
+	degrees := []int{1, 2, 4, 8, 16, 32}
+	prefetches := []int{0, 1, 2, 4, 8, 16, 32}
+	n := len(degrees) * len(prefetches)
+	// A fresh system per (degree, prefetch) point keeps device and pool
+	// state identical across the grid — which also makes every point an
+	// isolated simulation that can fan out across host workers.
+	return sweep(sc.workers(), n, func(i int) Fig5Row {
+		degree := degrees[i/len(prefetches)]
+		prefetch := prefetches[i%len(prefetches)]
+		s := sc.system(workload.Config{
+			Name:        "fig5",
+			RowsPerPage: 33,
+			Device:      workload.SSD,
+		})
+		lo, hi := s.RangeFor(0.03)
+		spec := s.Spec(exec.IndexScan, degree, lo, hi)
+		spec.PrefetchPerWorker = prefetch
+		res := s.Run(spec, true)
+		return Fig5Row{
+			Degree:   degree,
+			Prefetch: prefetch,
+			Runtime:  res.Runtime,
 		}
-	}
-	return rows
+	})
 }

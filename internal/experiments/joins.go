@@ -31,8 +31,11 @@ type JoinRow struct {
 // nested-loop join's few lookups win. The planner — fed by distinct-count
 // statistics and the QDTT model — must track the crossover.
 func (sc Scale) Joins() []JoinRow {
-	var rows []JoinRow
-	for _, skew := range []float64{0, 1.1, 1.3, 1.6, 2.0} {
+	// One fresh environment per skew level: the points are independent
+	// simulations that fan out across host workers.
+	skews := []float64{0, 1.1, 1.3, 1.6, 2.0}
+	return sweep(sc.workers(), len(skews), func(i int) JoinRow {
+		skew := skews[i]
 		env := sim.NewEnv(808)
 		dev := workload.NewDevice(env, workload.SSD)
 		m := disk.NewManager(dev)
@@ -96,15 +99,13 @@ func (sc Scale) Joins() []JoinRow {
 		if nlMs < best {
 			best = nlMs
 		}
-		rows = append(rows, JoinRow{
+		return JoinRow{
 			BuildSkew:   skew,
 			DistinctPct: hist.DistinctRatio() * 100,
 			HashMs:      hashMs,
 			NLMs:        nlMs,
 			Chosen:      jp.Method.String(),
 			Regret:      chosenMs / best,
-		})
-	}
-	return rows
+		}
+	})
 }
-

@@ -74,10 +74,16 @@ func (sc Scale) Mixed(queries int) []MixedRow {
 		return row
 	}
 
-	return []MixedRow{
-		run("old (DTT)", true),
-		run("new (QDTT)", false),
+	// The two optimizer runs use separate systems and separate calibrations,
+	// so they are independent simulations.
+	type variant struct {
+		name           string
+		depthOblivious bool
 	}
+	variants := []variant{{"old (DTT)", true}, {"new (QDTT)", false}}
+	return sweep(sc.workers(), len(variants), func(i int) MixedRow {
+		return run(variants[i].name, variants[i].depthOblivious)
+	})
 }
 
 // percentile returns the p-quantile (0..1) of xs by sorting a copy.

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"pioqo/internal/calibrate"
+	"pioqo/internal/device"
 	"pioqo/internal/disk"
 	"pioqo/internal/sim"
 	"pioqo/internal/workload"
@@ -16,16 +17,27 @@ type ModelRow struct {
 	StdDev float64
 }
 
-// calibrateDevice runs one calibration on a fresh device of the given kind.
+// deviceFactory returns a calibrate.EnvFactory building fresh devices of
+// the given kind, one isolated environment per calibration point.
+func deviceFactory(kind workload.DeviceKind) calibrate.EnvFactory {
+	return func() (*sim.Env, device.Device) {
+		env := sim.NewEnv(31)
+		return env, workload.NewDevice(env, kind)
+	}
+}
+
+// calibrateDevice characterises a fresh device of the given kind. Each
+// (band, queue-depth) point of the calibration grid runs on its own device
+// in its own environment, so the grid fans out across host workers.
 func (sc Scale) calibrateDevice(kind workload.DeviceKind, mutate func(*calibrate.Config)) calibrate.Output {
-	env := sim.NewEnv(31)
-	dev := workload.NewDevice(env, kind)
-	cfg := calibrate.DefaultConfig(dev)
+	factory := deviceFactory(kind)
+	_, probe := factory()
+	cfg := calibrate.DefaultConfig(probe)
 	cfg.MaxReads = sc.CalibReads
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	return calibrate.Run(env, dev, cfg)
+	return calibrate.Sweep(factory, cfg, sc.workers())
 }
 
 // Fig6 produces the sample DTT models of the paper's Fig. 6: amortized
@@ -134,21 +146,24 @@ type Fig12Row struct {
 // interpolation. The paper concludes the exponential grid is "fairly
 // accurate".
 func (sc Scale) Fig12() []Fig12Row {
-	env := sim.NewEnv(33)
-	dev := workload.NewDevice(env, workload.RAID8)
-	bands := []int64{256, 64 << 10, dev.Size() / disk.PageSize}
+	factory := func() (*sim.Env, device.Device) {
+		env := sim.NewEnv(33)
+		return env, workload.NewDevice(env, workload.RAID8)
+	}
+	_, probe := factory()
+	bands := []int64{256, 64 << 10, probe.Size() / disk.PageSize}
 
-	expCfg := calibrate.DefaultConfig(dev)
+	expCfg := calibrate.DefaultConfig(probe)
 	expCfg.MaxReads = sc.CalibReads
 	expCfg.Bands = bands
-	model := calibrate.Run(env, dev, expCfg).Model
+	model := calibrate.Sweep(factory, expCfg, sc.workers()).Model
 
 	denseCfg := expCfg
 	denseCfg.Depths = nil
 	for d := 1; d <= 32; d++ {
 		denseCfg.Depths = append(denseCfg.Depths, d)
 	}
-	dense := calibrate.Run(env, dev, denseCfg)
+	dense := calibrate.Sweep(factory, denseCfg, sc.workers())
 
 	var rows []Fig12Row
 	for _, p := range dense.Points {

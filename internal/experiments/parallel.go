@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"runtime"
+
+	"pioqo/internal/host"
+)
+
+// workers resolves Scale.Parallel to a host worker count. Tracing forces the
+// serial sweep: all systems publish spans into the one Scale.Trace, and the
+// lane order of a Chrome export should not depend on host scheduling.
+func (sc Scale) workers() int {
+	if sc.Trace != nil {
+		return 1
+	}
+	switch {
+	case sc.Parallel == 0:
+		return runtime.GOMAXPROCS(0)
+	case sc.Parallel < 1:
+		return 1
+	default:
+		return sc.Parallel
+	}
+}
+
+// sweep evaluates fn(i) for every grid point i in [0, n) on a pool of
+// workers goroutines and returns the results in index order. Each fn builds
+// its own sim.Env (a fully isolated simulation), so the result slice is
+// byte-identical whatever the worker count — the serial run (workers == 1)
+// is simply the pool of one.
+func sweep[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	host.Sweep(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// flatten concatenates per-point row slices in point order.
+func flatten[T any](groups [][]T) []T {
+	var out []T
+	for _, g := range groups {
+		out = append(out, g...)
+	}
+	return out
+}

@@ -58,24 +58,23 @@ func (sc Scale) qdProfileRun(degree int) trace.Profile {
 // constant queue depth of n" — by sampling the SSD's outstanding request
 // count while parallel index scans of each degree run.
 func (sc Scale) QDProfile() []QDProfileRow {
-	var rows []QDProfileRow
-	for _, degree := range qdDegrees {
+	return sweep(sc.workers(), len(qdDegrees), func(i int) QDProfileRow {
+		degree := qdDegrees[i]
 		st := sc.qdProfileRun(degree).Stats()
-		rows = append(rows, QDProfileRow{
+		return QDProfileRow{
 			Degree:    degree,
 			MeanDepth: st.Mean,
 			P50Depth:  st.P50,
 			MaxDepth:  st.Max,
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // QDProfileSeries runs the same sweep as QDProfile but keeps every sample,
 // for machine-readable export.
 func (sc Scale) QDProfileSeries() []QDProfileSeriesRow {
-	var rows []QDProfileSeriesRow
-	for _, degree := range qdDegrees {
+	return sweep(sc.workers(), len(qdDegrees), func(i int) QDProfileSeriesRow {
+		degree := qdDegrees[i]
 		prof := sc.qdProfileRun(degree)
 		st := prof.Stats()
 		row := QDProfileSeriesRow{
@@ -86,10 +85,9 @@ func (sc Scale) QDProfileSeries() []QDProfileSeriesRow {
 			MaxDepth:   st.Max,
 			Samples:    make([]QDSample, len(prof.Samples)),
 		}
-		for i, s := range prof.Samples {
-			row.Samples[i] = QDSample{TimeUs: sim.Duration(s.At).Micros(), Depth: s.Depth}
+		for si, s := range prof.Samples {
+			row.Samples[si] = QDSample{TimeUs: sim.Duration(s.At).Micros(), Depth: s.Depth}
 		}
-		rows = append(rows, row)
-	}
-	return rows
+		return row
+	})
 }

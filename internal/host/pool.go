@@ -1,0 +1,70 @@
+// Package host fans independent work items out across host CPUs. It exists
+// for the experiment harness: every grid point of a parameter sweep builds
+// its own sim.Env, so points share no state and can run on a worker pool —
+// host parallelism around the simulator, as opposed to the simulated
+// parallelism inside it.
+package host
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Sweep runs fn(i) for every i in [0, n), fanning the calls out over a pool
+// of workers goroutines. It returns only when every call has finished.
+// Callers write results into an index-addressed slice, so the output order
+// never depends on the worker count or scheduling: a workers==1 run and a
+// workers==N run produce identical results as long as each fn(i) is
+// self-contained.
+//
+// workers <= 1 (or n <= 1) runs everything on the calling goroutine — the
+// serial sweep, with no goroutines involved. If any fn panics, Sweep
+// re-raises the first panic on the calling goroutine after the pool drains.
+func Sweep(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if panicked == nil {
+								panicked = r
+							}
+							panicMu.Unlock()
+							failed.Store(true)
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

@@ -1,0 +1,47 @@
+package host
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestSweepCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		const n = 57
+		var hits [n]atomic.Int32
+		Sweep(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times, want 1", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestSweepSerialAndParallelAgree(t *testing.T) {
+	run := func(workers int) [40]int {
+		var out [40]int
+		Sweep(workers, len(out), func(i int) { out[i] = i * i })
+		return out
+	}
+	if run(1) != run(7) {
+		t.Fatal("parallel sweep output differs from serial")
+	}
+}
+
+func TestSweepZeroItems(t *testing.T) {
+	Sweep(4, 0, func(i int) { t.Fatal("fn called for empty sweep") })
+}
+
+func TestSweepRepanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	Sweep(4, 16, func(i int) {
+		if i == 5 {
+			panic("boom")
+		}
+	})
+}

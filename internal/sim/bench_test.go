@@ -51,6 +51,67 @@ func BenchmarkManyProcesses(b *testing.B) {
 	e.Run()
 }
 
+// BenchmarkTypedEvents isolates the two event representations so a
+// regression in either stays visible: wakeup events carry the process in the
+// event itself (the Sleep/Wait/grant path, zero allocations), callback
+// events carry a func() (the Schedule path).
+func BenchmarkTypedEvents(b *testing.B) {
+	b.Run("wakeup-only", func(b *testing.B) {
+		// One process sleeping in a tight loop: every event is a proc wakeup.
+		e := NewEnv(1)
+		e.Go("sleeper", func(p *Proc) {
+			for i := 0; i < b.N; i++ {
+				p.Sleep(Microsecond)
+			}
+		})
+		b.ReportAllocs()
+		b.ResetTimer()
+		e.Run()
+	})
+	b.Run("callback-heavy", func(b *testing.B) {
+		// A self-rescheduling callback chain: every event runs a func().
+		e := NewEnv(1)
+		var tick func()
+		fired := 0
+		tick = func() {
+			fired++
+			if fired < b.N {
+				e.Schedule(Microsecond, tick)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		e.Schedule(Microsecond, tick)
+		e.Run()
+	})
+	b.Run("mixed", func(b *testing.B) {
+		// Completions fired from callbacks waking a waiting process: each
+		// iteration exercises one callback event and one wakeup event.
+		e := NewEnv(1)
+		next := NewCompletion(e)
+		e.Go("waiter", func(p *Proc) {
+			for i := 0; i < b.N; i++ {
+				c := next
+				p.Wait(c)
+				next = NewCompletion(e)
+			}
+		})
+		var arm func()
+		fired := 0
+		arm = func() {
+			fired++
+			next.Fire()
+			if fired < b.N {
+				e.Schedule(Microsecond, arm)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		e.Schedule(Microsecond, arm)
+		e.Run()
+	})
+}
+
 // BenchmarkResourceContention measures acquire/release under queueing.
 func BenchmarkResourceContention(b *testing.B) {
 	e := NewEnv(1)

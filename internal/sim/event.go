@@ -44,8 +44,7 @@ func (c *Completion) Fire() {
 	waiters := c.waiters
 	c.waiters = nil
 	for _, p := range waiters {
-		p := p
-		c.env.Schedule(0, func() { c.env.handoff(p, "completion") })
+		c.env.wake(p, 0)
 	}
 	callbacks := c.callbacks
 	c.callbacks = nil
@@ -71,7 +70,7 @@ func (p *Proc) Wait(c *Completion) {
 		return
 	}
 	c.waiters = append(c.waiters, p)
-	p.park("completion")
+	p.park(parkCompletion, 0, "")
 }
 
 // WaitAll suspends the process until every completion in cs has fired.
@@ -106,8 +105,7 @@ func (w *WaitGroup) Add(delta int) {
 		waiters := w.waiters
 		w.waiters = nil
 		for _, p := range waiters {
-			p := p
-			w.env.Schedule(0, func() { w.env.handoff(p, "waitgroup") })
+			w.env.wake(p, 0)
 		}
 	}
 }
@@ -122,5 +120,5 @@ func (p *Proc) WaitFor(w *WaitGroup) {
 		return
 	}
 	w.waiters = append(w.waiters, p)
-	p.park("waitgroup")
+	p.park(parkWaitGroup, 0, "")
 }

@@ -13,8 +13,8 @@ type Resource struct {
 	queue    []*resourceWaiter
 
 	// busyTime integrates (units in use) × (time), for utilisation reports.
-	busyTime    Duration
-	lastChange  Time
+	busyTime     Duration
+	lastChange   Time
 	acquisitions int64
 }
 
@@ -67,7 +67,7 @@ func (p *Proc) Acquire(r *Resource) {
 	}
 	w := &resourceWaiter{proc: p}
 	r.queue = append(r.queue, w)
-	p.park("resource " + r.name)
+	p.park(parkResource, 0, r.name)
 	if !w.granted {
 		panic("sim: resumed without grant from resource " + r.name)
 	}
@@ -86,7 +86,7 @@ func (r *Resource) Release() {
 		r.queue = r.queue[1:]
 		w.granted = true
 		r.acquisitions++
-		r.env.Schedule(0, func() { r.env.handoff(w.proc, "resource grant") })
+		r.env.wake(w.proc, 0)
 		return
 	}
 	r.account()

@@ -15,7 +15,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -64,33 +63,72 @@ func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 // Add reports the time t + d.
 func (t Time) Add(d Duration) Time { return t + Time(d) }
 
-// event is a scheduled callback. Events with equal times fire in the order
-// they were scheduled (seq breaks ties), which keeps the simulation
-// deterministic.
+// event is one scheduled occurrence. Events with equal times fire in the
+// order they were scheduled (seq breaks ties), which keeps the simulation
+// deterministic. An event either resumes a parked process (proc != nil) —
+// the common Sleep/Wait/grant case, which carries the process in the event
+// itself and allocates nothing — or runs a callback (fn != nil).
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	proc *Proc
+	fn   func()
 }
 
-type eventHeap []*event
+// eventQueue is a value-typed binary min-heap ordered by (at, seq). Keeping
+// events by value in one slice avoids the per-event heap allocation and the
+// interface{} boxing of container/heap, and the slice's storage is reused
+// across Schedule calls as the queue grows and drains. Because (at, seq) is
+// a total order (seq is unique), any correct heap pops events in exactly the
+// same sequence, so swapping the implementation preserves bit-identical
+// simulations.
+type eventQueue []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (q eventQueue) less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
 	}
-	return h[i].seq < h[j].seq
+	return q[i].seq < q[j].seq
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+func (q *eventQueue) push(ev event) {
+	h := append(*q, ev)
+	*q = h
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release the callback for GC before shrinking
+	h = h[:n]
+	*q = h
+	i := 0
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && h.less(r, child) {
+			child = r
+		}
+		if !h.less(child, i) {
+			break
+		}
+		h[i], h[child] = h[child], h[i]
+		i = child
+	}
+	return top
 }
 
 // Env is a simulation environment: a virtual clock, an event queue, and the
@@ -99,13 +137,13 @@ func (h *eventHeap) Pop() interface{} {
 // to Run.
 type Env struct {
 	now    Time
-	events eventHeap
+	events eventQueue
 	seq    uint64
 	rng    *rand.Rand
 
-	yield  chan struct{} // signalled when the running process parks or exits
-	live   map[*Proc]struct{}
-	parked map[*Proc]string // parked process -> wait reason, for deadlock reports
+	yield   chan struct{} // signalled when the running process parks or exits
+	live    map[*Proc]struct{}
+	nParked int // live processes currently parked, for deadlock detection
 
 	// panicked carries a panic raised inside a process goroutine so that it
 	// can be re-raised on the scheduler goroutine, where callers of Run can
@@ -118,10 +156,9 @@ type Env struct {
 // driven by the same process logic produce identical event sequences.
 func NewEnv(seed int64) *Env {
 	return &Env{
-		rng:    rand.New(rand.NewSource(seed)),
-		yield:  make(chan struct{}),
-		live:   make(map[*Proc]struct{}),
-		parked: make(map[*Proc]string),
+		rng:   rand.New(rand.NewSource(seed)),
+		yield: make(chan struct{}),
+		live:  make(map[*Proc]struct{}),
 	}
 }
 
@@ -139,8 +176,29 @@ func (e *Env) Schedule(d Duration, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling %v into the past", d))
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: e.now.Add(d), seq: e.seq, fn: fn})
+	e.events.push(event{at: e.now.Add(d), seq: e.seq, fn: fn})
 }
+
+// wake schedules p to be handed control at e.Now()+d. This is the kernel's
+// internal fast path: the process rides in the event itself, so the common
+// sleep/completion/grant wakeups allocate no closure.
+func (e *Env) wake(p *Proc, d Duration) {
+	e.seq++
+	e.events.push(event{at: e.now.Add(d), seq: e.seq, proc: p})
+}
+
+// parkKind says why a process is parked. The human-readable reason is only
+// materialised (parkReason) when a deadlock report is actually built, so
+// parking costs no allocation on the happy path.
+type parkKind uint8
+
+const (
+	parkNone parkKind = iota
+	parkSleep
+	parkCompletion
+	parkWaitGroup
+	parkResource
+)
 
 // Proc is a simulation process: a goroutine that runs under the scheduler's
 // control and blocks in virtual time. Methods on Proc must only be called
@@ -150,6 +208,11 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 	done   bool
+
+	parked    bool
+	parkKind  parkKind
+	parkDur   Duration // parkSleep: the sleep length
+	parkExtra string   // parkResource: the resource name
 }
 
 // Env returns the environment the process runs in.
@@ -160,6 +223,22 @@ func (p *Proc) Name() string { return p.name }
 
 // Now reports the current virtual time.
 func (p *Proc) Now() Time { return p.env.now }
+
+// parkReason renders why the process is parked, for deadlock reports.
+func (p *Proc) parkReason() string {
+	switch p.parkKind {
+	case parkSleep:
+		return fmt.Sprintf("sleeping %v", p.parkDur)
+	case parkCompletion:
+		return "completion"
+	case parkWaitGroup:
+		return "waitgroup"
+	case parkResource:
+		return "resource " + p.parkExtra
+	default:
+		return "unknown"
+	}
+}
 
 // Go spawns fn as a new process named name. The process starts at the
 // current virtual time, after the caller yields. Go may be called before Run
@@ -180,16 +259,19 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 			}()
 			fn(p)
 		}()
-		e.handoff(p, "start")
+		e.handoff(p)
 	})
 	return p
 }
 
 // handoff transfers control to p and blocks until p parks or exits. It must
 // run on the scheduler's goroutine (inside an event callback).
-func (e *Env) handoff(p *Proc, why string) {
-	delete(e.parked, p)
-	_ = why
+func (e *Env) handoff(p *Proc) {
+	if p.parked {
+		p.parked = false
+		p.parkKind = parkNone
+		e.nParked--
+	}
 	p.resume <- struct{}{}
 	<-e.yield
 	if r := e.panicked; r != nil {
@@ -198,10 +280,15 @@ func (e *Env) handoff(p *Proc, why string) {
 	}
 }
 
-// park suspends the calling process, recording why for deadlock reports, and
-// returns control to the scheduler until the process is resumed.
-func (p *Proc) park(why string) {
-	p.env.parked[p] = why
+// park suspends the calling process, recording a typed wait reason for
+// deadlock reports, and returns control to the scheduler until the process
+// is resumed.
+func (p *Proc) park(kind parkKind, d Duration, extra string) {
+	p.parked = true
+	p.parkKind = kind
+	p.parkDur = d
+	p.parkExtra = extra
+	p.env.nParked++
 	p.env.yield <- struct{}{}
 	<-p.resume
 }
@@ -211,9 +298,38 @@ func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: %s sleeping %v", p.name, d))
 	}
-	e := p.env
-	e.Schedule(d, func() { e.handoff(p, "sleep") })
-	p.park(fmt.Sprintf("sleeping %v", d))
+	p.env.wake(p, d)
+	p.park(parkSleep, d, "")
+}
+
+// step advances the clock to ev and fires it.
+func (e *Env) step(ev event) {
+	if ev.at < e.now {
+		panic("sim: event queue went backwards")
+	}
+	e.now = ev.at
+	if ev.proc != nil {
+		e.handoff(ev.proc)
+		return
+	}
+	ev.fn()
+}
+
+// checkDeadlock panics with the parked processes' names and wait reasons if
+// any process is still parked once the event queue has drained.
+func (e *Env) checkDeadlock() {
+	if e.nParked == 0 {
+		return
+	}
+	var stuck []string
+	for p := range e.live {
+		if p.parked {
+			stuck = append(stuck, fmt.Sprintf("%s (%s)", p.name, p.parkReason()))
+		}
+	}
+	sort.Strings(stuck)
+	panic(fmt.Sprintf("sim: deadlock at t=%v: %d process(es) still waiting: %v",
+		Duration(e.now), len(stuck), stuck))
 }
 
 // Run drives the simulation until the event queue is empty. It returns the
@@ -222,36 +338,24 @@ func (p *Proc) Sleep(d Duration) {
 // names and wait reasons.
 func (e *Env) Run() Time {
 	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.at < e.now {
-			panic("sim: event queue went backwards")
-		}
-		e.now = ev.at
-		ev.fn()
+		e.step(e.events.pop())
 	}
-	if len(e.parked) > 0 {
-		var stuck []string
-		for p, why := range e.parked {
-			stuck = append(stuck, fmt.Sprintf("%s (%s)", p.name, why))
-		}
-		sort.Strings(stuck)
-		panic(fmt.Sprintf("sim: deadlock at t=%v: %d process(es) still waiting: %v",
-			Duration(e.now), len(stuck), stuck))
-	}
+	e.checkDeadlock()
 	return e.now
 }
 
 // RunUntil drives the simulation until the event queue is empty or the clock
 // would pass deadline. Events at exactly deadline still fire. It reports
 // whether the queue drained (true) or the deadline cut the run short (false).
+// Like Run, it enforces clock monotonicity and panics with a deadlock report
+// if the queue drains while processes are still parked.
 func (e *Env) RunUntil(deadline Time) bool {
 	for len(e.events) > 0 {
 		if e.events[0].at > deadline {
 			return false
 		}
-		ev := heap.Pop(&e.events).(*event)
-		e.now = ev.at
-		ev.fn()
+		e.step(e.events.pop())
 	}
+	e.checkDeadlock()
 	return true
 }

@@ -1,0 +1,75 @@
+#!/bin/sh
+# Benchmark snapshot for the simulation-kernel fast paths and the
+# host-parallel sweep runner. Runs the kernel microbenchmarks with
+# -benchmem, then times representative sweeps (fig4 panel b, fig8, fig12)
+# serially and with one worker per core, and writes everything to
+# BENCH_PR2.json. Wall-clock gains only appear on multi-core hosts; the
+# core count is recorded so single-core numbers aren't misread.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_PR2.json
+CORES=$(getconf _NPROCESSORS_ONLN)
+BIN=$(mktemp -d)/pioqo-bench
+trap 'rm -rf "$(dirname "$BIN")"' EXIT
+
+go build -o "$BIN" ./cmd/pioqo-bench
+
+# seconds SINCE: prints fractional seconds elapsed since $1 (ns timestamp).
+seconds_since() {
+	awk -v s="$1" -v e="$(date +%s%N)" 'BEGIN { printf "%.3f", (e - s) / 1e9 }'
+}
+
+sweep_seconds() { # experiment, extra flags..., parallel setting last
+	exp=$1
+	par=$2
+	panel=$3
+	start=$(date +%s%N)
+	if [ -n "$panel" ]; then
+		"$BIN" -scale quick -parallel "$par" -panel "$panel" "$exp" >/dev/null
+	else
+		"$BIN" -scale quick -parallel "$par" "$exp" >/dev/null
+	fi
+	seconds_since "$start"
+}
+
+KERNEL=$(go test -run '^$' -bench 'EventThroughput|ProcessContextSwitch|ManyProcesses|ResourceContention|TypedEvents' \
+	-benchmem ./internal/sim/ |
+	awk '
+		/^Benchmark/ {
+			name = $1
+			sub(/-[0-9]+$/, "", name)
+			printf "%s    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, name, $3, $5, $7
+			sep = ",\n"
+		}
+	')
+
+FIG4_SERIAL=$(sweep_seconds fig4 1 b)
+FIG4_PARALLEL=$(sweep_seconds fig4 0 b)
+FIG8_SERIAL=$(sweep_seconds fig8 1 "")
+FIG8_PARALLEL=$(sweep_seconds fig8 0 "")
+FIG12_SERIAL=$(sweep_seconds fig12 1 "")
+FIG12_PARALLEL=$(sweep_seconds fig12 0 "")
+
+cat >"$OUT" <<EOF
+{
+  "host_cores": $CORES,
+  "kernel_baseline_pre_pr2": [
+    {"name": "BenchmarkEventThroughput", "ns_per_op": 44.49, "bytes_per_op": 24, "allocs_per_op": 1},
+    {"name": "BenchmarkProcessContextSwitch", "ns_per_op": 1182, "bytes_per_op": 88, "allocs_per_op": 6},
+    {"name": "BenchmarkManyProcesses", "ns_per_op": 1215, "bytes_per_op": 88, "allocs_per_op": 6},
+    {"name": "BenchmarkResourceContention", "ns_per_op": 1713, "bytes_per_op": 184, "allocs_per_op": 10}
+  ],
+  "kernel_benchmarks": [
+$KERNEL
+  ],
+  "sweep_wall_seconds": {
+    "fig4_panel_b": {"serial": $FIG4_SERIAL, "parallel": $FIG4_PARALLEL},
+    "fig8": {"serial": $FIG8_SERIAL, "parallel": $FIG8_PARALLEL},
+    "fig12": {"serial": $FIG12_SERIAL, "parallel": $FIG12_PARALLEL}
+  }
+}
+EOF
+
+echo "wrote $OUT (host_cores=$CORES)"

@@ -11,6 +11,8 @@ cd "$(dirname "$0")/.."
 go build ./...
 go test ./...
 
-# Tier 2: vet everything, race-test the event loop and metrics/span layer.
+# Tier 2: vet everything, race-test the event loop and metrics/span layer,
+# plus the host-parallel sweep runner and the experiments that fan out on it
+# (the determinism tests compare serial vs parallel output byte for byte).
 go vet ./...
-go test -race ./internal/sim/... ./internal/obs/...
+go test -race ./internal/sim/... ./internal/obs/... ./internal/host/... ./internal/experiments/...
