@@ -99,7 +99,7 @@ func (s *System) Calibrate(o CalibrationOptions) (*Calibration, error) {
 	}
 
 	out := calibrate.Run(s.env, s.dev, cfg)
-	s.model = out.Model
+	s.installModel(out.Model)
 	return &Calibration{
 		Model:        out.Model,
 		Bands:        out.Model.Bands(),
@@ -144,6 +144,25 @@ func (s *System) LoadModel(r io.Reader) error {
 	if err := json.NewDecoder(r).Decode(&m); err != nil {
 		return fmt.Errorf("pioqo: loading model: %w", err)
 	}
-	s.model = &m
+	s.installModel(&m)
 	return nil
+}
+
+// installModel swaps the optimizer's cost model and drops everything
+// derived from the old one: the plan memo (whose cached costs priced I/O
+// with the previous model) and the depth-oblivious projection.
+func (s *System) installModel(m *cost.QDTT) {
+	s.model = m
+	s.depthOne = nil
+	s.memo.Reset()
+}
+
+// depthOneModel returns the model's depth-one projection, built once per
+// installed model. DepthOblivious planning goes through it so repeated
+// old-optimizer queries share one DTT — and, crucially, one memo key.
+func (s *System) depthOneModel() *cost.DTT {
+	if s.depthOne == nil {
+		s.depthOne = s.model.DepthOne()
+	}
+	return s.depthOne
 }

@@ -202,8 +202,16 @@ func (x *Index) LeafEntries(leafNo int64, buf []Entry) []Entry {
 	}
 	buf = buf[:0]
 	if x.syn != nil {
+		// One permutation inversion for the first entry, then the fixed
+		// row stride (mod rows) walks the rest of the leaf — no per-entry
+		// modular multiplication.
+		row, stride, n := x.syn.RowForKey(lo), x.syn.RowStride(), x.syn.Rows()
 		for k := lo; k < hi; k++ {
-			buf = append(buf, Entry{Key: k, Row: x.syn.RowForKey(k)})
+			buf = append(buf, Entry{Key: k, Row: row})
+			row += stride
+			if row >= n {
+				row -= n
+			}
 		}
 		return buf
 	}

@@ -40,6 +40,11 @@ type Pool struct {
 	// for durability.
 	inFlightWrites *sim.WaitGroup
 
+	// epoch counts residency changes (installs and evictions). Consumers
+	// that cache residency-derived state — the optimizer's plan memo — use
+	// it as a cheap invalidation token.
+	epoch uint64
+
 	Stats Stats
 
 	// Cumulative registry mirrors, nil until Publish. Unlike Stats, these
@@ -141,6 +146,7 @@ func (p *Pool) evictOne() bool {
 	p.lru.Remove(back)
 	delete(p.frames, f.key)
 	p.resident[f.key.File]--
+	p.epoch++
 	p.Stats.Evictions++
 	bump(p.obsEvict)
 	p.trackCached()
@@ -179,6 +185,7 @@ func (p *Pool) install(key PageKey, c *sim.Completion) *frame {
 	f := &frame{key: key, loading: c}
 	p.frames[key] = f
 	p.resident[key.File]++
+	p.epoch++
 	p.trackCached()
 	c.OnFire(func() {
 		f.loading = nil
@@ -300,6 +307,19 @@ func (p *Pool) Contains(file *disk.File, page int64) bool {
 	_, ok := p.frames[PageKey{file.ID(), page}]
 	return ok
 }
+
+// Loaded reports whether the page is present with its read complete — a
+// fetch would neither touch the device nor block. Batched executors use it
+// to decide whether deferred CPU debt must settle before the fetch.
+func (p *Pool) Loaded(file *disk.File, page int64) bool {
+	f, ok := p.frames[PageKey{file.ID(), page}]
+	return ok && f.loading == nil
+}
+
+// Epoch returns a token that changes whenever pool residency changes.
+// Equal epochs guarantee Resident and residency-derived cost estimates are
+// unchanged; cached plans keyed on it invalidate automatically.
+func (p *Pool) Epoch() uint64 { return p.epoch }
 
 // Flush drops every unpinned, loaded frame — the "flush the memory buffer
 // pool" step the paper performs before each experiment. Dirty frames are

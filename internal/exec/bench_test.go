@@ -75,3 +75,45 @@ func BenchmarkPrefetchingIndexScan(b *testing.B) {
 		Execute(ctx, spec)
 	}
 }
+
+// benchmarkFullScanHostTime measures host nanoseconds per simulated row on
+// a large full scan — the PR-3 batch-kernel headline number. The predicate
+// matches ~half the rows so the deliver path is exercised, and every run is
+// cold so the page fetches stay on the device path.
+func benchmarkFullScanHostTime(b *testing.B, degree int) {
+	const rows = 2_000_000
+	ctx, tab, idx := benchWorld(rows, 500, 2048)
+	spec := Spec{Table: tab, Index: idx, Lo: 0, Hi: rows / 2, Method: FullScan, Degree: degree}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.Pool.Flush()
+		Execute(ctx, spec)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(rows), "ns/simrow")
+}
+
+// BenchmarkFullScanHostTime is the before/after gate for BENCH_PR3.json:
+// host ns per simulated row, serial and with eight contending workers.
+func BenchmarkFullScanHostTime(b *testing.B) {
+	b.Run("degree1", func(b *testing.B) { benchmarkFullScanHostTime(b, 1) })
+	b.Run("degree8", func(b *testing.B) { benchmarkFullScanHostTime(b, 8) })
+}
+
+// BenchmarkHashJoinBuild measures the hash-join build phase: a full-scan
+// feed whose Emit hook populates the multiplicity table, dominated by the
+// per-row delivery path.
+func BenchmarkHashJoinBuild(b *testing.B) {
+	const rows = 500_000
+	ctx, tab, idx := benchWorld(rows, 500, 2048)
+	spec := JoinSpec{
+		Build: Spec{Table: tab, Index: idx, Lo: 0, Hi: rows - 1, Method: FullScan, Degree: 8},
+		Probe: Spec{Table: tab, Index: idx, Lo: 0, Hi: 0, Method: IndexScan, Degree: 1},
+		Agg:   AggMax,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.Pool.Flush()
+		ExecuteJoin(ctx, spec)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(rows), "ns/buildrow")
+}

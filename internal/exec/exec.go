@@ -182,6 +182,22 @@ func (s *Spec) deliver(a *agg, h buffer.Handle, rowID int64, row table.Row) {
 	a.add(row.C1)
 }
 
+// deliverPage routes one page's worth of rows in a single pass: rows[i]
+// is row number firstRow+i, all resident on the pinned page h. Without
+// hooks the predicate and aggregate fold into one tight loop (agg.addBatch);
+// with hooks each match goes through deliver as before.
+func (s *Spec) deliverPage(a *agg, h buffer.Handle, firstRow int64, rows []table.Row) {
+	if s.Update == nil && s.Emit == nil {
+		a.addBatch(rows, s.Lo, s.Hi)
+		return
+	}
+	for i, row := range rows {
+		if row.C2 >= s.Lo && row.C2 <= s.Hi {
+			s.deliver(a, h, firstRow+int64(i), row)
+		}
+	}
+}
+
 // withDefaults normalizes zero values.
 func (s Spec) withDefaults() Spec {
 	if s.Degree <= 0 {
@@ -295,12 +311,6 @@ func (m *meter) fetch(wp *sim.Proc, f *disk.File, page int64) buffer.Handle {
 	return h
 }
 
-func (m *meter) use(wp *sim.Proc, d sim.Duration) {
-	t0 := m.ctx.Env.Now()
-	wp.Use(m.ctx.CPU, d)
-	m.cpu += sim.Duration(m.ctx.Env.Now() - t0)
-}
-
 // finish annotates and closes the worker span.
 func (m *meter) finish(a *agg) {
 	if m.span == nil {
@@ -340,6 +350,59 @@ func (a *agg) add(c1 int64) {
 	a.rows++
 }
 
+// addBatch folds every row matching lo <= C2 <= hi into the accumulator,
+// equivalent to calling add per match but with the aggregate switch hoisted
+// out of the row loop.
+func (a *agg) addBatch(rows []table.Row, lo, hi int64) {
+	var n int64
+	switch a.kind {
+	case AggMax:
+		v, found := a.val, a.found
+		for _, r := range rows {
+			if r.C2 < lo || r.C2 > hi {
+				continue
+			}
+			if !found || r.C1 > v {
+				v, found = r.C1, true
+			}
+			n++
+		}
+		a.val = v
+	case AggMin:
+		v, found := a.val, a.found
+		for _, r := range rows {
+			if r.C2 < lo || r.C2 > hi {
+				continue
+			}
+			if !found || r.C1 < v {
+				v, found = r.C1, true
+			}
+			n++
+		}
+		a.val = v
+	case AggSum:
+		var sum int64
+		for _, r := range rows {
+			if r.C2 >= lo && r.C2 <= hi {
+				sum += r.C1
+				n++
+			}
+		}
+		a.val += sum
+	case AggCount:
+		for _, r := range rows {
+			if r.C2 >= lo && r.C2 <= hi {
+				n++
+			}
+		}
+		a.val += n
+	}
+	if n > 0 {
+		a.found = true
+	}
+	a.rows += n
+}
+
 func (a *agg) merge(b agg) {
 	if b.found {
 		switch a.kind {
@@ -368,6 +431,34 @@ func (a agg) result() Result {
 	return Result{Value: a.val, Found: a.found, RowsMatched: a.rows}
 }
 
+// clampReadahead bounds the full-scan readahead window so that
+// prefetched-but-unconsumed frames plus the workers' pins can never exhaust
+// the pool: at most half the pool, less one pinned page per worker, may be
+// tied up in the block window. Both the block size and the number of
+// in-flight blocks are clamped against that single window, so
+// BlockPages·PrefetchBlocks + Degree ≤ Capacity/2 holds whenever the window
+// can accommodate a block at all; a pool too small for any readahead
+// (window < 2) degenerates to BlockPages = 1, which disables block reads.
+func clampReadahead(capacity, degree, blockPages, prefetchBlocks int) (int, int) {
+	if blockPages <= 1 {
+		return blockPages, prefetchBlocks
+	}
+	window := capacity/2 - degree
+	if window < 1 {
+		window = 1
+	}
+	if blockPages > window {
+		blockPages = window
+	}
+	if blockPages > 1 && prefetchBlocks > window/blockPages {
+		prefetchBlocks = window / blockPages
+		if prefetchBlocks < 1 {
+			prefetchBlocks = 1
+		}
+	}
+	return blockPages, prefetchBlocks
+}
+
 // runFullScan implements FTS/PFTS: an asynchronous block prefetcher stays
 // up to PrefetchBlocks block-reads ahead while Degree workers consume heap
 // pages in order, each evaluating every row on the page.
@@ -379,20 +470,8 @@ func runFullScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 
 	nextPage := int64(0) // shared work queue: next unclaimed heap page
 
-	// Clamp the readahead window so prefetched-but-unconsumed frames plus
-	// the workers' pins can never exhaust the pool: at most half the pool
-	// may be tied up in the block window.
-	if spec.BlockPages > ctx.Pool.Capacity()/4 {
-		spec.BlockPages = ctx.Pool.Capacity() / 4
-	}
-	if spec.BlockPages > 1 {
-		if budget := ctx.Pool.Capacity()/2 - spec.Degree; spec.PrefetchBlocks*spec.BlockPages > budget {
-			spec.PrefetchBlocks = budget / spec.BlockPages
-			if spec.PrefetchBlocks < 1 {
-				spec.PrefetchBlocks = 1
-			}
-		}
-	}
+	spec.BlockPages, spec.PrefetchBlocks = clampReadahead(
+		ctx.Pool.Capacity(), spec.Degree, spec.BlockPages, spec.PrefetchBlocks)
 
 	if spec.BlockPages > 1 {
 		// Flow-control window: the prefetcher stays at most PrefetchBlocks
@@ -421,13 +500,23 @@ func runFullScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 			}
 			ps.End()
 		})
-		onClaim := func(page int64) {
+		// Claiming the first page of a block wakes the prefetcher — a
+		// device-coupled action, so the claimer settles its CPU debt first,
+		// pinning the wakeup to the row-at-a-time schedule's instant.
+		// Claims within an already-reached block stay debt-deferred. The
+		// settle blocks, so another worker can reach the same block while
+		// this one sleeps — the re-check keeps each block counted once,
+		// which the prefetcher's credit flow control depends on.
+		onClaim := func(wp *sim.Proc, bud *cpuBudget, page int64) {
 			b := page / int64(spec.BlockPages)
 			if !reached[b] {
-				reached[b] = true
-				reachedCount++
-				if wakeup != nil && !wakeup.Fired() {
-					wakeup.Fire()
+				bud.settle(wp)
+				if !reached[b] {
+					reached[b] = true
+					reachedCount++
+					if wakeup != nil && !wakeup.Fired() {
+						wakeup.Fire()
+					}
 				}
 			}
 		}
@@ -436,7 +525,7 @@ func runFullScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 	return runFullScanWorkers(p, ctx, spec, &nextPage, nil, rpp)
 }
 
-func runFullScanWorkers(p *sim.Proc, ctx *Context, spec Spec, nextPage *int64, onClaim func(int64), rpp int) Result {
+func runFullScanWorkers(p *sim.Proc, ctx *Context, spec Spec, nextPage *int64, onClaim func(*sim.Proc, *cpuBudget, int64), rpp int) Result {
 	t := spec.Table
 	pages := t.Pages()
 	file := t.File()
@@ -450,9 +539,12 @@ func runFullScanWorkers(p *sim.Proc, ctx *Context, spec Spec, nextPage *int64, o
 			defer wg.Done()
 			m := newMeter(ctx, spec.Span, fmt.Sprintf("fts-w%d", w))
 			defer m.finish(&results[w])
+			bud := newBudget(ctx, m)
+			defer bud.settle(wp)
 			if spec.Degree > 1 {
-				m.use(wp, ctx.Costs.WorkerStartup)
+				bud.charge(ctx.Costs.WorkerStartup)
 			}
+			var rowBuf []table.Row
 			for {
 				page := *nextPage
 				if page >= pages {
@@ -460,22 +552,24 @@ func runFullScanWorkers(p *sim.Proc, ctx *Context, spec Spec, nextPage *int64, o
 				}
 				*nextPage = page + 1
 				if onClaim != nil {
-					onClaim(page)
+					onClaim(wp, bud, page)
 				}
-				h := m.fetch(wp, file, page)
+				h := bud.fetch(wp, file, page)
 				firstRow := page * int64(rpp)
 				lastRow := firstRow + int64(rpp)
 				if lastRow > t.Rows() {
 					lastRow = t.Rows()
 				}
-				m.use(wp, ctx.Costs.PerPage+
+				bud.charge(ctx.Costs.PerPage +
 					sim.Duration(lastRow-firstRow)*ctx.Costs.PerRow)
-				for r := firstRow; r < lastRow; r++ {
-					row := t.RowAt(r)
-					if row.C2 >= spec.Lo && row.C2 <= spec.Hi {
-						spec.deliver(&results[w], h, r, row)
-					}
-				}
+				rowBuf = t.RowsAt(firstRow, lastRow, rowBuf)
+				spec.deliverPage(&results[w], h, firstRow, rowBuf)
+				// One page is the batch quantum: settling here keeps workers
+				// interleaving on the CPU at page granularity (deferring
+				// across a whole prefetched block would serialize work the
+				// row-at-a-time schedule ran Degree-wide), and releasing
+				// after the settle preserves the old pin window.
+				bud.settle(wp)
 				h.Release()
 			}
 		})
@@ -534,7 +628,7 @@ func runIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 	// are typically resident after the first query.
 	for _, pg := range x.DescentPath() {
 		h := ctx.Pool.FetchPage(p, x.File(), pg)
-		p.Use(ctx.CPU, ctx.Costs.PerPage)
+		useCPU(p, ctx, ctx.Costs.PerPage)
 		h.Release()
 	}
 
@@ -562,8 +656,10 @@ func runIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 			defer wg.Done()
 			m := newMeter(ctx, spec.Span, fmt.Sprintf("pis-w%d", w))
 			defer m.finish(&results[w])
+			bud := newBudget(ctx, m)
+			defer bud.settle(wp)
 			if spec.Degree > 1 {
-				m.use(wp, ctx.Costs.WorkerStartup)
+				bud.charge(ctx.Costs.WorkerStartup)
 			}
 			var buf, matches []btree.Entry
 			pos := posLo
@@ -577,14 +673,14 @@ func runIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 					ls = ctx.Tracer.Start(m.span, "leaf-batch")
 				}
 				leaf, slot := x.LeafOf(pos)
-				lh := m.fetch(wp, x.File(), x.LeafPage(leaf))
+				lh := bud.fetch(wp, x.File(), x.LeafPage(leaf))
 				buf = x.LeafEntries(leaf, buf)
 				take := len(buf) - slot
 				if rem := posHi - pos; int64(take) > rem {
 					take = int(rem)
 				}
 				matches = append(matches[:0], buf[slot:slot+take]...)
-				m.use(wp, ctx.Costs.PerPage+
+				bud.charge(ctx.Costs.PerPage +
 					sim.Duration(len(matches))*ctx.Costs.PerEntry)
 				lh.Release()
 
@@ -596,20 +692,21 @@ func runIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 					// finds one worker prefetching n does not quite match n
 					// workers.
 					for prefetched < i+spec.PrefetchPerWorker && prefetched < len(matches) {
-						if ctx.Pool.Prefetch(t.File(),
-							table.PageOf(matches[prefetched].Row, rpp)) {
-							m.use(wp, ctx.Costs.PerPrefetch)
-						}
+						bud.prefetch(wp, t.File(),
+							table.PageOf(matches[prefetched].Row, rpp))
 						prefetched++
 					}
-					th := m.fetch(wp, t.File(), table.PageOf(e.Row, rpp))
-					m.use(wp, ctx.Costs.PerRowFetch)
+					th := bud.fetch(wp, t.File(), table.PageOf(e.Row, rpp))
+					bud.charge(ctx.Costs.PerRowFetch)
 					row := t.RowAt(e.Row)
 					if row.C2 >= spec.Lo && row.C2 <= spec.Hi {
 						spec.deliver(&results[w], th, e.Row, row)
 					}
 					th.Release()
 				}
+				// The leaf batch is the settle quantum — without it a fully
+				// warm scan would defer the whole range into one giant Use.
+				bud.settle(wp)
 				ls.SetAttr("entries", take)
 				ls.End()
 				pos += int64(take)

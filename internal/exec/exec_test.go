@@ -263,3 +263,66 @@ func TestDegreeDefaultsToOne(t *testing.T) {
 		t.Error("scan with degree 0 (defaulted) matched nothing")
 	}
 }
+
+func TestClampReadaheadBounds(t *testing.T) {
+	cases := []struct {
+		name                       string
+		capacity, degree           int
+		blockPages, prefetchBlocks int
+		wantBP, wantPF             int
+	}{
+		// Production shapes: the window (cap/2 − degree) accommodates the
+		// default 64-page block and clamps only the block count.
+		{"pool256-serial", 256, 1, 64, 4, 64, 1},
+		{"pool256-d8", 256, 8, 64, 4, 64, 1},
+		{"pool512-d8", 512, 8, 64, 4, 64, 3},
+		{"pool2048-d1", 2048, 1, 64, 4, 64, 4},
+		// Tiny pools: the block itself shrinks to the window, and the
+		// block count floors at one in-flight block.
+		{"pool64-d8", 64, 8, 64, 4, 24, 1},
+		{"pool16-d8", 16, 8, 64, 4, 1, 4},
+		{"pool16-d1", 16, 1, 64, 4, 7, 1},
+		// Degree at or beyond half the pool: window floors at one page,
+		// which degenerates to single-page (non-block) reads.
+		{"degree-swallows-pool", 32, 16, 64, 4, 1, 4},
+		// Block reads disabled pass through untouched.
+		{"disabled", 16, 8, 1, 4, 1, 4},
+	}
+	for _, c := range cases {
+		bp, pf := clampReadahead(c.capacity, c.degree, c.blockPages, c.prefetchBlocks)
+		if bp != c.wantBP || pf != c.wantPF {
+			t.Errorf("%s: clampReadahead(%d, %d, %d, %d) = (%d, %d), want (%d, %d)",
+				c.name, c.capacity, c.degree, c.blockPages, c.prefetchBlocks,
+				bp, pf, c.wantBP, c.wantPF)
+		}
+		if bp > 1 {
+			if used := bp*pf + c.degree; used > c.capacity/2 {
+				t.Errorf("%s: window invariant violated: %d·%d + %d = %d > %d",
+					c.name, bp, pf, c.degree, used, c.capacity/2)
+			}
+		}
+	}
+}
+
+func TestFullScanSurvivesTinyPool(t *testing.T) {
+	// A pool far smaller than one default readahead block, swept at high
+	// degree: pinned pages plus in-flight block frames exceed the raw
+	// capacity unless the readahead window is clamped against the degree.
+	// (Clamping against capacity alone admitted a 4-page window into a
+	// 16-frame pool with 8 additional pins — fine — but a 64-frame pool at
+	// degree 8 kept a 32-page block plus 8 pins plus the LRU's loading
+	// frames, which could exhaust it.)
+	for _, o := range []worldOpts{
+		{rows: 20000, rpp: 33, poolPages: 16},
+		{rows: 20000, rpp: 33, poolPages: 64},
+	} {
+		w := newWorld(t, o)
+		wantMax, wantFound, wantRows := w.bruteForce(0, 19999)
+		s := w.spec(FullScan, 8, 0, 19999)
+		res := Execute(w.ctx, s)
+		if res.Found != wantFound || res.Value != wantMax || res.RowsMatched != wantRows {
+			t.Errorf("pool=%d: got (%d,%v,%d), want (%d,%v,%d)", o.poolPages,
+				res.Value, res.Found, res.RowsMatched, wantMax, wantFound, wantRows)
+		}
+	}
+}

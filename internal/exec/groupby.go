@@ -58,7 +58,7 @@ func RunGroupBy(p *sim.Proc, ctx *Context, spec GroupBySpec) GroupByResult {
 		a.add(row.C1)
 	}
 	scanRes := RunScan(p, ctx, scan)
-	p.Use(ctx.CPU, sim.Duration(scanRes.RowsMatched)*hashGroupCost)
+	useCPU(p, ctx, sim.Duration(scanRes.RowsMatched)*hashGroupCost)
 
 	out := GroupByResult{Rows: scanRes.RowsMatched}
 	for key, a := range groups {

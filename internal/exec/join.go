@@ -85,7 +85,7 @@ func buildMultiplicities(p *sim.Proc, ctx *Context, build Spec) (map[int64]int64
 	ht := make(map[int64]int64)
 	build.Emit = func(_ int64, row table.Row) { ht[row.C2]++ }
 	res := RunScan(p, ctx, build)
-	p.Use(ctx.CPU, sim.Duration(res.RowsMatched)*hashInsertCost)
+	useCPU(p, ctx, sim.Duration(res.RowsMatched)*hashInsertCost)
 	return ht, res.RowsMatched
 }
 
@@ -121,7 +121,7 @@ func RunHashJoin(p *sim.Proc, ctx *Context, spec JoinSpec) JoinResult {
 	}
 	probeRes := RunScan(p, ctx, probe)
 	out.ProbeRows = probeRes.RowsMatched
-	p.Use(ctx.CPU, sim.Duration(out.ProbeRows)*hashProbeCost)
+	useCPU(p, ctx, sim.Duration(out.ProbeRows)*hashProbeCost)
 
 	out.Result = result.result()
 	out.RowsMatched = out.Pairs
@@ -146,7 +146,7 @@ func RunIndexNLJoin(p *sim.Proc, ctx *Context, spec JoinSpec) JoinResult {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	p.Use(ctx.CPU, 2*sim.Duration(len(keys))*ctx.Costs.PerEntry) // sort
+	useCPU(p, ctx, 2*sim.Duration(len(keys))*ctx.Costs.PerEntry) // sort
 
 	probeTab := spec.Probe.Table
 	x := spec.Probe.Index
@@ -158,7 +158,7 @@ func RunIndexNLJoin(p *sim.Proc, ctx *Context, spec JoinSpec) JoinResult {
 
 	for _, pg := range x.DescentPath() {
 		h := ctx.Pool.FetchPage(p, x.File(), pg)
-		p.Use(ctx.CPU, ctx.Costs.PerPage)
+		useCPU(p, ctx, ctx.Costs.PerPage)
 		h.Release()
 	}
 
@@ -171,8 +171,10 @@ func RunIndexNLJoin(p *sim.Proc, ctx *Context, spec JoinSpec) JoinResult {
 		wg.Add(1)
 		ctx.Env.Go(fmt.Sprintf("nlj-w%d", w), func(wp *sim.Proc) {
 			defer wg.Done()
+			bud := newBudget(ctx, nil)
+			defer bud.settle(wp)
 			if degree > 1 {
-				wp.Use(ctx.CPU, ctx.Costs.WorkerStartup)
+				bud.charge(ctx.Costs.WorkerStartup)
 			}
 			var buf []btree.Entry
 			for {
@@ -187,19 +189,20 @@ func RunIndexNLJoin(p *sim.Proc, ctx *Context, spec JoinSpec) JoinResult {
 				pos, end := x.SearchGE(key), x.SearchGT(key)
 				for pos < end {
 					leaf, slot := x.LeafOf(pos)
-					lh := ctx.Pool.FetchPage(wp, x.File(), x.LeafPage(leaf))
+					lh := bud.fetch(wp, x.File(), x.LeafPage(leaf))
 					buf = x.LeafEntries(leaf, buf)
 					take := len(buf) - slot
 					if rem := end - pos; int64(take) > rem {
 						take = int(rem)
 					}
-					wp.Use(ctx.CPU, ctx.Costs.PerPage+
+					bud.charge(ctx.Costs.PerPage +
 						sim.Duration(take)*ctx.Costs.PerEntry)
-					entries := append([]btree.Entry(nil), buf[slot:slot+take]...)
 					lh.Release()
-					for _, e := range entries {
-						th := ctx.Pool.FetchPage(wp, probeTab.File(), table.PageOf(e.Row, rpp))
-						wp.Use(ctx.CPU, ctx.Costs.PerRowFetch)
+					// buf is only rewritten by the next LeafEntries call, so
+					// the heap-fetch loop can consume the slice in place.
+					for _, e := range buf[slot : slot+take] {
+						th := bud.fetch(wp, probeTab.File(), table.PageOf(e.Row, rpp))
+						bud.charge(ctx.Costs.PerRowFetch)
 						row := probeTab.RowAt(e.Row)
 						if row.C2 == key {
 							probeRows++
@@ -210,6 +213,8 @@ func RunIndexNLJoin(p *sim.Proc, ctx *Context, spec JoinSpec) JoinResult {
 						}
 						th.Release()
 					}
+					// The leaf's probe batch is the settle quantum.
+					bud.settle(wp)
 					pos += int64(take)
 				}
 			}

@@ -37,7 +37,7 @@ func runSortedIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 
 	for _, pg := range x.DescentPath() {
 		h := ctx.Pool.FetchPage(p, x.File(), pg)
-		p.Use(ctx.CPU, ctx.Costs.PerPage)
+		useCPU(p, ctx, ctx.Costs.PerPage)
 		h.Release()
 	}
 
@@ -66,25 +66,30 @@ func runSortedIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 		ctx.Env.Go(fmt.Sprintf("sis-collect%d", w), func(wp *sim.Proc) {
 			defer wg.Done()
 			m := newMeter(ctx, spec.Span, fmt.Sprintf("sis-collect%d", w))
+			bud := newBudget(ctx, m)
 			if spec.Degree > 1 {
-				m.use(wp, ctx.Costs.WorkerStartup)
+				bud.charge(ctx.Costs.WorkerStartup)
 			}
 			var buf []btree.Entry
 			pos := posLo
 			for pos < posHi {
 				leaf, slot := x.LeafOf(pos)
-				lh := m.fetch(wp, x.File(), x.LeafPage(leaf))
+				lh := bud.fetch(wp, x.File(), x.LeafPage(leaf))
 				buf = x.LeafEntries(leaf, buf)
 				take := len(buf) - slot
 				if rem := posHi - pos; int64(take) > rem {
 					take = int(rem)
 				}
-				m.use(wp, ctx.Costs.PerPage+
+				bud.charge(ctx.Costs.PerPage +
 					sim.Duration(take)*ctx.Costs.PerEntry)
 				collected[w] = append(collected[w], buf[slot:slot+take]...)
+				// One leaf is the batch quantum; settling before the release
+				// keeps the pin window of the row-at-a-time schedule.
+				bud.settle(wp)
 				lh.Release()
 				pos += int64(take)
 			}
+			bud.settle(wp)
 			m.finish(&agg{rows: int64(len(collected[w]))})
 		})
 	}
@@ -102,7 +107,7 @@ func runSortedIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 		}
 		return entries[i].Row < entries[j].Row
 	})
-	p.Use(ctx.CPU, 2*sim.Duration(len(entries))*ctx.Costs.PerEntry)
+	useCPU(p, ctx, 2*sim.Duration(len(entries))*ctx.Costs.PerEntry)
 
 	// Phase two: consume page groups in ascending order; each worker grabs
 	// the next distinct page's group, prefetching upcoming groups' pages.
@@ -116,6 +121,8 @@ func runSortedIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 			defer wg2.Done()
 			m := newMeter(ctx, spec.Span, fmt.Sprintf("sis-fetch%d", w))
 			defer m.finish(&results[w])
+			bud := newBudget(ctx, m)
+			defer bud.settle(wp)
 			for {
 				i := nextIdx
 				if i >= len(entries) {
@@ -136,9 +143,7 @@ func runSortedIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 					covered, k := 0, j
 					for covered < spec.PrefetchPerWorker && k < len(entries) {
 						pg := table.PageOf(entries[k].Row, rpp)
-						if ctx.Pool.Prefetch(t.File(), pg) {
-							m.use(wp, ctx.Costs.PerPrefetch)
-						}
+						bud.prefetch(wp, t.File(), pg)
 						covered++
 						for k < len(entries) && table.PageOf(entries[k].Row, rpp) == pg {
 							k++
@@ -146,14 +151,18 @@ func runSortedIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 					}
 				}
 
-				th := m.fetch(wp, t.File(), page)
+				// One page group is one CPU batch: every entry here lives on
+				// the pinned page, so the per-entry fetch costs merge into a
+				// single settle at the next device interaction.
+				th := bud.fetch(wp, t.File(), page)
+				bud.charge(sim.Duration(j-i) * ctx.Costs.PerRowFetch)
 				for _, e := range entries[i:j] {
-					m.use(wp, ctx.Costs.PerRowFetch)
 					row := t.RowAt(e.Row)
 					if row.C2 >= spec.Lo && row.C2 <= spec.Hi {
 						spec.deliver(&results[w], th, e.Row, row)
 					}
 				}
+				bud.settle(wp)
 				th.Release()
 			}
 		})

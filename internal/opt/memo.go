@@ -1,0 +1,136 @@
+// Plan memoization. Probe-query optimization is pure: for a fixed cost
+// model, machine shape, predicate range, and pool residency the enumeration
+// always prices the same candidates to the same costs. Engines re-optimize
+// the same parameterized probe constantly (the paper's sweeps re-plan every
+// selectivity × device × concurrency point), so the memo caches the ranked
+// plan list and replays it until something the costs depend on changes.
+//
+// Residency is the only input that moves behind the optimizer's back; the
+// memo keys on the pool's epoch — a counter the pool bumps on every install
+// and eviction — so any residency change invalidates automatically without
+// the memo subscribing to pool traffic.
+package opt
+
+import (
+	"fmt"
+
+	"pioqo/internal/btree"
+	"pioqo/internal/buffer"
+	"pioqo/internal/cost"
+	"pioqo/internal/stats"
+	"pioqo/internal/table"
+)
+
+// memoKey captures every Enumerate input a plan's cost can depend on.
+// Object-valued fields (table, index, stats, pool, model) key on identity:
+// the engine owns these for a catalog's lifetime, and a rebuilt object may
+// legitimately carry different contents.
+type memoKey struct {
+	table table.Table
+	index *btree.Index
+	stats *stats.Histogram
+	pool  *buffer.Pool
+	lo    int64
+	hi    int64
+
+	// epoch pins the pool residency the cached costs were computed from;
+	// 0 when the input carries no pool.
+	epoch uint64
+
+	model       cost.Model
+	cores       int
+	poolPages   int64
+	sorted      bool
+	queueBudget int
+
+	// grid flattens the enumeration's shape — degrees and prefetch depths —
+	// so configs enumerating different candidate sets never collide.
+	grid string
+}
+
+func newMemoKey(cfg Config, in Input) memoKey {
+	k := memoKey{
+		table:       in.Table,
+		index:       in.Index,
+		stats:       in.Stats,
+		pool:        in.Pool,
+		lo:          in.Lo,
+		hi:          in.Hi,
+		model:       cfg.Model,
+		cores:       cfg.Cores,
+		poolPages:   cfg.PoolPages,
+		sorted:      cfg.EnableSortedScan,
+		queueBudget: cfg.QueueBudget,
+		grid:        fmt.Sprint(cfg.degrees(), cfg.PrefetchDepths),
+	}
+	if in.Pool != nil {
+		k.epoch = in.Pool.Epoch()
+	}
+	return k
+}
+
+// Memo caches Enumerate results keyed on everything the costs depend on.
+// It is not safe for concurrent use — optimization happens on the
+// simulation driver, which is single-threaded.
+type Memo struct {
+	entries map[memoKey][]Plan
+	hits    int64
+	misses  int64
+}
+
+// NewMemo returns an empty plan memo.
+func NewMemo() *Memo {
+	return &Memo{entries: make(map[memoKey][]Plan)}
+}
+
+// Enumerate returns the ranked candidate list for the input, computing it
+// on first sight and replaying it afterwards. The returned slice is a fresh
+// copy either way — callers may reorder or mutate it freely.
+func (m *Memo) Enumerate(cfg Config, in Input) []Plan {
+	key := newMemoKey(cfg, in)
+	if cached, ok := m.entries[key]; ok {
+		m.hits++
+		if cfg.Obs != nil {
+			// Replays count as optimizations: per-query observability diffs
+			// must not depend on whether the memo happened to be warm.
+			cfg.Obs.Counter("opt.optimizations").Inc()
+			cfg.Obs.Counter("opt.plans_enumerated").Add(int64(len(cached)))
+			cfg.Obs.Counter("opt.memo_hits").Inc()
+		}
+		return append([]Plan(nil), cached...)
+	}
+	m.misses++
+	plans := Enumerate(cfg, in)
+	if cfg.Obs != nil {
+		cfg.Obs.Counter("opt.memo_misses").Inc()
+	}
+	m.entries[key] = append([]Plan(nil), plans...)
+	return plans
+}
+
+// Choose returns the cheapest plan for the input through the memo.
+func (m *Memo) Choose(cfg Config, in Input) Plan {
+	plans := m.Enumerate(cfg, in)
+	best := plans[0]
+	for _, p := range plans[1:] {
+		if p.TotalMicros < best.TotalMicros {
+			best = p
+		}
+	}
+	return best
+}
+
+// Stats reports how many lookups replayed a cached enumeration and how
+// many priced one fresh.
+func (m *Memo) Stats() (hits, misses int64) { return m.hits, m.misses }
+
+// Len reports how many enumerations are currently cached.
+func (m *Memo) Len() int { return len(m.entries) }
+
+// Reset drops every cached enumeration and zeroes the counters. Callers
+// must invalidate this way when a keyed object mutates in place — above
+// all when a calibration swaps the cost model's contents.
+func (m *Memo) Reset() {
+	m.entries = make(map[memoKey][]Plan)
+	m.hits, m.misses = 0, 0
+}

@@ -1,0 +1,130 @@
+package opt
+
+import (
+	"reflect"
+	"testing"
+
+	"pioqo/internal/obs"
+	"pioqo/internal/sim"
+)
+
+// memoInput returns a config+input pair the memo tests share.
+func memoFixture(t *testing.T) (Config, Input, *fixture) {
+	t.Helper()
+	f := newFixture(t, "ssd", 50000, 33)
+	cfg := f.cfg
+	cfg.Model = f.qdtt
+	in := f.in
+	in.Lo, in.Hi = rangeFor(in.Table, 0.01)
+	return cfg, in, f
+}
+
+func TestMemoReplaysIdenticalEnumeration(t *testing.T) {
+	cfg, in, _ := memoFixture(t)
+	m := NewMemo()
+
+	first := m.Enumerate(cfg, in)
+	second := m.Enumerate(cfg, in)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("memo replay diverged:\nfirst  %v\nsecond %v", first, second)
+	}
+	if !reflect.DeepEqual(first, Enumerate(cfg, in)) {
+		t.Fatal("memoized enumeration differs from direct Enumerate")
+	}
+	if hits, misses := m.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits, %d misses; want 1, 1", hits, misses)
+	}
+	if got, want := m.Choose(cfg, in), Choose(cfg, in); got != want {
+		t.Fatalf("memo chose %v, direct chose %v", got, want)
+	}
+}
+
+func TestMemoReturnsDefensiveCopies(t *testing.T) {
+	cfg, in, _ := memoFixture(t)
+	m := NewMemo()
+
+	first := m.Enumerate(cfg, in)
+	first[0].TotalMicros = -1
+	first[0].Method = 99
+
+	second := m.Enumerate(cfg, in)
+	if second[0].TotalMicros == -1 || second[0].Method == 99 {
+		t.Fatal("mutating a returned slice corrupted the cached entry")
+	}
+}
+
+func TestMemoInvalidatesOnPoolEpoch(t *testing.T) {
+	cfg, in, _ := memoFixture(t)
+	m := NewMemo()
+
+	m.Enumerate(cfg, in)
+	// Any residency change — here a prefetch installing frames — bumps the
+	// pool epoch and must force a fresh costing.
+	for p := int64(0); p < 200; p++ {
+		in.Pool.Prefetch(in.Table.File(), p)
+	}
+	m.Enumerate(cfg, in)
+	if hits, misses := m.Stats(); hits != 0 || misses != 2 {
+		t.Fatalf("stats after epoch bump = %d hits, %d misses; want 0, 2", hits, misses)
+	}
+}
+
+func TestMemoKeySeparatesInputs(t *testing.T) {
+	cfg, in, f := memoFixture(t)
+	m := NewMemo()
+	m.Enumerate(cfg, in)
+
+	// Different predicate range.
+	wider := in
+	wider.Lo, wider.Hi = rangeFor(in.Table, 0.5)
+	m.Enumerate(cfg, wider)
+
+	// Different cost model (the old optimizer).
+	oldCfg := cfg
+	oldCfg.Model = f.dtt
+	m.Enumerate(oldCfg, in)
+
+	// Different enumeration grid.
+	gridCfg := cfg
+	gridCfg.PrefetchDepths = []int{4, 16}
+	m.Enumerate(gridCfg, in)
+
+	if hits, misses := m.Stats(); hits != 0 || misses != 4 {
+		t.Fatalf("stats = %d hits, %d misses; want 0 hits, 4 misses", hits, misses)
+	}
+	if m.Len() != 4 {
+		t.Fatalf("memo holds %d entries, want 4", m.Len())
+	}
+
+	// Each variant replays from its own entry.
+	m.Enumerate(cfg, in)
+	m.Enumerate(oldCfg, in)
+	if hits, _ := m.Stats(); hits != 2 {
+		t.Fatalf("replays after warm-up: %d hits, want 2", hits)
+	}
+
+	m.Reset()
+	if hits, misses := m.Stats(); hits != 0 || misses != 0 || m.Len() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+}
+
+func TestMemoCountsOptimizationsOnReplay(t *testing.T) {
+	cfg, in, _ := memoFixture(t)
+	reg := obs.NewRegistry(sim.NewEnv(1))
+	cfg.Obs = reg
+	m := NewMemo()
+
+	first := m.Enumerate(cfg, in)
+	m.Enumerate(cfg, in)
+
+	if got := reg.Counter("opt.optimizations").Value(); got != 2 {
+		t.Fatalf("opt.optimizations = %d after a miss and a hit, want 2", got)
+	}
+	if got := reg.Counter("opt.plans_enumerated").Value(); got != int64(2*len(first)) {
+		t.Fatalf("opt.plans_enumerated = %d, want %d", got, 2*len(first))
+	}
+	if reg.Counter("opt.memo_hits").Value() != 1 || reg.Counter("opt.memo_misses").Value() != 1 {
+		t.Fatal("memo hit/miss counters not published")
+	}
+}

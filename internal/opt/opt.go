@@ -158,30 +158,31 @@ func Enumerate(cfg Config, in Input) []Plan {
 	if cfg.Cores <= 0 {
 		panic("opt: Config.Cores must be positive")
 	}
+	cc := newCosting(in)
 	var plans []Plan
 	for _, d := range cfg.degrees() {
 		if cfg.QueueBudget > 0 && d > cfg.QueueBudget && d > 1 {
 			continue
 		}
-		plans = append(plans, costFullScan(cfg, in, d))
+		plans = append(plans, costFullScan(cfg, in, cc, d))
 		if in.Index == nil {
 			continue
 		}
-		plans = append(plans, costIndexScan(cfg, in, d, 0))
+		plans = append(plans, costIndexScan(cfg, in, cc, d, 0))
 		for _, pf := range cfg.PrefetchDepths {
 			if pf > 0 {
-				plans = append(plans, costIndexScan(cfg, in, d, pf))
+				plans = append(plans, costIndexScan(cfg, in, cc, d, pf))
 			}
 		}
 		if cfg.EnableSortedScan {
-			plans = append(plans, costSortedScan(cfg, in, d))
+			plans = append(plans, costSortedScan(cfg, in, cc, d))
 		}
 	}
 	if len(plans) == 0 {
 		// A queue budget below every degree still permits serial plans.
-		plans = append(plans, costFullScan(cfg, in, 1))
+		plans = append(plans, costFullScan(cfg, in, cc, 1))
 		if in.Index != nil {
-			plans = append(plans, costIndexScan(cfg, in, 1, 0))
+			plans = append(plans, costIndexScan(cfg, in, cc, 1, 0))
 		}
 	}
 	sort.SliceStable(plans, func(i, j int) bool {
@@ -192,6 +193,28 @@ func Enumerate(cfg Config, in Input) []Plan {
 		cfg.Obs.Counter("opt.plans_enumerated").Add(int64(len(plans)))
 	}
 	return plans
+}
+
+// costing is the per-Input context shared by every candidate of one
+// Enumerate call: the estimated matching-row count and the heap file's
+// pool-resident fraction. Both are pure functions of the input, yet were
+// previously recomputed — selectivity walking the histogram, residency
+// consulting the pool — for each of |degrees| × |methods| × |prefetch|
+// candidates. The cost formulas consume the hoisted values through the
+// same expressions as before, so every plan cost is bit-identical.
+type costing struct {
+	matched  float64 // estimated rows matched by [Lo, Hi]
+	resident float64 // fraction of the heap file already pooled; 0 without a pool
+}
+
+func newCosting(in Input) costing {
+	cc := costing{
+		matched: selectivity(in, in.Lo, in.Hi) * float64(in.Table.Rows()),
+	}
+	if in.Pool != nil {
+		cc.resident = residentFraction(in.Pool, in.Table.File(), in.Pool.Resident(in.Table.File()))
+	}
+	return cc
 }
 
 // selectivity estimates the fraction of rows matched by [lo, hi]: from the
@@ -230,17 +253,13 @@ func residentFraction(pool *buffer.Pool, file interface{ Pages() int64 }, reside
 // sequentially (band 1 in DTT terms); its CPU evaluates every row. I/O and
 // CPU overlap through prefetching, so the runtime estimate is their max,
 // plus per-worker startup.
-func costFullScan(cfg Config, in Input, d int) Plan {
+func costFullScan(cfg Config, in Input, cc costing, d int) Plan {
 	t := in.Table
 	pages := float64(t.Pages())
 	rows := float64(t.Rows())
-	matched := selectivity(in, in.Lo, in.Hi) * rows
+	matched := cc.matched
 
-	cached := 0.0
-	if in.Pool != nil {
-		cached = residentFraction(in.Pool, t.File(), in.Pool.Resident(t.File()))
-	}
-	pageIO := pages * (1 - cached)
+	pageIO := pages * (1 - cc.resident)
 	io := pageIO * cfg.Model.PageCost(1, d)
 
 	workers := d
@@ -269,11 +288,10 @@ func costFullScan(cfg Config, in Input, d int) Plan {
 // and DTT ignores — is the degree alone without prefetching, and
 // approximately degree × prefetch with it (§3.3's "expected peak queue
 // depth is Mn").
-func costIndexScan(cfg Config, in Input, d, pf int) Plan {
+func costIndexScan(cfg Config, in Input, cc costing, d, pf int) Plan {
 	t := in.Table
 	x := in.Index
-	rows := float64(t.Rows())
-	matched := selectivity(in, in.Lo, in.Hi) * rows
+	matched := cc.matched
 	k := int64(matched + 0.5)
 
 	leafPages := matched/float64(x.LeafCap()) + 1
@@ -284,7 +302,7 @@ func costIndexScan(cfg Config, in Input, d, pf int) Plan {
 	// pool; ignore that second-order effect and use the configured size.
 	heapFetches := cost.ExpectedFetches(k, t.Pages(), t.RowsPerPage(), pool)
 	if in.Pool != nil {
-		heapFetches *= 1 - residentFraction(in.Pool, t.File(), in.Pool.Resident(t.File()))
+		heapFetches *= 1 - cc.resident
 	}
 
 	depth := d
@@ -323,18 +341,17 @@ func costIndexScan(cfg Config, in Input, d, pf int) Plan {
 // costSortedScan prices the sorted index scan extension: like an index
 // scan, but each distinct heap page is fetched at most once (no pool
 // re-reads), at the price of collecting and sorting the row-id list.
-func costSortedScan(cfg Config, in Input, d int) Plan {
+func costSortedScan(cfg Config, in Input, cc costing, d int) Plan {
 	t := in.Table
 	x := in.Index
-	rows := float64(t.Rows())
-	matched := selectivity(in, in.Lo, in.Hi) * rows
+	matched := cc.matched
 	k := int64(matched + 0.5)
 
 	leafPages := matched/float64(x.LeafCap()) + 1
 	descent := float64(x.Height() - 1)
 	heapFetches := cost.YaoDistinctPages(k, t.Pages(), t.RowsPerPage())
 	if in.Pool != nil {
-		heapFetches *= 1 - residentFraction(in.Pool, t.File(), in.Pool.Resident(t.File()))
+		heapFetches *= 1 - cc.resident
 	}
 
 	depth := d

@@ -218,13 +218,13 @@ func TestResidentPagesReduceEstimatedIO(t *testing.T) {
 	cfg.Model = f.qdtt
 	in := f.in
 	in.Lo, in.Hi = rangeFor(in.Table, 0.9)
-	cold := costFullScan(cfg, in, 1)
+	cold := costFullScan(cfg, in, newCosting(in), 1)
 
 	// Warm part of the heap into the pool, then re-cost.
 	for p := int64(0); p < 1000; p++ {
 		in.Pool.Prefetch(in.Table.File(), p)
 	}
-	warm := costFullScan(cfg, in, 1)
+	warm := costFullScan(cfg, in, newCosting(in), 1)
 	if warm.IOMicros >= cold.IOMicros {
 		t.Errorf("warm FTS I/O estimate %.0fus not below cold %.0fus",
 			warm.IOMicros, cold.IOMicros)

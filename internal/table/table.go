@@ -51,6 +51,12 @@ type Table interface {
 	// responsible for having paid the I/O to read PageOf(row) first.
 	RowAt(row int64) Row
 
+	// RowsAt returns rows [lo, hi) reusing buf's backing array — the batch
+	// accessor scan inner loops use to avoid a virtual call per row. Both
+	// backings enumerate incrementally, which is markedly cheaper than
+	// hi−lo RowAt calls. The same I/O contract as RowAt applies.
+	RowsAt(lo, hi int64, buf []Row) []Row
+
 	// KeyDomain returns D such that C2 values lie in [0, D).
 	KeyDomain() int64
 }
@@ -150,6 +156,16 @@ func (t *Materialized) RowAt(row int64) Row {
 	return Row{C1: t.c1[row], C2: t.c2[row]}
 }
 
+// RowsAt implements Table by zipping the column slices directly.
+func (t *Materialized) RowsAt(lo, hi int64, buf []Row) []Row {
+	buf = buf[:0]
+	c1, c2 := t.c1[lo:hi], t.c2[lo:hi]
+	for i := range c1 {
+		buf = append(buf, Row{C1: c1[i], C2: c2[i]})
+	}
+	return buf
+}
+
 // SetC1 updates a row's C1 value in place. Only the materialized backing
 // is updatable; the caller is responsible for marking the holding page
 // dirty in the buffer pool.
@@ -220,11 +236,34 @@ func (t *Synthetic) RowAt(row int64) Row {
 	return Row{C1: int64(mix64(uint64(row)) % uint64(t.rows)), C2: t.key(row)}
 }
 
+// RowsAt implements Table. Consecutive rows' keys differ by the fixed
+// stride a (mod rows), so the whole range is enumerated with one modular
+// multiplication and an add-and-wrap per row — no per-row division for C2.
+func (t *Synthetic) RowsAt(lo, hi int64, buf []Row) []Row {
+	buf = buf[:0]
+	key := t.key(lo)
+	n := uint64(t.rows)
+	for row := lo; row < hi; row++ {
+		buf = append(buf, Row{C1: int64(mix64(uint64(row)) % n), C2: key})
+		key += t.a
+		if key >= t.rows {
+			key -= t.rows
+		}
+	}
+	return buf
+}
+
 // key returns C2 for a row: (a·row + b) mod rows, computed with
 // overflow-safe modular multiplication.
 func (t *Synthetic) key(row int64) int64 {
 	return (mulMod(t.a, row, t.rows) + t.b) % t.rows
 }
+
+// RowStride returns the increment linking consecutive keys' rows:
+// RowForKey(k+1) = (RowForKey(k) + RowStride()) mod Rows(). The synthetic
+// B+-tree uses it to enumerate a leaf's entries incrementally instead of
+// inverting the permutation per entry.
+func (t *Synthetic) RowStride() int64 { return t.aInv }
 
 // RowForKey returns the unique row whose C2 equals key. It is the inverse
 // of the permutation and what lets the synthetic B+-tree enumerate entries

@@ -37,6 +37,7 @@ import (
 	"pioqo/internal/disk"
 	"pioqo/internal/exec"
 	"pioqo/internal/obs"
+	"pioqo/internal/opt"
 	"pioqo/internal/sim"
 	"pioqo/internal/stats"
 	"pioqo/internal/table"
@@ -93,6 +94,12 @@ type System struct {
 	tables map[string]*Table
 	model  *cost.QDTT
 
+	// memo caches plan enumerations across queries; depthOne caches the
+	// model's depth-oblivious projection for DepthOblivious planning. Both
+	// are dropped whenever a calibration installs a new model.
+	memo     *opt.Memo
+	depthOne *cost.DTT
+
 	// reg is the engine-wide metrics registry; the device and pool publish
 	// cumulative instruments into it at assembly time. observer, when set,
 	// receives per-query telemetry.
@@ -123,6 +130,7 @@ func New(cfg Config) *System {
 		cores:   cfg.Cores,
 		seed:    cfg.Seed,
 		tables:  make(map[string]*Table),
+		memo:    opt.NewMemo(),
 		reg:     obs.NewRegistry(env),
 	}
 	dev.Metrics().Publish(s.reg, "device")

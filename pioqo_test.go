@@ -313,3 +313,62 @@ func TestPlanString(t *testing.T) {
 		t.Errorf("String() = %q", got)
 	}
 }
+
+func TestPlanMemoization(t *testing.T) {
+	sys, tab := newCalibrated(t, SSD, 50000, 33)
+	q := Query{Table: tab, Low: 0, High: 499}
+
+	before := sys.MetricsSnapshot()
+	p1, err := sys.Plan(q, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-planning the identical probe with untouched residency must replay
+	// the cached enumeration and still count as an optimization.
+	p2, err := sys.Plan(q, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatalf("memoized plan %v differs from first plan %v", p2, p1)
+	}
+	d := sys.MetricsSince(before)
+	if d.Counter("opt.memo_misses") != 1 || d.Counter("opt.memo_hits") != 1 {
+		t.Fatalf("memo traffic = %d misses, %d hits; want 1, 1",
+			d.Counter("opt.memo_misses"), d.Counter("opt.memo_hits"))
+	}
+	if d.Counter("opt.optimizations") != 2 {
+		t.Fatalf("opt.optimizations = %d, want 2", d.Counter("opt.optimizations"))
+	}
+
+	// Executing the query moves pages through the pool; the epoch in the
+	// memo key changes and the next planning round must re-cost.
+	if _, err := sys.Execute(q, Cold()); err != nil {
+		t.Fatal(err)
+	}
+	before = sys.MetricsSnapshot()
+	if _, err := sys.Plan(q, PlanOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if d := sys.MetricsSince(before); d.Counter("opt.memo_misses") != 1 {
+		t.Fatalf("plan after execution: %d misses, want 1 (epoch invalidation)",
+			d.Counter("opt.memo_misses"))
+	}
+
+	// DepthOblivious planning shares one cached depth-one projection, so
+	// repeats hit the memo too.
+	before = sys.MetricsSnapshot()
+	sys.Plan(q, PlanOptions{DepthOblivious: true})
+	sys.Plan(q, PlanOptions{DepthOblivious: true})
+	if d := sys.MetricsSince(before); d.Counter("opt.memo_hits") != 1 {
+		t.Fatalf("depth-oblivious repeat: %d hits, want 1", d.Counter("opt.memo_hits"))
+	}
+
+	// Recalibration installs a fresh model and must drop the memo.
+	if _, err := sys.Calibrate(CalibrationOptions{MaxReads: 640}); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := sys.memo.Stats(); hits != 0 || misses != 0 {
+		t.Fatalf("memo not reset by calibration: %d hits, %d misses", hits, misses)
+	}
+}

@@ -162,7 +162,7 @@ func (s *System) optConfig(q Query, o PlanOptions) (opt.Config, opt.Input, error
 	}
 	var model cost.Model = s.model
 	if o.DepthOblivious {
-		model = s.model.DepthOne()
+		model = s.depthOneModel()
 	}
 	degrees := []int{1, 2, 4, 8, 16, 32}
 	if o.MaxDegree > 0 {
@@ -223,7 +223,7 @@ func (s *System) Plan(q Query, o PlanOptions) (Plan, error) {
 	if err != nil {
 		return Plan{}, err
 	}
-	return fromInternalPlan(opt.Choose(cfg, in)), nil
+	return fromInternalPlan(s.memo.Choose(cfg, in)), nil
 }
 
 // Explain returns every candidate plan the optimizer considered for q,
@@ -234,7 +234,7 @@ func (s *System) Explain(q Query, o PlanOptions) ([]Plan, error) {
 		return nil, err
 	}
 	var plans []Plan
-	for _, p := range opt.Enumerate(cfg, in) {
+	for _, p := range s.memo.Enumerate(cfg, in) {
 		plans = append(plans, fromInternalPlan(p))
 	}
 	return plans, nil

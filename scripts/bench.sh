@@ -5,6 +5,12 @@
 # serially and with one worker per core, and writes everything to
 # BENCH_PR2.json. Wall-clock gains only appear on multi-core hosts; the
 # core count is recorded so single-core numbers aren't misread.
+#
+# A second snapshot, BENCH_PR3.json, covers the batch-granular executor:
+# host ns per simulated row for the large full scan (degrees 1 and 8) and
+# the hash-join build, against the row-at-a-time numbers captured on this
+# host immediately before the batching change, plus the same sweep
+# wall-clocks for comparison with the PR2 section.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -73,3 +79,40 @@ $KERNEL
 EOF
 
 echo "wrote $OUT (host_cores=$CORES)"
+
+# ---- PR3: batch execution kernel ----------------------------------------
+
+OUT3=BENCH_PR3.json
+
+# The executor benchmarks report a per-simulated-row custom metric
+# (ns/simrow, ns/buildrow) after ns/op; keep both.
+EXEC=$(go test -run '^$' -bench 'FullScanHostTime|HashJoinBuild' ./internal/exec/ |
+	awk '
+		/^Benchmark/ {
+			name = $1
+			sub(/-[0-9]+$/, "", name)
+			printf "%s    {\"name\": \"%s\", \"ns_per_op\": %s, \"%s\": %s}", sep, name, $3, $6, $5
+			sep = ",\n"
+		}
+	')
+
+cat >"$OUT3" <<EOF
+{
+  "host_cores": $CORES,
+  "exec_baseline_pre_pr3": [
+    {"name": "BenchmarkFullScanHostTime/degree1", "ns/simrow": 14.87},
+    {"name": "BenchmarkFullScanHostTime/degree8", "ns/simrow": 15.12},
+    {"name": "BenchmarkHashJoinBuild", "ns/buildrow": 153.3}
+  ],
+  "exec_benchmarks": [
+$EXEC
+  ],
+  "sweep_wall_seconds": {
+    "fig4_panel_b": {"serial": $FIG4_SERIAL, "parallel": $FIG4_PARALLEL},
+    "fig8": {"serial": $FIG8_SERIAL, "parallel": $FIG8_PARALLEL},
+    "fig12": {"serial": $FIG12_SERIAL, "parallel": $FIG12_PARALLEL}
+  }
+}
+EOF
+
+echo "wrote $OUT3 (host_cores=$CORES)"

@@ -13,6 +13,16 @@ go test ./...
 
 # Tier 2: vet everything, race-test the event loop and metrics/span layer,
 # plus the host-parallel sweep runner and the experiments that fan out on it
-# (the determinism tests compare serial vs parallel output byte for byte).
+# (the determinism tests compare serial vs parallel output byte for byte),
+# plus the batched executor and memoized optimizer.
 go vet ./...
-go test -race ./internal/sim/... ./internal/obs/... ./internal/host/... ./internal/experiments/...
+go test -race ./internal/sim/... ./internal/obs/... ./internal/host/... ./internal/experiments/... ./internal/exec/... ./internal/opt/...
+
+# Batch-accounting lint: every worker CPU charge in the executor must flow
+# through the cpuBudget (batch.go) so debt settles before device
+# interactions. A raw Use against the CPU resource anywhere else in the
+# package reintroduces per-row kernel round-trips unnoticed.
+if grep -n 'Use(ctx\.CPU\|Use(m\.ctx\.CPU' internal/exec/*.go | grep -v 'internal/exec/batch.go'; then
+	echo "verify: raw CPU Use outside internal/exec/batch.go (route through cpuBudget/useCPU)" >&2
+	exit 1
+fi
