@@ -37,10 +37,11 @@ import (
 )
 
 var (
-	ascii    = flag.Bool("ascii", false, "render curve figures (fig1, fig4, fig5, fig8) as ASCII charts")
-	traceOut = flag.String("trace", "", "write the run's virtual-time spans as Chrome trace_event JSON to this file (open in chrome://tracing)")
-	jsonOut  = flag.Bool("json", false, "qdprofile: emit the sampled queue-depth series as JSON instead of the TSV summary")
-	parallel = flag.Int("parallel", 0, "host workers for sweep points: 0 = one per core, 1 = serial (output is identical either way)")
+	ascii      = flag.Bool("ascii", false, "render curve figures (fig1, fig4, fig5, fig8) as ASCII charts")
+	traceOut   = flag.String("trace", "", "write the run's virtual-time spans as Chrome trace_event JSON to this file (open in chrome://tracing)")
+	jsonOut    = flag.Bool("json", false, "qdprofile/admission: emit the result rows as JSON instead of the TSV summary")
+	parallel   = flag.Int("parallel", 0, "host workers for sweep points: 0 = one per core, 1 = serial (output is identical either way)")
+	concurrent = flag.Int("concurrent", 8, "admission: number of queries in the skewed concurrent batch")
 )
 
 func main() {
@@ -85,7 +86,8 @@ func main() {
 	if exp == "all" {
 		for _, e := range []string{"fig1", "table1", "fig4", "table2", "table3",
 			"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-			"earlystop", "qdprofile", "concurrency", "joins", "mixed", "accuracy", "optimality"} {
+			"earlystop", "qdprofile", "concurrency", "admission", "joins", "mixed",
+			"accuracy", "optimality"} {
 			fmt.Printf("== %s ==\n", e)
 			if err := run(sc, e, *panel); err != nil {
 				fmt.Fprintf(os.Stderr, "pioqo-bench: %v\n", err)
@@ -146,6 +148,8 @@ experiments:
   earlystop  calibration-time savings from the stop threshold
   qdprofile  measured PIS queue-depth profiles per parallel degree (§2)
   concurrency inter- vs intra-query parallelism strategies (§4.3)
+  admission  static even queue-budget split vs brokered admission control
+             on a skewed concurrent batch (-concurrent N, -json)
   joins      hash vs index nested-loop join ablation across build skew
   mixed      whole-workload comparison of DTT vs QDTT planning
   accuracy   QDTT estimated cost vs measured runtime per candidate plan
@@ -392,6 +396,18 @@ func run(sc experiments.Scale, exp, panel string) error {
 		for _, r := range sc.Concurrency() {
 			fmt.Fprintf(w, "%s\t%d\t%d\t%.2f\t%.2f\t%.0f\n",
 				r.Strategy, r.Queries, r.Degree, r.MakespanMs, r.MeanLatMs, r.Throughput)
+		}
+	case "admission":
+		rows := sc.Admission(*concurrent)
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rows)
+		}
+		fmt.Fprintln(w, "strategy\tqueries\tmakespan_ms\tmean_latency_ms\tmean_wait_ms\treplans\tMBps")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%d\t%.2f\t%.2f\t%.2f\t%d\t%.0f\n",
+				r.Strategy, r.Queries, r.MakespanMs, r.MeanLatMs, r.MeanWaitMs, r.Replans, r.Throughput)
 		}
 	case "qdprofile":
 		if *jsonOut {

@@ -4,20 +4,27 @@ import (
 	"errors"
 	"time"
 
-	"pioqo/internal/exec"
+	"pioqo/internal/broker"
 )
 
 // ConcurrentResult reports a batch of queries executed together.
 type ConcurrentResult struct {
 	// Results holds one entry per query, in input order; each Runtime is
-	// that query's own start-to-finish virtual time.
+	// that query's own start-to-finish virtual time (admission wait
+	// excluded — see Admissions).
 	Results []Result
 
-	// Elapsed is the wall-clock of the whole batch (max over queries).
+	// Admissions holds each query's broker admission record, in input
+	// order: leased budget, pool reservation, queue wait, re-plan flag.
+	Admissions []Admission
+
+	// Elapsed is the batch makespan: submission of the first query to
+	// completion of the last, admission waits included.
 	Elapsed time.Duration
 
-	// QueueBudget is the per-query device queue-depth budget the planner
-	// used.
+	// QueueBudget is the initial even per-query share of the device's
+	// beneficial queue depth. Individual admissions may receive more or
+	// less as the broker redistributes freed credits; see Admissions.
 	QueueBudget int
 
 	// IOThroughputMBps is the device throughput sustained over the batch.
@@ -28,9 +35,14 @@ type ConcurrentResult struct {
 // sharing CPU, buffer pool, and the device queue. Following the paper's
 // §4.3 guidance — "when multiple queries are running on the system
 // concurrently, the optimizer needs to pass a lower queue depth number to
-// the QDTT model" — each query is planned under a queue-depth budget of
-// (device's beneficial depth) / (number of queries), unless the supplied
-// PlanOptions already set one.
+// the QDTT model" — each query is planned under a queue-depth budget
+// leased from the system's resource broker: admissions are batched so a
+// few well-budgeted queries run instead of everyone starving equally, and
+// credits freed by finishing queries (or winding-down worker fleets) are
+// re-brokered to the ones still queued, which re-plan under their actual
+// grant. A PlanOptions.QueueBudget set by the caller wins over brokered
+// budgets for every query in the batch; StaticSplit() freezes the batch
+// into the pre-broker one-shot even split for A/B comparison.
 func (s *System) ExecuteConcurrent(queries []Query, opts ...ExecOption) (ConcurrentResult, error) {
 	if len(queries) == 0 {
 		return ConcurrentResult{}, errors.New("pioqo: no queries")
@@ -47,70 +59,67 @@ func (s *System) ExecuteConcurrent(queries []Query, opts ...ExecOption) (Concurr
 		s.pool.Flush()
 	}
 
-	po := eo.plan
-	if po.QueueBudget == 0 {
-		// Beneficial depth at whole-device band, split across the batch.
-		beneficial := s.model.MaxBeneficialDepth(s.DevicePages(), 0.05)
-		budget := beneficial / len(queries)
-		if budget < 1 {
-			budget = 1
-		}
-		po.QueueBudget = budget
+	ses, err := s.batchSession(len(queries), eo)
+	if err != nil {
+		return ConcurrentResult{}, err
 	}
-
-	specs := make([]exec.Spec, len(queries))
+	subs := make([]*Submission, len(queries))
 	for i, q := range queries {
-		plan, err := s.Plan(q, po)
-		if err != nil {
+		if subs[i], err = ses.submit(q, eo); err != nil {
 			return ConcurrentResult{}, err
 		}
-		specs[i] = exec.Spec{
-			Table:             q.Table.tab,
-			Index:             q.Table.idx,
-			Lo:                q.Low,
-			Hi:                q.High,
-			Method:            plan.Method.internal(),
-			Degree:            plan.Degree,
-			Agg:               q.Agg.internal(),
-			PrefetchPerWorker: plan.Prefetch,
-		}
-		if eo.prefetch > 0 {
-			specs[i].PrefetchPerWorker = eo.prefetch
-		}
 	}
 
-	results, io := exec.ExecuteAll(s.execContext(), specs)
+	// Meter the device over exactly the batch window; Elapsed is the
+	// makespan, not the max per-query runtime.
+	s.dev.Metrics().Reset()
+	s.pool.ResetStats()
+	start := s.env.Now()
+	if err := ses.Drain(); err != nil {
+		return ConcurrentResult{}, err
+	}
+	io := s.dev.Metrics().Snapshot()
+
+	shares := broker.SplitCredits(ses.b.Total(), len(queries))
 	out := ConcurrentResult{
-		QueueBudget:      po.QueueBudget,
+		Results:          make([]Result, len(queries)),
+		Admissions:       make([]Admission, len(queries)),
+		Elapsed:          time.Duration(s.env.Now() - start),
+		QueueBudget:      shares[len(shares)-1],
 		IOThroughputMBps: io.ThroughputMBps,
 	}
-	var maxRt time.Duration
-	for i, r := range results {
-		res := Result{
-			Value:   r.Value,
-			Found:   r.Found,
-			Rows:    r.RowsMatched,
-			Runtime: time.Duration(r.Runtime),
+	for i, sub := range subs {
+		if out.Results[i], err = sub.Result(); err != nil {
+			return ConcurrentResult{}, err
 		}
-		res.Plan, _ = s.planFromSpec(specs[i])
-		out.Results = append(out.Results, res)
-		if res.Runtime > maxRt {
-			maxRt = res.Runtime
-		}
+		out.Admissions[i] = sub.Admission()
 	}
-	out.Elapsed = maxRt
+	if len(queries) == 1 {
+		// The batch window is the query window: a single-query batch
+		// reports the same device traffic a standalone Execute would.
+		out.Results[0].PageReads = io.Requests
+		out.Results[0].IOThroughputMBps = io.ThroughputMBps
+	}
 	return out, nil
 }
 
-// planFromSpec reconstructs the public plan shape from an internal spec
-// (estimates omitted — they were already consumed during planning).
-func (s *System) planFromSpec(spec exec.Spec) (Plan, error) {
-	method := FullTableScan
-	switch spec.Method {
-	case exec.IndexScan:
-		method = IndexScan
-	case exec.SortedIndexScan:
-		method = SortedIndexScan
+// batchSession returns the session a batch runs on: the shared dynamic
+// broker normally, or a private one-shot static broker under StaticSplit()
+// — sized over the batch, with no pool reservations and no re-brokering,
+// reproducing the pre-broker even split for A/B benchmarking.
+func (s *System) batchSession(parties int, eo execOptions) (*Session, error) {
+	if !eo.staticSplit {
+		return s.OpenSession()
 	}
-	return Plan{Method: method, Degree: spec.Degree, Prefetch: spec.PrefetchPerWorker}, nil
+	if s.model == nil {
+		return nil, errors.New("pioqo: ExecuteConcurrent requires calibration")
+	}
+	b := broker.New(broker.Config{
+		Env:     s.env,
+		Model:   s.model,
+		Band:    s.DevicePages(),
+		Static:  true,
+		Parties: parties,
+	})
+	return &Session{sys: s, b: b}, nil
 }

@@ -1,6 +1,7 @@
 package pioqo
 
 import (
+	"reflect"
 	"testing"
 )
 
@@ -51,10 +52,134 @@ func TestExecuteConcurrentSplitsQueueBudget(t *testing.T) {
 	if res.QueueBudget <= 0 || res.QueueBudget > 16 {
 		t.Errorf("queue budget = %d for 2 queries, want within (0, 16]", res.QueueBudget)
 	}
+	if len(res.Admissions) != len(queries) {
+		t.Fatalf("%d admission records, want %d", len(res.Admissions), len(queries))
+	}
 	for i, r := range res.Results {
-		if r.Plan.Degree > res.QueueBudget {
-			t.Errorf("query %d ran at degree %d above budget %d",
-				i, r.Plan.Degree, res.QueueBudget)
+		adm := res.Admissions[i]
+		if adm.Budget > 0 && r.Plan.Degree > adm.Budget {
+			t.Errorf("query %d ran at degree %d above its leased budget %d",
+				i, r.Plan.Degree, adm.Budget)
+		}
+		if adm.Wait < 0 {
+			t.Errorf("query %d: negative admission wait %v", i, adm.Wait)
+		}
+	}
+}
+
+func TestSingleQueryBatchMatchesExecute(t *testing.T) {
+	// A batch of one is a sole query on an idle broker: it receives an
+	// unbounded lease, plans exactly as Execute would, and its result must
+	// be byte-for-byte identical.
+	sysA, tabA := newCalibrated(t, SSD, 50000, 33)
+	want, err := sysA.Execute(Query{Table: tabA, Low: 0, High: 4999}, Cold())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysB, tabB := newCalibrated(t, SSD, 50000, 33)
+	batch, err := sysB.ExecuteConcurrent(
+		[]Query{{Table: tabB, Low: 0, High: 4999}}, Cold())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := batch.Results[0]; !reflect.DeepEqual(got, want) {
+		t.Errorf("single-query batch diverged from Execute:\n got %+v\nwant %+v", got, want)
+	}
+	if adm := batch.Admissions[0]; adm.Budget != 0 || adm.Wait != 0 {
+		t.Errorf("sole query admission = %+v, want unbounded lease with zero wait", adm)
+	}
+	if batch.Elapsed != want.Runtime {
+		t.Errorf("batch makespan %v != query runtime %v", batch.Elapsed, want.Runtime)
+	}
+}
+
+func TestBudgetFloorWhenQueriesOutnumberDepth(t *testing.T) {
+	// 40 queries exceed any calibrated beneficial depth (the grid tops out
+	// at 32): with the static even split every lease still gets at least
+	// one credit — the pre-broker total/n floor, now remainder-aware.
+	sys, tab := newCalibrated(t, SSD, 50000, 33)
+	queries := make([]Query, 40)
+	for i := range queries {
+		lo := int64(i * 100)
+		queries[i] = Query{Table: tab, Low: lo, High: lo + 49}
+	}
+	res, err := sys.ExecuteConcurrent(queries, Cold(), StaticSplit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueueBudget != 1 {
+		t.Errorf("floor share = %d for %d queries, want 1", res.QueueBudget, len(queries))
+	}
+	for i, adm := range res.Admissions {
+		if adm.Budget < 1 {
+			t.Errorf("query %d leased budget %d, want >= 1", i, adm.Budget)
+		}
+		if res.Results[i].Plan.Degree > adm.Budget {
+			t.Errorf("query %d degree %d above budget %d",
+				i, res.Results[i].Plan.Degree, adm.Budget)
+		}
+	}
+
+	// The dynamic broker must also drain the same over-subscribed batch:
+	// every bounded lease keeps the floor, late survivors may be
+	// re-brokered up to an unbounded lease.
+	sys.FlushBufferPool()
+	dyn, err := sys.ExecuteConcurrent(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, adm := range dyn.Admissions {
+		if adm.Budget < 0 {
+			t.Errorf("dynamic query %d leased budget %d", i, adm.Budget)
+		}
+		if dyn.Results[i].Rows != res.Results[i].Rows {
+			t.Errorf("dynamic query %d matched %d rows, static matched %d",
+				i, dyn.Results[i].Rows, res.Results[i].Rows)
+		}
+	}
+}
+
+func TestColdFlushesBeforePlanning(t *testing.T) {
+	// Two identical systems, identical warm-up. A warms the pool and runs
+	// the batch with Cold(); B warms, flushes by hand, and runs without.
+	// If Cold() flushed after planning, A would have planned against warm
+	// residency statistics and the runs would diverge.
+	run := func(explicitFlush bool) ConcurrentResult {
+		sys, tab := newCalibrated(t, SSD, 50000, 33)
+		if _, err := sys.Execute(Query{Table: tab, Low: 0, High: 49999}); err != nil {
+			t.Fatal(err)
+		}
+		if sys.BufferPoolResident(tab) == 0 {
+			t.Fatal("warm-up left the pool cold")
+		}
+		queries := []Query{
+			{Table: tab, Low: 0, High: 999},
+			{Table: tab, Low: 20000, High: 20999},
+		}
+		var (
+			res ConcurrentResult
+			err error
+		)
+		if explicitFlush {
+			sys.FlushBufferPool()
+			res, err = sys.ExecuteConcurrent(queries)
+		} else {
+			res, err = sys.ExecuteConcurrent(queries, Cold())
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	cold, manual := run(false), run(true)
+	if cold.Elapsed != manual.Elapsed {
+		t.Errorf("Cold() batch %v vs manually flushed batch %v: Cold must flush before planning",
+			cold.Elapsed, manual.Elapsed)
+	}
+	for i := range cold.Results {
+		if cold.Results[i].Plan != manual.Results[i].Plan {
+			t.Errorf("query %d: Cold() plan %v vs flushed plan %v",
+				i, cold.Results[i].Plan, manual.Results[i].Plan)
 		}
 	}
 }

@@ -42,8 +42,10 @@ func main() {
 		fmt.Printf("serial: %v in %v\n", res.Plan, res.Runtime)
 	}
 
-	// As one batch: shared CPU, pool, and device queue; per-query plans
-	// budgeted to a fair share of the beneficial queue depth.
+	// As one batch: the resource broker admits each query with a lease on
+	// the shared queue-depth credits, buffer pool, and CPU workers; plans
+	// are priced under the leased budget and credits freed by finished
+	// queries are re-brokered to the admission queue.
 	sys.FlushBufferPool()
 	batch, err := sys.ExecuteConcurrent(queries, pioqo.Cold())
 	if err != nil {
@@ -51,7 +53,9 @@ func main() {
 	}
 	fmt.Printf("\nconcurrent batch: queue budget %d per query\n", batch.QueueBudget)
 	for i, r := range batch.Results {
-		fmt.Printf("  query %d: %v in %v (%d rows)\n", i, r.Plan, r.Runtime, r.Rows)
+		adm := batch.Admissions[i]
+		fmt.Printf("  query %d: %v in %v (%d rows; budget %d, waited %v)\n",
+			i, r.Plan, r.Runtime, r.Rows, adm.Budget, adm.Wait)
 	}
 	fmt.Printf("\nserial total:   %v\n", serialTotal)
 	fmt.Printf("batch elapsed:  %v (%.1fx faster, %.0f MB/s sustained)\n",

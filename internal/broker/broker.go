@@ -1,0 +1,534 @@
+// Package broker is the engine's shared resource-governance layer: a
+// virtual-time broker that owns the device queue-depth credits, buffer-pool
+// page reservations, and CPU-worker shares that concurrent queries divide
+// between them, with an admission queue in front.
+//
+// The paper's §4.3 closes with the observation that a QDTT-aware optimizer
+// must plan each concurrent query under a *lower* queue depth. Before this
+// package that arithmetic was scattered: ExecuteConcurrent computed a
+// one-shot `beneficial / n` split, the optimizer consumed it as an opaque
+// QueueBudget, and the executor clamped its pool pinning independently.
+// The broker centralises it:
+//
+//   - The total credit supply is the device's maximum beneficial queue
+//     depth (cost.QDTT.MaxBeneficialDepth over the whole-device band) —
+//     depth beyond it buys no throughput, so handing it out buys nothing.
+//   - Queries enqueue for admission and block until the broker grants a
+//     Lease: a queue-depth credit grant plus a proportional buffer-pool
+//     page reservation. The optimizer then plans under the leased budget
+//     (opt's memo keys on it, so cached plans stay valid per lease size).
+//   - The executor reports workers starting and exiting through the lease;
+//     a winding-down query progressively returns credits it can no longer
+//     use, and a completed query returns the rest — either way the broker
+//     re-dispatches, so queued queries are admitted (and planned) under
+//     the credits actually available, not a stale batch-start split.
+//   - The device reports sustained queue depth back through a probe; when
+//     the sustained depth runs well below the credits out on loan the
+//     broker extends a bounded slack, re-brokering budgets that in-flight
+//     queries are provably not using.
+//
+// Everything runs in virtual time on the sim kernel: admission order is
+// FIFO, dispatch is synchronous state manipulation, and reruns are
+// bit-identical.
+package broker
+
+import (
+	"fmt"
+
+	"pioqo/internal/obs"
+	"pioqo/internal/sim"
+)
+
+// DepthModel is the slice of the calibrated cost model the broker needs:
+// the largest queue depth that still improves throughput on a band. It is
+// satisfied by *cost.QDTT.
+type DepthModel interface {
+	MaxBeneficialDepth(band int64, minGain float64) int
+}
+
+// Config sizes a Broker. Model and Band are required; everything else has
+// a sensible zero value.
+type Config struct {
+	Env *sim.Env
+
+	// Model prices queue depth; Band is the band (in pages) the credit
+	// supply is computed over — normally the whole device.
+	Model DepthModel
+	Band  int64
+
+	// MinGain is the marginal-throughput threshold defining the beneficial
+	// depth. Default 0.05 (5%), matching the pre-broker split.
+	MinGain float64
+
+	// PoolPages is the buffer-pool capacity the broker reserves shares of.
+	// Zero disables pool reservations (leases carry no page budget).
+	PoolPages int
+
+	// Workers is the CPU-worker share supply, normally the core count. It
+	// is tracked (workers_in_use) rather than enforced — the sim CPU
+	// resource arbitrates actual cores — so schedulers and dashboards see
+	// worker pressure next to credit pressure.
+	Workers int
+
+	// MinLease floors the credit grant per admission in dynamic mode, so
+	// admission control admits a few well-budgeted queries instead of
+	// starving everyone equally. Default total/4 (at least 1).
+	MinLease int
+
+	// Static freezes the broker into the pre-broker behaviour for A/B
+	// benchmarking: every query is admitted immediately with an even
+	// one-shot split of the total over Parties, and nothing is ever
+	// re-brokered.
+	Static  bool
+	Parties int // static mode: the batch size the split is computed over
+
+	// DepthProbe, when set, returns the cumulative time-integral of the
+	// device's queue depth (device.Metrics.DepthIntegral). The broker
+	// derives the sustained depth over its observation window from it.
+	DepthProbe func() float64
+
+	// Obs, when set, receives the broker's instruments: broker.credits_total,
+	// broker.credits_in_use, broker.workers_in_use, broker.admissions,
+	// broker.replans, broker.reclaims, and broker.admission_wait_us.
+	Obs *obs.Registry
+
+	// Tracer, when set, records one span per admission (enqueue → grant),
+	// annotated with the granted budget and wait, under Span.
+	Tracer *obs.Tracer
+	Span   *obs.Span
+}
+
+// Broker owns the credit supply and the admission queue. It is not safe
+// for host-level concurrent use; all calls must come from simulation
+// context (process or event) or between Env.Run calls, like every other
+// engine structure.
+type Broker struct {
+	env *sim.Env
+	cfg Config
+
+	total int // credit supply: the device's max beneficial depth
+	free  int // credits not currently out on loan (can dip below 0 under slack)
+	slack int // credits extended beyond total on device-feedback evidence
+
+	minLease int
+	nextID   int
+
+	queue  []*Lease // admission FIFO
+	active []*Lease // admitted, not yet released
+
+	// dispatchScheduled coalesces dispatch work into one zero-delay event
+	// per instant, so every query enqueued at the same virtual time is
+	// brokered together — the first of a batch must not be mistaken for a
+	// sole query just because it arrived a few host instructions earlier.
+	dispatchScheduled bool
+
+	// Device-feedback observation window.
+	probeBase float64
+	probeAt   sim.Time
+
+	// Instruments (nil-safe: left nil without a registry).
+	creditsInUse *obs.Gauge
+	workersGauge *obs.Gauge
+	admissions   *obs.Counter
+	replans      *obs.Counter
+	reclaims     *obs.Counter
+	waitHist     *obs.Histogram
+}
+
+// admissionWaitBucketsUs are histogram edges for admission waits, in
+// microseconds: immediate grants through multi-query queueing delays.
+var admissionWaitBucketsUs = []float64{0, 100, 1000, 10000, 100000, 1e6, 1e7}
+
+// New builds a broker over cfg. The credit supply is computed once, from
+// the calibrated model — the single place in the engine allowed to do
+// queue-budget arithmetic (scripts/verify.sh lints every other call site).
+func New(cfg Config) *Broker {
+	if cfg.Env == nil {
+		panic("broker: Config.Env is nil")
+	}
+	if cfg.Model == nil {
+		panic("broker: Config.Model is nil")
+	}
+	if cfg.MinGain == 0 {
+		cfg.MinGain = 0.05
+	}
+	b := &Broker{env: cfg.Env, cfg: cfg}
+	b.total = cfg.Model.MaxBeneficialDepth(cfg.Band, cfg.MinGain)
+	if b.total < 1 {
+		b.total = 1
+	}
+	b.free = b.total
+	b.minLease = cfg.MinLease
+	if b.minLease <= 0 {
+		b.minLease = b.total / 4
+		if b.minLease < 1 {
+			b.minLease = 1
+		}
+	}
+	if cfg.Obs != nil {
+		cfg.Obs.Gauge("broker.credits_total").Set(float64(b.total))
+		b.creditsInUse = cfg.Obs.Gauge("broker.credits_in_use")
+		b.workersGauge = cfg.Obs.Gauge("broker.workers_in_use")
+		b.admissions = cfg.Obs.Counter("broker.admissions")
+		b.replans = cfg.Obs.Counter("broker.replans")
+		b.reclaims = cfg.Obs.Counter("broker.reclaims")
+		b.waitHist = cfg.Obs.Histogram("broker.admission_wait_us", admissionWaitBucketsUs)
+	}
+	return b
+}
+
+// Total reports the credit supply — the device's maximum beneficial queue
+// depth over the configured band.
+func (b *Broker) Total() int { return b.total }
+
+// InUse reports the credits currently out on loan.
+func (b *Broker) InUse() int { return b.total + b.slack - b.free }
+
+// Waiting reports how many queries sit in the admission queue.
+func (b *Broker) Waiting() int { return len(b.queue) }
+
+// Active reports how many admitted leases have not been released.
+func (b *Broker) Active() int { return len(b.active) }
+
+// SplitCredits divides total evenly over n parties, distributing the
+// remainder one credit at a time from the front — no credit is dropped,
+// fixing the integer-division loss of the pre-broker `total / n` split.
+// Every share is at least 1 even when parties outnumber credits.
+func SplitCredits(total, n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	shares := make([]int, n)
+	base, rem := total/n, total%n
+	for i := range shares {
+		shares[i] = base
+		if i < rem {
+			shares[i]++
+		}
+		if shares[i] < 1 {
+			shares[i] = 1
+		}
+	}
+	return shares
+}
+
+// FairShare reports the even-split budget a query joining now could expect:
+// the total divided over every known party (active + waiting + the caller).
+// A sole query on an idle broker expects an unbounded lease (0). Sessions
+// use it to plan provisionally at submit time; the admission grant is
+// authoritative and a differing grant triggers a re-plan. A static broker's
+// split is fully determined at enqueue time, so there FairShare returns the
+// exact share the next enqueued query will be granted — static batches
+// plan once and never re-plan, like the pre-broker behaviour they model.
+func (b *Broker) FairShare() int {
+	if b.cfg.Static {
+		if b.cfg.Parties < 2 {
+			return 0
+		}
+		return SplitCredits(b.total, b.cfg.Parties)[b.nextID%b.cfg.Parties]
+	}
+	parties := len(b.active) + len(b.queue) + 1
+	if parties == 1 {
+		return 0
+	}
+	return SplitCredits(b.total, parties)[0]
+}
+
+// Lease is one query's resource grant: admission ticket, queue-depth
+// credit budget, and buffer-pool page reservation. It also implements the
+// executor's worker-governance hook (exec.Governor), returning credits as
+// the query's worker fleet winds down.
+type Lease struct {
+	b  *Broker
+	id int
+
+	demand int // max useful credits; 0 = no cap
+
+	admitted bool
+	released bool
+	granted  int // credit grant at admission; 0 = unbounded (sole query)
+	held     int // credits still debited from the broker
+	pool     int // buffer-pool page reservation
+
+	workers int // live workers right now
+	peak    int // high-water worker count, for proportional reclamation
+
+	enqueuedAt sim.Time
+	admittedAt sim.Time
+
+	grant *sim.Completion // fires at admission
+	span  *obs.Span
+}
+
+// Enqueue registers a query for admission and returns its lease. The
+// demand caps the useful credit grant (0 = uncapped). Admission is FIFO;
+// call Await from process context to block until granted.
+func (b *Broker) Enqueue(demand int) *Lease {
+	l := &Lease{b: b, id: b.nextID, demand: demand,
+		enqueuedAt: b.env.Now(), grant: sim.NewCompletion(b.env)}
+	b.nextID++
+	if b.cfg.Tracer != nil {
+		l.span = b.cfg.Tracer.Start(b.cfg.Span, fmt.Sprintf("admission%d", l.id))
+	}
+	b.queue = append(b.queue, l)
+	b.scheduleDispatch()
+	return l
+}
+
+// Await blocks p until the lease has been granted. A lease already granted
+// (the common uncontended case) returns without yielding, so a sole query
+// admits in zero virtual time and zero events.
+func (l *Lease) Await(p *sim.Proc) {
+	p.Wait(l.grant)
+}
+
+// Budget reports the leased queue-depth budget: the credit grant, or 0 for
+// an unbounded lease (a sole query on an idle device plans exactly as a
+// standalone Execute would).
+func (l *Lease) Budget() int { return l.granted }
+
+// PoolPages reports the lease's buffer-pool page reservation (0 means
+// ungoverned — the executor's own whole-pool clamps apply).
+func (l *Lease) PoolPages() int { return l.pool }
+
+// Wait reports how long the query sat in the admission queue.
+func (l *Lease) Wait() sim.Duration {
+	if !l.admitted {
+		return sim.Duration(l.b.env.Now() - l.enqueuedAt)
+	}
+	return sim.Duration(l.admittedAt - l.enqueuedAt)
+}
+
+// StartWorker implements exec.Governor: one scan worker began running.
+func (l *Lease) StartWorker() {
+	l.workers++
+	if l.workers > l.peak {
+		l.peak = l.workers
+	}
+	if l.b.workersGauge != nil {
+		l.b.workersGauge.Add(1)
+	}
+}
+
+// EndWorker implements exec.Governor: one scan worker exited. A worker
+// that exits never rejoins its phase, so the lease shrinks its held
+// credits proportionally to the workers still running and the broker
+// re-dispatches queued queries under the recovered budget. Static brokers
+// and unbounded leases skip reclamation.
+func (l *Lease) EndWorker() {
+	l.workers--
+	if l.b.workersGauge != nil {
+		l.b.workersGauge.Add(-1)
+	}
+	if l.released || l.b.cfg.Static || l.granted == 0 || l.peak <= 0 {
+		return
+	}
+	target := (l.granted*l.workers + l.peak - 1) / l.peak // ceil share
+	if l.workers > 0 && target < 1 {
+		target = 1
+	}
+	if target < l.held {
+		n := l.held - target
+		l.held = target
+		l.b.reclaim(n)
+		if l.b.reclaims != nil {
+			l.b.reclaims.Add(int64(n))
+		}
+	}
+}
+
+// Replanned records that the query was re-planned because its admission
+// grant differed from the provisional budget it planned under.
+func (l *Lease) Replanned() {
+	if l.b.replans != nil {
+		l.b.replans.Inc()
+	}
+	if l.span != nil {
+		l.span.SetAttr("replanned", true)
+	}
+}
+
+// Release returns every credit the lease still holds and re-dispatches.
+// Releasing twice is a bug, as with any resource.
+func (l *Lease) Release() {
+	if l.released {
+		panic("broker: lease released twice")
+	}
+	l.released = true
+	if !l.admitted {
+		// Withdrawn before admission: just drop out of the queue.
+		for i, q := range l.b.queue {
+			if q == l {
+				l.b.queue = append(l.b.queue[:i], l.b.queue[i+1:]...)
+				break
+			}
+		}
+		if l.span != nil {
+			l.span.SetAttr("withdrawn", true)
+			l.span.End()
+		}
+		return
+	}
+	for i, a := range l.b.active {
+		if a == l {
+			l.b.active = append(l.b.active[:i], l.b.active[i+1:]...)
+			break
+		}
+	}
+	if l.held > 0 {
+		l.b.reclaim(l.held)
+		l.held = 0
+	} else {
+		l.b.scheduleDispatch()
+	}
+}
+
+// reclaim returns n credits to the pool and re-dispatches the queue.
+func (b *Broker) reclaim(n int) {
+	b.free += n
+	// Returned slack retires before it re-enters circulation: the supply
+	// reverts toward the calibrated total as over-extended credit comes home.
+	if b.slack > 0 && b.free > b.total {
+		retire := b.free - b.total
+		if retire > b.slack {
+			retire = b.slack
+		}
+		b.slack -= retire
+		b.free -= retire
+	}
+	if b.creditsInUse != nil {
+		b.creditsInUse.Set(float64(b.InUse()))
+	}
+	b.scheduleDispatch()
+}
+
+// scheduleDispatch queues one dispatch pass at the current instant.
+func (b *Broker) scheduleDispatch() {
+	if b.dispatchScheduled {
+		return
+	}
+	b.dispatchScheduled = true
+	b.env.Schedule(0, b.dispatch)
+}
+
+// feedbackSlack consults the device probe: when the sustained queue depth
+// over the observation window runs below the credits out on loan, the
+// difference is capacity the in-flight queries are provably not using, and
+// the broker may extend up to a quarter of the supply as slack to waiting
+// queries. The window resets at every reading, so the evidence is recent.
+func (b *Broker) feedbackSlack() int {
+	if b.cfg.Static || b.cfg.DepthProbe == nil {
+		return 0
+	}
+	now := b.env.Now()
+	integral := b.cfg.DepthProbe()
+	window := now - b.probeAt
+	if window <= 0 {
+		return 0
+	}
+	sustained := (integral - b.probeBase) / float64(window)
+	b.probeBase = integral
+	b.probeAt = now
+	idle := float64(b.InUse()) - sustained
+	if idle < 1 {
+		return 0
+	}
+	ext := int(idle)
+	if lim := b.total / 4; ext > lim {
+		ext = lim
+	}
+	if ext <= b.slack {
+		return 0
+	}
+	return ext - b.slack
+}
+
+// dispatch admits as many queued queries as the free credits allow. In
+// dynamic mode each admission gets at least minLease credits, so freed
+// capacity concentrates into meaningful budgets instead of dribbling out
+// one credit at a time; a sole query on an idle broker gets an unbounded
+// lease. Static mode admits everyone immediately with the precomputed
+// even split.
+func (b *Broker) dispatch() {
+	b.dispatchScheduled = false
+	for len(b.queue) > 0 {
+		if b.cfg.Static {
+			parties := b.cfg.Parties
+			if parties < 1 {
+				parties = 1
+			}
+			l := b.queue[0]
+			b.queue = b.queue[1:]
+			share := 0
+			if parties > 1 {
+				share = SplitCredits(b.total, parties)[l.id%parties]
+			}
+			b.admit(l, share)
+			continue
+		}
+		if len(b.active) == 0 && len(b.queue) == 1 {
+			l := b.queue[0]
+			b.queue = b.queue[1:]
+			b.admit(l, 0) // sole query, idle device: unbounded
+			continue
+		}
+		if grow := b.feedbackSlack(); grow > 0 {
+			b.slack += grow
+			b.free += grow
+		}
+		if b.free < 1 {
+			return
+		}
+		if b.free < b.minLease && len(b.active) > 0 {
+			return // wait for a meaningful grant to accumulate
+		}
+		k := b.free / b.minLease
+		if k < 1 {
+			k = 1
+		}
+		if k > len(b.queue) {
+			k = len(b.queue)
+		}
+		shares := SplitCredits(b.free, k)
+		batch := b.queue[:k]
+		b.queue = b.queue[k:]
+		for i, l := range batch {
+			b.admit(l, shares[i])
+		}
+	}
+}
+
+// admit grants a lease. A grant of 0 is the unbounded lease; a positive
+// grant is capped at the lease's demand, with the excess staying free for
+// the next admission.
+func (b *Broker) admit(l *Lease, grant int) {
+	if grant > 0 {
+		if l.demand > 0 && grant > l.demand {
+			grant = l.demand
+		}
+		b.free -= grant
+	}
+	l.granted = grant
+	l.held = grant
+	l.admitted = true
+	l.admittedAt = b.env.Now()
+	if b.cfg.PoolPages > 0 && grant > 0 {
+		l.pool = b.cfg.PoolPages * grant / b.total
+	}
+	b.active = append(b.active, l)
+	if b.admissions != nil {
+		b.admissions.Inc()
+	}
+	if b.creditsInUse != nil {
+		b.creditsInUse.Set(float64(b.InUse()))
+	}
+	if b.waitHist != nil {
+		b.waitHist.Observe(l.Wait().Micros())
+	}
+	if l.span != nil {
+		l.span.SetAttr("granted", grant)
+		l.span.SetAttr("wait", l.Wait())
+		l.span.End()
+	}
+	l.grant.Fire()
+}

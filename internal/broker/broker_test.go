@@ -1,0 +1,318 @@
+package broker
+
+import (
+	"testing"
+
+	"pioqo/internal/obs"
+	"pioqo/internal/sim"
+)
+
+// fixedModel is a DepthModel with a constant beneficial depth.
+type fixedModel int
+
+func (m fixedModel) MaxBeneficialDepth(band int64, minGain float64) int { return int(m) }
+
+func newBroker(t *testing.T, total int, mut func(*Config)) (*sim.Env, *Broker) {
+	t.Helper()
+	env := sim.NewEnv(1)
+	cfg := Config{Env: env, Model: fixedModel(total), Band: 1 << 20}
+	if mut != nil {
+		mut(&cfg)
+	}
+	return env, New(cfg)
+}
+
+func TestSplitCreditsDistributesRemainder(t *testing.T) {
+	cases := []struct {
+		total, n int
+		want     []int
+	}{
+		{16, 3, []int{6, 5, 5}},
+		{16, 4, []int{4, 4, 4, 4}},
+		{7, 3, []int{3, 2, 2}},
+		{2, 5, []int{1, 1, 1, 1, 1}}, // floor at 1 when parties outnumber credits
+		{0, 2, []int{1, 1}},
+	}
+	for _, c := range cases {
+		got := SplitCredits(c.total, c.n)
+		if len(got) != len(c.want) {
+			t.Fatalf("SplitCredits(%d, %d) = %v, want %v", c.total, c.n, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("SplitCredits(%d, %d) = %v, want %v", c.total, c.n, got, c.want)
+				break
+			}
+		}
+	}
+	if SplitCredits(10, 0) != nil {
+		t.Error("SplitCredits with 0 parties should be nil")
+	}
+}
+
+func TestSoleQueryGetsUnboundedLease(t *testing.T) {
+	env, b := newBroker(t, 16, nil)
+	l := b.Enqueue(0)
+	env.Run()
+	if !l.admitted {
+		t.Fatal("sole query not admitted")
+	}
+	if l.Budget() != 0 {
+		t.Errorf("sole query budget = %d, want 0 (unbounded)", l.Budget())
+	}
+	if l.Wait() != 0 {
+		t.Errorf("sole query waited %v", l.Wait())
+	}
+	if b.InUse() != 0 {
+		t.Errorf("unbounded lease debited %d credits", b.InUse())
+	}
+	l.Release()
+	env.Run()
+	if b.Active() != 0 {
+		t.Errorf("%d active leases after release", b.Active())
+	}
+}
+
+func TestDispatchAdmitsUpToMinLease(t *testing.T) {
+	env, b := newBroker(t, 16, nil) // minLease defaults to total/4 = 4
+	var leases []*Lease
+	for i := 0; i < 8; i++ {
+		leases = append(leases, b.Enqueue(0))
+	}
+	env.Run()
+	// 16 credits at minLease 4 admit the first four queries with 4 each —
+	// admission control queues the rest instead of starving all eight at 2.
+	for i, l := range leases[:4] {
+		if !l.admitted || l.Budget() != 4 {
+			t.Fatalf("lease %d: admitted=%v budget=%d, want 4", i, l.admitted, l.Budget())
+		}
+	}
+	for i, l := range leases[4:] {
+		if l.admitted {
+			t.Fatalf("lease %d admitted with no free credits", 4+i)
+		}
+	}
+	if b.InUse() != 16 || b.Waiting() != 4 {
+		t.Fatalf("in-use=%d waiting=%d, want 16 and 4", b.InUse(), b.Waiting())
+	}
+	// Releasing one query frees 4 credits — exactly one more admission.
+	leases[0].Release()
+	env.Run()
+	if !leases[4].admitted || leases[4].Budget() != 4 {
+		t.Errorf("lease 4 after release: admitted=%v budget=%d", leases[4].admitted, leases[4].Budget())
+	}
+	if leases[5].admitted {
+		t.Error("lease 5 admitted beyond the freed credits")
+	}
+}
+
+func TestLastSurvivorRebrokeredUnbounded(t *testing.T) {
+	env, b := newBroker(t, 16, nil)
+	var leases []*Lease
+	for i := 0; i < 5; i++ {
+		leases = append(leases, b.Enqueue(0))
+	}
+	env.Run()
+	// Four admitted at 4 each, the fifth queued. All four release before
+	// the next dispatch: the survivor is now a sole query on an idle broker
+	// and gets an unbounded lease — not the batch-start 16/5 split.
+	for _, l := range leases[:4] {
+		l.Release()
+	}
+	env.Run()
+	last := leases[4]
+	if !last.admitted {
+		t.Fatal("survivor never admitted")
+	}
+	if last.Budget() != 0 {
+		t.Errorf("survivor budget = %d, want 0 (unbounded)", last.Budget())
+	}
+}
+
+func TestDemandCapsGrant(t *testing.T) {
+	env, b := newBroker(t, 32, nil)
+	b.Enqueue(0)
+	l := b.Enqueue(2) // second query wants at most 2 credits
+	env.Run()
+	if !l.admitted {
+		t.Fatal("not admitted")
+	}
+	if l.Budget() != 2 {
+		t.Errorf("budget = %d, want demand cap 2", l.Budget())
+	}
+}
+
+func TestWorkerExitReclaimsProportionally(t *testing.T) {
+	env, b := newBroker(t, 16, nil)
+	a := b.Enqueue(0)
+	c := b.Enqueue(0)
+	env.Run()
+	if a.Budget() != 8 || c.Budget() != 8 {
+		t.Fatalf("budgets %d/%d, want 8/8", a.Budget(), c.Budget())
+	}
+	for i := 0; i < 4; i++ {
+		a.StartWorker()
+	}
+	waiter := b.Enqueue(0)
+	env.Run()
+	if waiter.admitted {
+		t.Fatal("third query admitted with no free credits")
+	}
+	// Half of a's workers exit: half its 8 credits come home, enough for a
+	// minLease(4) admission of the waiter.
+	a.EndWorker()
+	a.EndWorker()
+	env.Run()
+	if !waiter.admitted {
+		t.Fatal("worker exits did not re-dispatch the queue")
+	}
+	if waiter.Budget() != 4 {
+		t.Errorf("re-brokered budget = %d, want 4", waiter.Budget())
+	}
+	a.EndWorker()
+	a.EndWorker()
+	a.Release()
+	c.Release()
+	waiter.Release()
+	env.Run()
+	if b.InUse() != 0 {
+		t.Errorf("credits leaked: in-use = %d after all releases", b.InUse())
+	}
+}
+
+func TestStaticModeSplitsOnceAndNeverRebrokers(t *testing.T) {
+	env, b := newBroker(t, 16, func(c *Config) { c.Static = true; c.Parties = 3 })
+	var leases []*Lease
+	for i := 0; i < 3; i++ {
+		// Static splits are fixed at enqueue time: FairShare must predict
+		// the grant exactly, so static batches never re-plan.
+		if predicted, want := b.FairShare(), []int{6, 5, 5}[i]; predicted != want {
+			t.Errorf("FairShare before enqueue %d = %d, want %d", i, predicted, want)
+		}
+		leases = append(leases, b.Enqueue(0))
+	}
+	env.Run()
+	want := []int{6, 5, 5}
+	for i, l := range leases {
+		if !l.admitted {
+			t.Fatalf("static lease %d not admitted immediately", i)
+		}
+		if l.Budget() != want[i] {
+			t.Errorf("static lease %d budget = %d, want %d", i, l.Budget(), want[i])
+		}
+	}
+	// Worker exits reclaim nothing in static mode.
+	leases[0].StartWorker()
+	leases[0].StartWorker()
+	leases[0].EndWorker()
+	if leases[0].held != leases[0].granted {
+		t.Error("static lease reclaimed credits on worker exit")
+	}
+}
+
+func TestAwaitBlocksUntilGranted(t *testing.T) {
+	env, b := newBroker(t, 2, nil) // minLease 1: two admitted, one queued
+	leases := []*Lease{b.Enqueue(0), b.Enqueue(0), b.Enqueue(0)}
+	done := 0
+	for _, l := range leases {
+		l := l
+		env.Go("q", func(p *sim.Proc) {
+			l.Await(p)
+			p.Sleep(10 * sim.Microsecond)
+			done++
+			l.Release()
+		})
+	}
+	env.Run()
+	if done != 3 {
+		t.Fatalf("%d queries completed, want 3", done)
+	}
+	third := leases[2]
+	if third.Wait() != 10*sim.Microsecond {
+		t.Errorf("queued query waited %v, want 10us (a release)", third.Wait())
+	}
+	if b.InUse() != 0 || b.Waiting() != 0 {
+		t.Errorf("in-use=%d waiting=%d after drain", b.InUse(), b.Waiting())
+	}
+}
+
+func TestFeedbackSlackExtendsSupply(t *testing.T) {
+	var env *sim.Env
+	var b *Broker
+	env, b = newBroker(t, 16, func(c *Config) {
+		c.DepthProbe = func() float64 { return 0 } // device never sees depth
+	})
+	a := b.Enqueue(0)
+	c := b.Enqueue(0)
+	var waiter *Lease
+	env.Go("late", func(p *sim.Proc) {
+		p.Sleep(100 * sim.Microsecond)
+		waiter = b.Enqueue(0)
+		waiter.Await(p)
+	})
+	env.Run()
+	// The probe reports zero sustained depth over a 100us window against 16
+	// credits on loan: the broker extends slack (capped at total/4 = 4) and
+	// admits the waiter instead of stalling it behind idle credit.
+	if waiter == nil || !waiter.admitted {
+		t.Fatal("device feedback did not unblock the waiter")
+	}
+	if waiter.Budget() != 4 {
+		t.Errorf("slack-funded budget = %d, want 4", waiter.Budget())
+	}
+	if b.slack != 4 {
+		t.Errorf("slack = %d, want 4", b.slack)
+	}
+	// Releases retire the slack before credits recirculate.
+	a.Release()
+	c.Release()
+	waiter.Release()
+	env.Run()
+	if b.slack != 0 || b.free != b.total {
+		t.Errorf("slack=%d free=%d after drain, want 0 and %d", b.slack, b.free, b.total)
+	}
+}
+
+func TestInstrumentsPublish(t *testing.T) {
+	env := sim.NewEnv(1)
+	reg := obs.NewRegistry(env)
+	b := New(Config{Env: env, Model: fixedModel(8), Band: 1, Obs: reg})
+	l1 := b.Enqueue(0)
+	l2 := b.Enqueue(0)
+	env.Run()
+	if got := reg.Counter("broker.admissions").Value(); got != 2 {
+		t.Errorf("admissions = %d, want 2", got)
+	}
+	if got := reg.Gauge("broker.credits_total").Value(); got != 8 {
+		t.Errorf("credits_total = %v, want 8", got)
+	}
+	if got := reg.Gauge("broker.credits_in_use").Value(); got != 8 {
+		t.Errorf("credits_in_use = %v, want 8", got)
+	}
+	l1.Replanned()
+	if got := reg.Counter("broker.replans").Value(); got != 1 {
+		t.Errorf("replans = %d, want 1", got)
+	}
+	l1.Release()
+	l2.Release()
+	if got := reg.Gauge("broker.credits_in_use").Value(); got != 0 {
+		t.Errorf("credits_in_use = %v after drain, want 0", got)
+	}
+}
+
+func TestPoolReservationProportionalToGrant(t *testing.T) {
+	env, b := newBroker(t, 16, func(c *Config) { c.PoolPages = 1024 })
+	a := b.Enqueue(0)
+	c := b.Enqueue(0)
+	env.Run()
+	if a.PoolPages() != 512 || c.PoolPages() != 512 {
+		t.Errorf("pool reservations %d/%d, want 512/512", a.PoolPages(), c.PoolPages())
+	}
+	a.Release()
+	c.Release()
+	sole := b.Enqueue(0)
+	env.Run()
+	if sole.PoolPages() != 0 {
+		t.Errorf("unbounded lease reserved %d pages, want 0 (whole pool)", sole.PoolPages())
+	}
+}

@@ -139,6 +139,12 @@ func (m *Metrics) Completed(n int, d sim.Duration) {
 // Outstanding reports the number of in-flight requests right now.
 func (m *Metrics) Outstanding() int { return int(m.depth.Value()) }
 
+// DepthIntegral reports the cumulative time-integral of the queue depth
+// (∫ depth dt, in gauge-value × nanoseconds) since the start of the
+// simulation. Diffing it over a window yields the sustained depth the
+// workload actually generated — the broker's device-feedback probe.
+func (m *Metrics) DepthIntegral() float64 { return m.depth.Integral() }
+
 // Reset zeroes the interval counters and restarts the metering interval at
 // the current virtual time. In-flight requests remain accounted for
 // queue-depth purposes, and published registry instruments keep

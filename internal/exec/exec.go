@@ -127,6 +127,15 @@ func (k AggKind) String() string {
 	}
 }
 
+// Governor is the resource-governance hook a broker lease exposes to the
+// executor: the scan reports each worker starting and exiting, so a
+// winding-down query's queue-depth credits can be re-brokered to queued
+// queries while its stragglers finish. Implemented by broker.Lease.
+type Governor interface {
+	StartWorker()
+	EndWorker()
+}
+
 // Spec describes one execution of the probe query.
 type Spec struct {
 	Table table.Table
@@ -166,6 +175,39 @@ type Spec struct {
 	// opened under — typically the query span opened by the caller. Nil
 	// makes the operator span a root.
 	Span *obs.Span
+
+	// Gov, when set, is notified as this scan's workers start and exit.
+	// Nil means ungoverned (single-query execution).
+	Gov Governor
+
+	// PoolShare, when positive, is the buffer-pool page reservation leased
+	// to this scan: the readahead and prefetch clamps budget against it
+	// instead of the whole pool, so concurrent queries' prefetch windows
+	// cannot collectively exhaust the shared pool. Zero means ungoverned.
+	PoolShare int
+}
+
+// poolCapacity is the pool capacity this scan's clamps budget against: the
+// lease's page reservation when governed, the whole pool otherwise.
+func (s *Spec) poolCapacity(ctx *Context) int {
+	c := ctx.Pool.Capacity()
+	if s.PoolShare > 0 && s.PoolShare < c {
+		c = s.PoolShare
+	}
+	return c
+}
+
+// startWorker/endWorker report one worker's lifetime to the governor.
+func (s *Spec) startWorker() {
+	if s.Gov != nil {
+		s.Gov.StartWorker()
+	}
+}
+
+func (s *Spec) endWorker() {
+	if s.Gov != nil {
+		s.Gov.EndWorker()
+	}
 }
 
 // deliver routes one matching row to the emit hook or the aggregate.
@@ -471,7 +513,7 @@ func runFullScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 	nextPage := int64(0) // shared work queue: next unclaimed heap page
 
 	spec.BlockPages, spec.PrefetchBlocks = clampReadahead(
-		ctx.Pool.Capacity(), spec.Degree, spec.BlockPages, spec.PrefetchBlocks)
+		spec.poolCapacity(ctx), spec.Degree, spec.BlockPages, spec.PrefetchBlocks)
 
 	if spec.BlockPages > 1 {
 		// Flow-control window: the prefetcher stays at most PrefetchBlocks
@@ -537,6 +579,8 @@ func runFullScanWorkers(p *sim.Proc, ctx *Context, spec Spec, nextPage *int64, o
 		wg.Add(1)
 		ctx.Env.Go(fmt.Sprintf("fts-w%d", w), func(wp *sim.Proc) {
 			defer wg.Done()
+			spec.startWorker()
+			defer spec.endWorker()
 			m := newMeter(ctx, spec.Span, fmt.Sprintf("fts-w%d", w))
 			defer m.finish(&results[w])
 			bud := newBudget(ctx, m)
@@ -614,9 +658,9 @@ func runIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 	rpp := t.RowsPerPage()
 
 	// Clamp per-worker prefetch so in-flight prefetched frames plus worker
-	// pins can never exhaust the pool.
+	// pins can never exhaust the pool (or the lease's share of it).
 	if spec.PrefetchPerWorker > 0 {
-		if budget := ctx.Pool.Capacity()/2/spec.Degree - 1; spec.PrefetchPerWorker > budget {
+		if budget := spec.poolCapacity(ctx)/2/spec.Degree - 1; spec.PrefetchPerWorker > budget {
 			spec.PrefetchPerWorker = budget
 			if spec.PrefetchPerWorker < 0 {
 				spec.PrefetchPerWorker = 0
@@ -654,6 +698,8 @@ func runIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 		wg.Add(1)
 		ctx.Env.Go(fmt.Sprintf("pis-w%d", w), func(wp *sim.Proc) {
 			defer wg.Done()
+			spec.startWorker()
+			defer spec.endWorker()
 			m := newMeter(ctx, spec.Span, fmt.Sprintf("pis-w%d", w))
 			defer m.finish(&results[w])
 			bud := newBudget(ctx, m)

@@ -27,7 +27,7 @@ func runSortedIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 	// Clamp per-worker prefetch so in-flight prefetched frames plus worker
 	// pins can never exhaust the pool (same budget as the plain index scan).
 	if spec.PrefetchPerWorker > 0 {
-		if budget := ctx.Pool.Capacity()/2/spec.Degree - 1; spec.PrefetchPerWorker > budget {
+		if budget := spec.poolCapacity(ctx)/2/spec.Degree - 1; spec.PrefetchPerWorker > budget {
 			spec.PrefetchPerWorker = budget
 			if spec.PrefetchPerWorker < 0 {
 				spec.PrefetchPerWorker = 0
@@ -65,6 +65,8 @@ func runSortedIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 		wg.Add(1)
 		ctx.Env.Go(fmt.Sprintf("sis-collect%d", w), func(wp *sim.Proc) {
 			defer wg.Done()
+			spec.startWorker()
+			defer spec.endWorker()
 			m := newMeter(ctx, spec.Span, fmt.Sprintf("sis-collect%d", w))
 			bud := newBudget(ctx, m)
 			if spec.Degree > 1 {
@@ -119,6 +121,8 @@ func runSortedIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 		wg2.Add(1)
 		ctx.Env.Go(fmt.Sprintf("sis-fetch%d", w), func(wp *sim.Proc) {
 			defer wg2.Done()
+			spec.startWorker()
+			defer spec.endWorker()
 			m := newMeter(ctx, spec.Span, fmt.Sprintf("sis-fetch%d", w))
 			defer m.finish(&results[w])
 			bud := newBudget(ctx, m)

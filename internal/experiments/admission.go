@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pioqo"
+)
+
+// AdmissionRow is one budgeting strategy for a skewed concurrent batch,
+// with its makespan, per-query latency, admission-queue wait, and the
+// number of queries re-planned under a re-brokered budget.
+type AdmissionRow struct {
+	Strategy   string
+	Queries    int
+	MakespanMs float64
+	MeanLatMs  float64
+	MeanWaitMs float64
+	Replans    int
+	Throughput float64 // device MB/s over the batch
+}
+
+// Admission contrasts the pre-broker static even queue-budget split with
+// the resource broker's dynamic admission control (§4.3 plus the ROADMAP's
+// admission-control north star) on a skewed batch: one query scans a
+// quarter of the key domain while the rest scan small disjoint slivers.
+//
+// Under the static split every query — including the large one — is
+// planned at total/n queue depth for its whole life, long after the small
+// queries have finished. The broker instead admits a few well-budgeted
+// queries at a time and re-brokers credits as queries complete and worker
+// fleets wind down, so late admissions (and the survivors' stragglers) run
+// at the depth actually available; the batch makespan is the headline
+// number the re-budgeting must win on.
+func (sc Scale) Admission(queries int) []AdmissionRow {
+	if queries < 2 {
+		queries = 8
+	}
+	run := func(name string, opts ...pioqo.ExecOption) AdmissionRow {
+		sys := pioqo.New(pioqo.Config{
+			Device:    pioqo.SSD,
+			PoolPages: sc.PoolPages,
+			Cores:     sc.Cores,
+		})
+		rows := sc.Pages * 33
+		tab, err := sys.CreateTable("adm", rows, 33, pioqo.WithSyntheticData())
+		if err != nil {
+			panic(fmt.Sprintf("admission: %v", err))
+		}
+		if _, err := sys.Calibrate(pioqo.CalibrationOptions{MaxReads: sc.CalibReads}); err != nil {
+			panic(fmt.Sprintf("admission: %v", err))
+		}
+		res, err := sys.ExecuteConcurrent(skewedMix(tab, rows, queries),
+			append(opts, pioqo.Cold())...)
+		if err != nil {
+			panic(fmt.Sprintf("admission: %v", err))
+		}
+		var lat, wait float64
+		replans := 0
+		for i, r := range res.Results {
+			lat += float64(r.Runtime)
+			wait += float64(res.Admissions[i].Wait)
+			if res.Admissions[i].Replanned {
+				replans++
+			}
+		}
+		n := float64(queries)
+		return AdmissionRow{
+			Strategy:   name,
+			Queries:    queries,
+			MakespanMs: float64(res.Elapsed) / 1e6,
+			MeanLatMs:  lat / n / 1e6,
+			MeanWaitMs: wait / n / 1e6,
+			Replans:    replans,
+			Throughput: res.IOThroughputMBps,
+		}
+	}
+	strategies := []func() AdmissionRow{
+		func() AdmissionRow { return run("static even split", pioqo.StaticSplit()) },
+		func() AdmissionRow { return run("brokered admission") },
+	}
+	return sweep(sc.workers(), len(strategies), func(i int) AdmissionRow {
+		return strategies[i]()
+	})
+}
+
+// skewedMix builds the admission batch over a synthetic table whose C2
+// domain is [0, rows): one mid-selectivity scan (~0.25%) and n-1 small
+// disjoint scans (~0.05% each). The mid query sits right in the regime
+// §4.3 is about: a parallel index scan beats the full scan only when the
+// query's queue-depth budget is large enough, so the broker's generous
+// admission grant flips its plan to the fast index scan while the static
+// even split prices the same scan above the full-scan fallback.
+func skewedMix(tab *pioqo.Table, rows int64, n int) []pioqo.Query {
+	qs := make([]pioqo.Query, n)
+	qs[0] = pioqo.Query{Table: tab, Low: 0, High: rows/400 - 1}
+	small := rows / 2000
+	if small < 1 {
+		small = 1
+	}
+	for i := 1; i < n; i++ {
+		lo := rows/400 + int64(i)*(rows-rows/400)/int64(n)
+		qs[i] = pioqo.Query{Table: tab, Low: lo, High: lo + small - 1}
+	}
+	return qs
+}

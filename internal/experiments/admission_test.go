@@ -1,0 +1,34 @@
+package experiments
+
+import "testing"
+
+func TestAdmissionBrokeredBeatsStaticSplit(t *testing.T) {
+	rows := quick().Admission(8)
+	if len(rows) != 2 {
+		t.Fatalf("%d strategies, want 2", len(rows))
+	}
+	var static, brokered AdmissionRow
+	for _, r := range rows {
+		switch r.Strategy {
+		case "static even split":
+			static = r
+		case "brokered admission":
+			brokered = r
+		default:
+			t.Fatalf("unknown strategy %q", r.Strategy)
+		}
+	}
+	if static.MakespanMs <= 0 || brokered.MakespanMs <= 0 {
+		t.Fatalf("non-positive makespans: static %.2f, brokered %.2f",
+			static.MakespanMs, brokered.MakespanMs)
+	}
+	// The headline claim: re-brokering freed credits beats a one-shot even
+	// split on batch makespan for the skewed mix.
+	if brokered.MakespanMs >= static.MakespanMs {
+		t.Errorf("brokered makespan %.2fms not below static %.2fms",
+			brokered.MakespanMs, static.MakespanMs)
+	}
+	if static.Replans != 0 {
+		t.Errorf("static split re-planned %d queries, want 0", static.Replans)
+	}
+}

@@ -109,6 +109,38 @@ func TestMemoKeySeparatesInputs(t *testing.T) {
 	}
 }
 
+func TestMemoKeysOnLeasedQueueBudget(t *testing.T) {
+	// The broker re-plans queries under their admission grant: plans cached
+	// under one leased budget must never serve a different lease, and each
+	// lease size replays from its own entry.
+	cfg, in, _ := memoFixture(t)
+	m := NewMemo()
+
+	budgets := []int{0, 2, 8}
+	plans := make([]Plan, len(budgets))
+	for i, b := range budgets {
+		c := cfg
+		c.QueueBudget = b
+		plans[i] = m.Choose(c, in)
+	}
+	if hits, misses := m.Stats(); hits != 0 || misses != int64(len(budgets)) {
+		t.Fatalf("stats = %d hits, %d misses; want 0, %d", hits, misses, len(budgets))
+	}
+	for i, b := range budgets {
+		c := cfg
+		c.QueueBudget = b
+		if got := m.Choose(c, in); got != plans[i] {
+			t.Errorf("budget %d replay chose %v, first run chose %v", b, got, plans[i])
+		}
+		if b > 0 && plans[i].Degree > b {
+			t.Errorf("budget %d cached a plan at degree %d", b, plans[i].Degree)
+		}
+	}
+	if hits, _ := m.Stats(); hits != int64(len(budgets)) {
+		t.Fatalf("replays hit %d entries, want %d", hits, len(budgets))
+	}
+}
+
 func TestMemoCountsOptimizationsOnReplay(t *testing.T) {
 	cfg, in, _ := memoFixture(t)
 	reg := obs.NewRegistry(sim.NewEnv(1))

@@ -123,3 +123,16 @@ func (s *System) ExecuteJoin(q JoinQuery, opts ...ExecOption) (JoinResult, error
 		Runtime:   time.Duration(s.env.Now() - start),
 	}, nil
 }
+
+// planFromSpec reconstructs the public plan shape from an internal spec
+// (estimates omitted — they were already consumed during planning).
+func (s *System) planFromSpec(spec exec.Spec) (Plan, error) {
+	method := FullTableScan
+	switch spec.Method {
+	case exec.IndexScan:
+		method = IndexScan
+	case exec.SortedIndexScan:
+		method = SortedIndexScan
+	}
+	return Plan{Method: method, Degree: spec.Degree, Prefetch: spec.PrefetchPerWorker}, nil
+}

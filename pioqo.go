@@ -30,6 +30,7 @@ import (
 	"sort"
 	"time"
 
+	"pioqo/internal/broker"
 	"pioqo/internal/btree"
 	"pioqo/internal/buffer"
 	"pioqo/internal/cost"
@@ -99,6 +100,12 @@ type System struct {
 	// are dropped whenever a calibration installs a new model.
 	memo     *opt.Memo
 	depthOne *cost.DTT
+
+	// broker is the shared resource-governance layer (internal/broker),
+	// built lazily from the calibrated model and dropped with it; session
+	// is the default Submit session riding on it.
+	broker  *broker.Broker
+	session *Session
 
 	// reg is the engine-wide metrics registry; the device and pool publish
 	// cumulative instruments into it at assembly time. observer, when set,

@@ -345,11 +345,12 @@ func (s *System) executePlan(q Query, plan Plan, eo execOptions, ts *telemetrySe
 type ExecOption func(*execOptions)
 
 type execOptions struct {
-	cold      bool
-	prefetch  int
-	plan      PlanOptions
-	telemetry *QueryTelemetry
-	detail    bool
+	cold        bool
+	prefetch    int
+	plan        PlanOptions
+	telemetry   *QueryTelemetry
+	detail      bool
+	staticSplit bool
 }
 
 // Cold flushes the buffer pool before running, modelling a cold cache.
@@ -361,3 +362,9 @@ func WithPrefetch(n int) ExecOption { return func(o *execOptions) { o.prefetch =
 
 // WithPlanOptions forwards optimizer options through Execute.
 func WithPlanOptions(po PlanOptions) ExecOption { return func(o *execOptions) { o.plan = po } }
+
+// StaticSplit makes ExecuteConcurrent budget the batch with a one-shot
+// even split of the beneficial queue depth, never re-brokering freed
+// credits — the pre-broker behaviour, kept for A/B benchmarking against
+// dynamic admission control.
+func StaticSplit() ExecOption { return func(o *execOptions) { o.staticSplit = true } }

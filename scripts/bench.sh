@@ -116,3 +116,29 @@ $EXEC
 EOF
 
 echo "wrote $OUT3 (host_cores=$CORES)"
+
+# ---- PR4: resource broker admission control ------------------------------
+
+# BENCH_PR4.json captures the headline claim for the shared resource-
+# governance layer: on a skewed 8-query concurrent mix, brokered admission
+# (dynamic queue-depth leases, re-brokered as credits free up) must beat
+# the pre-broker static even queue-budget split on batch makespan, at both
+# the default and quick experiment scales. These are virtual-time numbers
+# from the deterministic simulator, so they are host-independent.
+
+OUT4=BENCH_PR4.json
+
+ADMISSION_DEFAULT=$("$BIN" -scale default -concurrent 8 -json admission)
+ADMISSION_QUICK=$("$BIN" -scale quick -concurrent 8 -json admission)
+
+cat >"$OUT4" <<EOF
+{
+  "host_cores": $CORES,
+  "queries": 8,
+  "workload": "skewed mix: one ~0.25% mid-selectivity scan plus seven ~0.05% scans",
+  "admission_default_scale": $ADMISSION_DEFAULT,
+  "admission_quick_scale": $ADMISSION_QUICK
+}
+EOF
+
+echo "wrote $OUT4 (host_cores=$CORES)"

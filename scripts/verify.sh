@@ -16,7 +16,7 @@ go test ./...
 # (the determinism tests compare serial vs parallel output byte for byte),
 # plus the batched executor and memoized optimizer.
 go vet ./...
-go test -race ./internal/sim/... ./internal/obs/... ./internal/host/... ./internal/experiments/... ./internal/exec/... ./internal/opt/...
+go test -race ./internal/sim/... ./internal/obs/... ./internal/host/... ./internal/experiments/... ./internal/exec/... ./internal/opt/... ./internal/broker/...
 
 # Batch-accounting lint: every worker CPU charge in the executor must flow
 # through the cpuBudget (batch.go) so debt settles before device
@@ -24,5 +24,18 @@ go test -race ./internal/sim/... ./internal/obs/... ./internal/host/... ./intern
 # package reintroduces per-row kernel round-trips unnoticed.
 if grep -n 'Use(ctx\.CPU\|Use(m\.ctx\.CPU' internal/exec/*.go | grep -v 'internal/exec/batch.go'; then
 	echo "verify: raw CPU Use outside internal/exec/batch.go (route through cpuBudget/useCPU)" >&2
+	exit 1
+fi
+
+# Resource-governance lint: queue-depth supply arithmetic belongs to the
+# broker. MaxBeneficialDepth is defined in internal/cost and consumed only
+# by internal/broker; any other call site is a query hand-rolling its own
+# budget split outside admission control, which is exactly the scattered
+# arithmetic the broker layer replaced.
+if grep -rn 'MaxBeneficialDepth' --include='*.go' . |
+	grep -v '_test\.go' |
+	grep -v './internal/cost/' |
+	grep -v './internal/broker/'; then
+	echo "verify: MaxBeneficialDepth used outside internal/broker (lease budgets from the broker instead)" >&2
 	exit 1
 fi

@@ -1,0 +1,254 @@
+package pioqo
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pioqo/internal/broker"
+	"pioqo/internal/exec"
+	"pioqo/internal/sim"
+)
+
+// Admission reports how the resource broker treated one submitted query.
+type Admission struct {
+	// Budget is the queue-depth budget the query was planned and executed
+	// under — its lease from the broker. Zero means unbounded: the query
+	// was alone on an idle device and planned exactly as Execute would.
+	Budget int
+
+	// PoolPages is the buffer-pool page reservation attached to the lease
+	// (0 = ungoverned, the whole pool).
+	PoolPages int
+
+	// Wait is the virtual time the query spent in the admission queue
+	// before the broker granted its lease.
+	Wait time.Duration
+
+	// Replanned reports that the granted budget differed from the
+	// provisional fair share the query was planned under at submit time,
+	// so the optimizer re-planned it under the authoritative lease.
+	Replanned bool
+}
+
+// Submission is one query's handle in a Session: submit-time state before
+// Drain, the result and its admission record after.
+type Submission struct {
+	q    Query
+	eo   execOptions
+	adm  Admission
+	res  Result
+	err  error
+	done bool
+}
+
+// Done reports whether the query has finished executing (after the Drain
+// that covers it).
+func (sub *Submission) Done() bool { return sub.done }
+
+// Result returns the query's result. Calling it before the session has
+// been drained past this submission is an error.
+func (sub *Submission) Result() (Result, error) {
+	if sub.err != nil {
+		return Result{}, sub.err
+	}
+	if !sub.done {
+		return Result{}, errors.New("pioqo: submission not executed; call Session.Drain first")
+	}
+	return sub.res, nil
+}
+
+// Admission returns the broker's admission record for the query. Valid
+// once the submission is Done.
+func (sub *Submission) Admission() Admission { return sub.adm }
+
+// Session is an admission-controlled stream of queries sharing the
+// system's resource broker. Each Submit enqueues a query for admission and
+// registers its executor; Drain runs the simulation until every submitted
+// query has finished. Unlike ExecuteConcurrent's closed batches, a session
+// is open-ended: submit, drain, inspect, submit more.
+//
+// Queries in a session are planned twice when contention shifts: a
+// provisional plan at submit time under the broker's fair-share
+// expectation, and — only if the admission grant differs — a re-plan under
+// the authoritative lease. A query submitted to an idle session receives
+// an unbounded lease and plans exactly as a standalone Execute would.
+type Session struct {
+	sys  *System
+	b    *broker.Broker
+	subs []*Submission // submissions not yet drained
+	n    int           // session-lifetime submission counter (proc names)
+}
+
+// OpenSession starts a session on the system's shared resource broker.
+// Requires calibration: the broker's credit supply is the calibrated
+// device's maximum beneficial queue depth.
+func (s *System) OpenSession() (*Session, error) {
+	b, err := s.sharedBroker()
+	if err != nil {
+		return nil, err
+	}
+	return &Session{sys: s, b: b}, nil
+}
+
+// Submit enqueues q for admission-controlled execution on the default
+// session, opening it on first use. Drain runs the submitted queries.
+func (s *System) Submit(q Query, opts ...ExecOption) (*Submission, error) {
+	if s.session == nil {
+		ses, err := s.OpenSession()
+		if err != nil {
+			return nil, err
+		}
+		s.session = ses
+	}
+	return s.session.Submit(q, opts...)
+}
+
+// Drain runs the default session's pending queries to completion (no-op
+// when nothing was submitted).
+func (s *System) Drain() error {
+	if s.session == nil {
+		return nil
+	}
+	return s.session.Drain()
+}
+
+// sharedBroker returns the system's resource broker, building it from the
+// calibrated model on first use. Installing a new model drops it, so the
+// credit supply always reflects the current calibration.
+func (s *System) sharedBroker() (*broker.Broker, error) {
+	if s.model == nil {
+		return nil, errors.New("pioqo: resource brokering requires calibration; call Calibrate first")
+	}
+	if s.broker == nil {
+		s.broker = broker.New(broker.Config{
+			Env:        s.env,
+			Model:      s.model,
+			Band:       s.DevicePages(),
+			PoolPages:  s.pool.Capacity(),
+			Workers:    s.cores,
+			DepthProbe: s.dev.Metrics().DepthIntegral,
+			Obs:        s.reg,
+		})
+	}
+	return s.broker, nil
+}
+
+// Submit validates q, enqueues it for admission, plans it provisionally
+// under the broker's current fair share, and registers its executor
+// process. The query runs during the next Drain. With Cold(), the buffer
+// pool is flushed now — before planning, as in Execute.
+func (ses *Session) Submit(q Query, opts ...ExecOption) (*Submission, error) {
+	var eo execOptions
+	for _, o := range opts {
+		o(&eo)
+	}
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	if eo.cold {
+		ses.sys.pool.Flush()
+	}
+	return ses.submit(q, eo)
+}
+
+// submit is the option-parsed core of Submit (ExecuteConcurrent enters
+// here so its one batch-level cold flush is not repeated per query).
+func (ses *Session) submit(q Query, eo execOptions) (*Submission, error) {
+	s := ses.sys
+	sub := &Submission{q: q, eo: eo}
+
+	// A user-set QueueBudget wins over brokered budgets; it also caps the
+	// grant (demand) so credits beyond it stay free for other queries.
+	userBudget := eo.plan.QueueBudget
+	po := eo.plan
+	if userBudget == 0 {
+		po.QueueBudget = ses.b.FairShare()
+	}
+	lease := ses.b.Enqueue(userBudget)
+
+	plan, err := s.Plan(q, po)
+	if err != nil {
+		lease.Release() // withdraw from the admission queue
+		return nil, err
+	}
+
+	id := ses.n
+	ses.n++
+	ses.subs = append(ses.subs, sub)
+	s.env.Go(fmt.Sprintf("session-q%d", id), func(p *sim.Proc) {
+		defer lease.Release()
+		ts := s.startTelemetry(q, eo)
+		aspan := ts.trc().Start(ts.span(), "admit")
+		lease.Await(p)
+		granted := lease.Budget()
+		if userBudget == 0 && granted != po.QueueBudget {
+			// The grant differs from the provisional fair share: re-plan
+			// under the lease. The memo keys on the budget, so both plans
+			// stay cached for queries admitted later at either size.
+			po.QueueBudget = granted
+			if plan, err = s.Plan(q, po); err != nil {
+				sub.err = err
+				aspan.End()
+				return
+			}
+			lease.Replanned()
+			sub.adm.Replanned = true
+		}
+		sub.adm.Budget = granted
+		sub.adm.PoolPages = lease.PoolPages()
+		sub.adm.Wait = time.Duration(lease.Wait())
+		aspan.SetAttr("budget", granted)
+		aspan.SetAttr("wait", sub.adm.Wait)
+		aspan.SetAttr("replanned", sub.adm.Replanned)
+		aspan.End()
+
+		prefetch := eo.prefetch
+		if prefetch == 0 {
+			prefetch = plan.Prefetch
+		}
+		spec := exec.Spec{
+			Table:             q.Table.tab,
+			Index:             q.Table.idx,
+			Lo:                q.Low,
+			Hi:                q.High,
+			Method:            plan.Method.internal(),
+			Degree:            plan.Degree,
+			Agg:               q.Agg.internal(),
+			PrefetchPerWorker: prefetch,
+			Span:              ts.span(),
+			Gov:               lease,
+			PoolShare:         lease.PoolPages(),
+		}
+		ctx := s.execContext()
+		ctx.Tracer = ts.trc()
+		t0 := p.Now()
+		res := exec.RunScan(p, ctx, spec)
+		rt := time.Duration(sim.Duration(p.Now() - t0))
+		sub.res = Result{
+			Value:   res.Value,
+			Found:   res.Found,
+			Rows:    res.RowsMatched,
+			Plan:    plan,
+			Runtime: rt,
+		}
+		sub.done = true
+		ts.finish(s, plan, rt, eo)
+	})
+	return sub, nil
+}
+
+// Drain runs the simulation until every pending submission has finished,
+// returning the first submission error (results remain retrievable per
+// submission either way).
+func (ses *Session) Drain() error {
+	ses.sys.env.Run()
+	var first error
+	for _, sub := range ses.subs {
+		if sub.err != nil && first == nil {
+			first = sub.err
+		}
+	}
+	ses.subs = ses.subs[:0]
+	return first
+}

@@ -1,0 +1,129 @@
+package pioqo
+
+import (
+	"testing"
+)
+
+func TestSessionStreamingAdmission(t *testing.T) {
+	sys, tab := newCalibrated(t, SSD, 50000, 33)
+	q1 := Query{Table: tab, Low: 0, High: 999}
+	q2 := Query{Table: tab, Low: 30000, High: 30999}
+
+	var want []Result
+	for _, q := range []Query{q1, q2} {
+		res, err := sys.Execute(q, Cold())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res)
+	}
+	sys.FlushBufferPool()
+
+	ses, err := sys.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := make([]*Submission, 2)
+	for i, q := range []Query{q1, q2} {
+		if subs[i], err = ses.Submit(q); err != nil {
+			t.Fatal(err)
+		}
+		if subs[i].Done() {
+			t.Fatalf("submission %d done before Drain", i)
+		}
+	}
+	if err := ses.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	for i, sub := range subs {
+		res, err := sub.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Value != want[i].Value || res.Rows != want[i].Rows {
+			t.Errorf("query %d: session (%d, %d rows) vs serial (%d, %d rows)",
+				i, res.Value, res.Rows, want[i].Value, want[i].Rows)
+		}
+		if adm := sub.Admission(); adm.Budget <= 0 {
+			t.Errorf("query %d: budget %d, want a bounded two-way split", i, adm.Budget)
+		}
+	}
+
+	// The session stays open: a third query submitted to the now-idle
+	// broker is a sole query and gets an unbounded lease.
+	sub3, err := ses.Submit(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ses.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub3.Result(); err != nil {
+		t.Fatal(err)
+	}
+	if adm := sub3.Admission(); adm.Budget != 0 {
+		t.Errorf("idle-session query budget = %d, want 0 (unbounded)", adm.Budget)
+	}
+}
+
+func TestSystemSubmitDefaultSession(t *testing.T) {
+	sys, tab := newCalibrated(t, SSD, 50000, 33)
+	sub, err := sys.Submit(Query{Table: tab, Low: 0, High: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sub.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Rows == 0 {
+		t.Errorf("result %+v, want a non-empty match", res)
+	}
+
+	uncal := New(Config{Device: SSD})
+	tab2, err := uncal.CreateTable("t", 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := uncal.Submit(Query{Table: tab2}); err == nil {
+		t.Error("uncalibrated Submit accepted")
+	}
+}
+
+func TestSessionTelemetryRecordsAdmission(t *testing.T) {
+	sys, tab := newCalibrated(t, SSD, 50000, 33)
+	ses, err := sys.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tel1, tel2 QueryTelemetry
+	if _, err := ses.Submit(Query{Table: tab, Low: 0, High: 999}, CaptureTelemetry(&tel1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ses.Submit(Query{Table: tab, Low: 25000, High: 25999}, CaptureTelemetry(&tel2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ses.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	for i, tel := range []QueryTelemetry{tel1, tel2} {
+		if tel.Root == nil {
+			t.Fatalf("query %d: no span tree captured", i)
+		}
+		var admit *SpanNode
+		tel.Root.Walk(func(n *SpanNode) {
+			if n.Name == "admit" {
+				admit = n
+			}
+		})
+		if admit == nil {
+			t.Fatalf("query %d: no admit span in trace:\n%s", i, tel.Tree())
+		}
+		if _, ok := admit.Attr("budget"); !ok {
+			t.Errorf("query %d: admit span missing budget attribute", i)
+		}
+	}
+}
