@@ -2,7 +2,6 @@ package pioqo
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -114,7 +113,7 @@ func (s *System) Calibrate(o CalibrationOptions) (*Calibration, error) {
 // has not been calibrated.
 func (s *System) Model() (*cost.QDTT, error) {
 	if s.model == nil {
-		return nil, errors.New("pioqo: system not calibrated; call Calibrate first")
+		return nil, fmt.Errorf("%w: call Calibrate first", ErrNotCalibrated)
 	}
 	return s.model, nil
 }
@@ -128,7 +127,7 @@ func (s *System) DevicePages() int64 { return s.dev.Size() / disk.PageSize }
 // the device.
 func (s *System) SaveModel(w io.Writer) error {
 	if s.model == nil {
-		return errors.New("pioqo: no calibrated model to save")
+		return fmt.Errorf("%w: no model to save", ErrNotCalibrated)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -86,8 +86,8 @@ func main() {
 	if exp == "all" {
 		for _, e := range []string{"fig1", "table1", "fig4", "table2", "table3",
 			"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-			"earlystop", "qdprofile", "concurrency", "admission", "joins", "mixed",
-			"accuracy", "optimality"} {
+			"earlystop", "qdprofile", "concurrency", "admission", "degrade",
+			"joins", "mixed", "accuracy", "optimality"} {
 			fmt.Printf("== %s ==\n", e)
 			if err := run(sc, e, *panel); err != nil {
 				fmt.Fprintf(os.Stderr, "pioqo-bench: %v\n", err)
@@ -150,6 +150,8 @@ experiments:
   concurrency inter- vs intra-query parallelism strategies (§4.3)
   admission  static even queue-budget split vs brokered admission control
              on a skewed concurrent batch (-concurrent N, -json)
+  degrade    graceful degradation under injected 50%% channel loss: healthy
+             vs no-replan vs degraded re-planning (-concurrent N, -json)
   joins      hash vs index nested-loop join ablation across build skew
   mixed      whole-workload comparison of DTT vs QDTT planning
   accuracy   QDTT estimated cost vs measured runtime per candidate plan
@@ -408,6 +410,18 @@ func run(sc experiments.Scale, exp, panel string) error {
 		for _, r := range rows {
 			fmt.Fprintf(w, "%s\t%d\t%.2f\t%.2f\t%.2f\t%d\t%.0f\n",
 				r.Strategy, r.Queries, r.MakespanMs, r.MeanLatMs, r.MeanWaitMs, r.Replans, r.Throughput)
+		}
+	case "degrade":
+		rows := sc.Degradation(*concurrent)
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rows)
+		}
+		fmt.Fprintln(w, "strategy\tqueries\tchannel_loss_%\tmakespan_ms\tmean_latency_ms\treplans\tthrottled\tMBps")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%d\t%.0f\t%.2f\t%.2f\t%d\t%d\t%.0f\n",
+				r.Strategy, r.Queries, r.ChannelLossPct, r.MakespanMs, r.MeanLatMs, r.Replans, r.Throttled, r.Throughput)
 		}
 	case "qdprofile":
 		if *jsonOut {

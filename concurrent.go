@@ -1,7 +1,7 @@
 package pioqo
 
 import (
-	"errors"
+	"fmt"
 	"time"
 
 	"pioqo/internal/broker"
@@ -43,16 +43,16 @@ type ConcurrentResult struct {
 // grant. A PlanOptions.QueueBudget set by the caller wins over brokered
 // budgets for every query in the batch; StaticSplit() freezes the batch
 // into the pre-broker one-shot even split for A/B comparison.
-func (s *System) ExecuteConcurrent(queries []Query, opts ...ExecOption) (ConcurrentResult, error) {
+func (s *System) ExecuteConcurrent(queries []Query, opts ...QueryOption) (ConcurrentResult, error) {
 	if len(queries) == 0 {
-		return ConcurrentResult{}, errors.New("pioqo: no queries")
+		return ConcurrentResult{}, fmt.Errorf("%w: no queries", ErrInvalidQuery)
 	}
-	var eo execOptions
+	var eo queryOptions
 	for _, o := range opts {
 		o(&eo)
 	}
 	if s.model == nil {
-		return ConcurrentResult{}, errors.New("pioqo: ExecuteConcurrent requires calibration")
+		return ConcurrentResult{}, fmt.Errorf("%w: ExecuteConcurrent needs the calibrated cost model", ErrNotCalibrated)
 	}
 	if eo.cold {
 		// Flush before planning: residency statistics feed the optimizer.
@@ -66,6 +66,15 @@ func (s *System) ExecuteConcurrent(queries []Query, opts ...ExecOption) (Concurr
 	subs := make([]*Submission, len(queries))
 	for i, q := range queries {
 		if subs[i], err = ses.submit(q, eo); err != nil {
+			// Earlier submissions already hold admission-queue slots (and,
+			// once admitted, credits and pool reservations). Cancel them and
+			// drain so everything is reclaimed before reporting the error —
+			// otherwise the shared broker would leak the partial batch's
+			// leases into every later query on this system.
+			for _, sub := range subs[:i] {
+				sub.Cancel()
+			}
+			_ = ses.Drain()
 			return ConcurrentResult{}, err
 		}
 	}
@@ -107,12 +116,12 @@ func (s *System) ExecuteConcurrent(queries []Query, opts ...ExecOption) (Concurr
 // broker normally, or a private one-shot static broker under StaticSplit()
 // — sized over the batch, with no pool reservations and no re-brokering,
 // reproducing the pre-broker even split for A/B benchmarking.
-func (s *System) batchSession(parties int, eo execOptions) (*Session, error) {
+func (s *System) batchSession(parties int, eo queryOptions) (*Session, error) {
 	if !eo.staticSplit {
 		return s.OpenSession()
 	}
 	if s.model == nil {
-		return nil, errors.New("pioqo: ExecuteConcurrent requires calibration")
+		return nil, fmt.Errorf("%w: ExecuteConcurrent needs the calibrated cost model", ErrNotCalibrated)
 	}
 	b := broker.New(broker.Config{
 		Env:     s.env,

@@ -45,7 +45,7 @@ func (s *System) ExecuteGroupBy(q GroupByQuery, opts ...ExecOption) (GroupByResu
 	if q.Table == nil {
 		return GroupByResult{}, errors.New("pioqo: group-by without a table")
 	}
-	var eo execOptions
+	var eo queryOptions
 	for _, o := range opts {
 		o(&eo)
 	}

@@ -87,6 +87,14 @@ type Config struct {
 	// derives the sustained depth over its observation window from it.
 	DepthProbe func() float64
 
+	// DegradeProbe, when set, reports the device's current degradation as a
+	// channel-loss fraction in [0, 1] (fault.Injector.Degradation). While
+	// the device reports sustained degradation the broker shrinks its credit
+	// supply proportionally at dispatch time, so newly admitted — and
+	// re-planned — queries run at a queue depth the degraded device can
+	// still turn into throughput. 0 (or nil) means healthy.
+	DegradeProbe func() float64
+
 	// Obs, when set, receives the broker's instruments: broker.credits_total,
 	// broker.credits_in_use, broker.workers_in_use, broker.admissions,
 	// broker.replans, broker.reclaims, and broker.admission_wait_us.
@@ -109,6 +117,8 @@ type Broker struct {
 	total int // credit supply: the device's max beneficial depth
 	free  int // credits not currently out on loan (can dip below 0 under slack)
 	slack int // credits extended beyond total on device-feedback evidence
+
+	poolInUse int // buffer-pool pages reserved by admitted leases
 
 	minLease int
 	nextID   int
@@ -184,6 +194,11 @@ func (b *Broker) Total() int { return b.total }
 // InUse reports the credits currently out on loan.
 func (b *Broker) InUse() int { return b.total + b.slack - b.free }
 
+// PoolInUse reports the buffer-pool pages currently reserved by admitted
+// leases. After every lease is released it is zero; Drain-style teardown
+// asserts that to catch reservation leaks.
+func (b *Broker) PoolInUse() int { return b.poolInUse }
+
 // Waiting reports how many queries sit in the admission queue.
 func (b *Broker) Waiting() int { return len(b.queue) }
 
@@ -227,11 +242,36 @@ func (b *Broker) FairShare() int {
 		}
 		return SplitCredits(b.total, b.cfg.Parties)[b.nextID%b.cfg.Parties]
 	}
+	supply := b.degradedSupply()
 	parties := len(b.active) + len(b.queue) + 1
 	if parties == 1 {
+		if supply < b.total {
+			return supply // degraded: even a sole query plans bounded
+		}
 		return 0
 	}
-	return SplitCredits(b.total, parties)[0]
+	return SplitCredits(supply, parties)[0]
+}
+
+// degradedSupply reports the credit supply dispatch may hand out right now:
+// the calibrated total, shrunk by the device's reported channel loss while
+// degradation is sustained. Never below 1.
+func (b *Broker) degradedSupply() int {
+	if b.cfg.DegradeProbe == nil {
+		return b.total
+	}
+	loss := b.cfg.DegradeProbe()
+	if loss <= 0 {
+		return b.total
+	}
+	if loss > 1 {
+		loss = 1
+	}
+	t := int(float64(b.total)*(1-loss) + 0.5)
+	if t < 1 {
+		t = 1
+	}
+	return t
 }
 
 // Lease is one query's resource grant: admission ticket, queue-depth
@@ -375,6 +415,13 @@ func (l *Lease) Release() {
 			break
 		}
 	}
+	// The pool reservation comes home with the lease — including when the
+	// query errored between admission and its first worker start, the leak
+	// this deferred-release path exists to close.
+	if l.pool > 0 {
+		l.b.poolInUse -= l.pool
+		l.pool = 0
+	}
 	if l.held > 0 {
 		l.b.reclaim(l.held)
 		l.held = 0
@@ -466,30 +513,56 @@ func (b *Broker) dispatch() {
 			b.admit(l, share)
 			continue
 		}
+		// A degraded device shrinks the supply: the difference between the
+		// calibrated total and the degraded supply stays in reserve —
+		// dispatch admits against what the device can actually absorb.
+		supply := b.degradedSupply()
+		reserve := b.total - supply
 		if len(b.active) == 0 && len(b.queue) == 1 {
 			l := b.queue[0]
 			b.queue = b.queue[1:]
-			b.admit(l, 0) // sole query, idle device: unbounded
+			if reserve > 0 {
+				b.admit(l, supply) // degraded: bounded even when sole
+			} else {
+				b.admit(l, 0) // sole query, idle device: unbounded
+			}
 			continue
 		}
-		if grow := b.feedbackSlack(); grow > 0 {
-			b.slack += grow
-			b.free += grow
+		if reserve == 0 {
+			// Slack extension needs a healthy device: degradation evidence
+			// and idle-depth evidence point opposite ways.
+			if grow := b.feedbackSlack(); grow > 0 {
+				b.slack += grow
+				b.free += grow
+			}
 		}
-		if b.free < 1 {
+		avail := b.free - reserve
+		if avail < 1 {
 			return
 		}
-		if b.free < b.minLease && len(b.active) > 0 {
+		ml := b.minLease
+		if reserve > 0 {
+			// The floor scales with the shrunken supply so admission keeps
+			// moving under heavy loss instead of waiting for credits that
+			// will not come back while the window lasts.
+			if scaled := supply / 4; scaled < ml {
+				ml = scaled
+				if ml < 1 {
+					ml = 1
+				}
+			}
+		}
+		if avail < ml && len(b.active) > 0 {
 			return // wait for a meaningful grant to accumulate
 		}
-		k := b.free / b.minLease
+		k := avail / ml
 		if k < 1 {
 			k = 1
 		}
 		if k > len(b.queue) {
 			k = len(b.queue)
 		}
-		shares := SplitCredits(b.free, k)
+		shares := SplitCredits(avail, k)
 		batch := b.queue[:k]
 		b.queue = b.queue[k:]
 		for i, l := range batch {
@@ -514,6 +587,7 @@ func (b *Broker) admit(l *Lease, grant int) {
 	l.admittedAt = b.env.Now()
 	if b.cfg.PoolPages > 0 && grant > 0 {
 		l.pool = b.cfg.PoolPages * grant / b.total
+		b.poolInUse += l.pool
 	}
 	b.active = append(b.active, l)
 	if b.admissions != nil {

@@ -1,0 +1,121 @@
+package broker
+
+import (
+	"testing"
+)
+
+func TestPoolInUseTracksReservations(t *testing.T) {
+	env, b := newBroker(t, 16, func(c *Config) { c.PoolPages = 1024 })
+	a := b.Enqueue(0)
+	c := b.Enqueue(0)
+	env.Run()
+	if got, want := b.PoolInUse(), a.PoolPages()+c.PoolPages(); got != want {
+		t.Fatalf("PoolInUse = %d, want %d (sum of live reservations)", got, want)
+	}
+	a.Release()
+	env.Run()
+	if got := b.PoolInUse(); got != c.PoolPages() {
+		t.Fatalf("PoolInUse after one release = %d, want %d", got, c.PoolPages())
+	}
+	c.Release()
+	env.Run()
+	if got := b.PoolInUse(); got != 0 {
+		t.Fatalf("PoolInUse after all releases = %d, want 0", got)
+	}
+}
+
+func TestReleaseBeforeAdmissionLeaksNothing(t *testing.T) {
+	// A query that errors between Enqueue and admission (plan failure,
+	// validation) withdraws via Release; neither credits nor pool pages may
+	// stay debited.
+	env, b := newBroker(t, 16, func(c *Config) { c.PoolPages = 1024 })
+	a := b.Enqueue(0)
+	c := b.Enqueue(0)
+	c.Release() // withdrawn while still queued
+	env.Run()
+	a.Release()
+	env.Run()
+	if b.InUse() != 0 || b.PoolInUse() != 0 {
+		t.Fatalf("leaked: credits=%d pool=%d", b.InUse(), b.PoolInUse())
+	}
+	if b.Active() != 0 || b.Waiting() != 0 {
+		t.Fatalf("broker still tracks %d active, %d waiting", b.Active(), b.Waiting())
+	}
+}
+
+func TestDegradedSupplyShrinksGrants(t *testing.T) {
+	loss := 0.0
+	env, b := newBroker(t, 32, func(c *Config) {
+		c.DegradeProbe = func() float64 { return loss }
+	})
+	// Healthy: two queries split the full supply.
+	a := b.Enqueue(0)
+	c := b.Enqueue(0)
+	env.Run()
+	healthy := a.Budget() + c.Budget()
+	a.Release()
+	c.Release()
+	env.Run()
+
+	// Degraded 50%: grants must come out of a 16-credit supply.
+	loss = 0.5
+	d := b.Enqueue(0)
+	e := b.Enqueue(0)
+	env.Run()
+	degraded := d.Budget() + e.Budget()
+	if degraded > 16 {
+		t.Errorf("degraded grants total %d, want <= 16 (half supply)", degraded)
+	}
+	if degraded >= healthy {
+		t.Errorf("degraded grants total %d, healthy %d; degradation did not shrink supply", degraded, healthy)
+	}
+	d.Release()
+	e.Release()
+	env.Run()
+	if b.InUse() != 0 {
+		t.Fatalf("credits leaked across degradation: %d", b.InUse())
+	}
+}
+
+func TestDegradedSoleQueryGetsBoundedLease(t *testing.T) {
+	env, b := newBroker(t, 32, func(c *Config) {
+		c.DegradeProbe = func() float64 { return 0.5 }
+	})
+	l := b.Enqueue(0)
+	env.Run()
+	// Healthy sole queries are unbounded (budget 0); on a degraded device
+	// even a sole query must be capped at the shrunken supply, or it would
+	// plan at a depth the device can no longer absorb.
+	if l.Budget() != 16 {
+		t.Errorf("degraded sole-query budget = %d, want 16", l.Budget())
+	}
+	l.Release()
+	env.Run()
+	if b.InUse() != 0 {
+		t.Fatalf("credits leaked: %d", b.InUse())
+	}
+}
+
+func TestFairShareReflectsDegradation(t *testing.T) {
+	loss := 0.0
+	_, b := newBroker(t, 32, func(c *Config) {
+		c.DegradeProbe = func() float64 { return loss }
+	})
+	healthy := b.FairShare()
+	loss = 0.5
+	degraded := b.FairShare()
+	if degraded >= healthy && healthy != 0 {
+		t.Errorf("FairShare healthy=%d degraded=%d; want degraded smaller", healthy, degraded)
+	}
+}
+
+func TestNilProbeIsHealthy(t *testing.T) {
+	env, b := newBroker(t, 16, nil)
+	l := b.Enqueue(0)
+	env.Run()
+	if l.Budget() != 0 {
+		t.Errorf("sole query with nil probe: budget = %d, want 0 (unbounded)", l.Budget())
+	}
+	l.Release()
+	env.Run()
+}

@@ -49,8 +49,8 @@ type Pool struct {
 
 	// Cumulative registry mirrors, nil until Publish. Unlike Stats, these
 	// never reset — per-query numbers come from registry snapshot diffs.
-	obsHits, obsMisses, obsJoined, obsPrefetch, obsEvict, obsDirty *obs.Counter
-	obsCached                                                      *obs.Gauge
+	obsHits, obsMisses, obsJoined, obsPrefetch, obsEvict, obsDirty, obsReadErr *obs.Counter
+	obsCached                                                                 *obs.Gauge
 }
 
 // Stats counts pool traffic since the last ResetStats.
@@ -61,6 +61,7 @@ type Stats struct {
 	PrefetchReads int64 // device reads issued by Prefetch/PrefetchRun
 	Evictions     int64
 	DirtyWrites   int64 // write-backs issued for dirty frames
+	ReadErrors    int64 // device reads that completed with an error
 }
 
 type frame struct {
@@ -111,6 +112,7 @@ func (p *Pool) Publish(reg *obs.Registry, prefix string) {
 	p.obsPrefetch = reg.Counter(prefix + ".prefetch_reads")
 	p.obsEvict = reg.Counter(prefix + ".evictions")
 	p.obsDirty = reg.Counter(prefix + ".dirty_writes")
+	p.obsReadErr = reg.Counter(prefix + ".read_errors")
 	p.obsCached = reg.Gauge(prefix + ".cached_pages")
 	p.obsCached.Set(float64(len(p.frames)))
 }
@@ -188,6 +190,21 @@ func (p *Pool) install(key PageKey, c *sim.Completion) *frame {
 	p.epoch++
 	p.trackCached()
 	c.OnFire(func() {
+		if c.Err() != nil {
+			// The read failed: uninstall the frame so the page reads as
+			// non-resident and a retry re-issues the device read. Fire runs
+			// this callback before any waiter resumes, so waiters observe
+			// the pool already consistent; they unpin their orphaned frame
+			// themselves (FetchPageE's error path). f.loading stays set so
+			// late joiners still see the frame as unusable.
+			delete(p.frames, key)
+			p.resident[key.File]--
+			p.epoch++
+			p.Stats.ReadErrors++
+			bump(p.obsReadErr)
+			p.trackCached()
+			return
+		}
 		f.loading = nil
 		if f.pins == 0 && f.lruEl == nil {
 			f.lruEl = p.lru.PushFront(f)
@@ -231,8 +248,22 @@ func (h Handle) Release() {
 }
 
 // FetchPage returns the page pinned, blocking the process for the device
-// read if the page is neither cached nor already being loaded.
+// read if the page is neither cached nor already being loaded. A read that
+// fails (injected device fault) panics; fault-aware callers use FetchPageE.
 func (p *Pool) FetchPage(proc *sim.Proc, file *disk.File, page int64) Handle {
+	h, err := p.FetchPageE(proc, file, page)
+	if err != nil {
+		panic(fmt.Sprintf("buffer: read of %v page %d failed: %v", file.ID(), page, err))
+	}
+	return h
+}
+
+// FetchPageE is FetchPage with the device's verdict surfaced: if the read
+// completes with an error the page is not pinned, the frame is gone from
+// the pool (the failure's OnFire hook uninstalls it before any waiter
+// resumes), and the error is returned for the executor's retry policy to
+// handle. Processes that joined an in-flight load observe the same error.
+func (p *Pool) FetchPageE(proc *sim.Proc, file *disk.File, page int64) (Handle, error) {
 	p.files[file.ID()] = file
 	key := PageKey{file.ID(), page}
 	if f, ok := p.frames[key]; ok {
@@ -242,20 +273,32 @@ func (p *Pool) FetchPage(proc *sim.Proc, file *disk.File, page int64) Handle {
 			bump(p.obsMisses)
 			bump(p.obsJoined)
 			p.pin(f)
-			proc.Wait(f.loading)
-			return Handle{p, f}
+			c := f.loading
+			proc.Wait(c)
+			if err := c.Err(); err != nil {
+				// The frame was uninstalled when the load failed; drop our
+				// pin on the orphan without re-adding it to the LRU.
+				f.pins--
+				return Handle{}, err
+			}
+			return Handle{p, f}, nil
 		}
 		p.Stats.Hits++
 		bump(p.obsHits)
 		p.pin(f)
-		return Handle{p, f}
+		return Handle{p, f}, nil
 	}
 	p.Stats.Misses++
 	bump(p.obsMisses)
-	f := p.install(key, file.ReadPage(page))
+	c := file.ReadPage(page)
+	f := p.install(key, c)
 	p.pin(f)
-	proc.Wait(f.loading)
-	return Handle{p, f}
+	proc.Wait(c)
+	if err := c.Err(); err != nil {
+		f.pins--
+		return Handle{}, err
+	}
+	return Handle{p, f}, nil
 }
 
 // Prefetch asynchronously loads a single page if it is not already present
@@ -314,6 +357,17 @@ func (p *Pool) Contains(file *disk.File, page int64) bool {
 func (p *Pool) Loaded(file *disk.File, page int64) bool {
 	f, ok := p.frames[PageKey{file.ID(), page}]
 	return ok && f.loading == nil
+}
+
+// Pinned reports the total pin count across all frames. After a query has
+// fully released its handles — including on abort paths — it is zero; tests
+// assert that to catch leaked pins.
+func (p *Pool) Pinned() int {
+	n := 0
+	for _, f := range p.frames {
+		n += f.pins
+	}
+	return n
 }
 
 // Epoch returns a token that changes whenever pool residency changes.

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"fmt"
+
 	"pioqo/internal/buffer"
 	"pioqo/internal/disk"
 	"pioqo/internal/sim"
@@ -69,6 +71,46 @@ func (b *cpuBudget) fetch(wp *sim.Proc, f *disk.File, page int64) buffer.Handle 
 	return b.ctx.Pool.FetchPage(wp, f, page)
 }
 
+// fetchE is fetch with the device's verdict surfaced instead of panicking:
+// a failed read returns the error for fetchRetry's policy to handle.
+func (b *cpuBudget) fetchE(wp *sim.Proc, f *disk.File, page int64) (buffer.Handle, error) {
+	if !b.ctx.Pool.Loaded(f, page) {
+		b.settle(wp)
+	}
+	if b.m != nil {
+		return b.m.fetchE(wp, f, page)
+	}
+	return b.ctx.Pool.FetchPageE(wp, f, page)
+}
+
+// fetchRetry pins a page under the spec's fault policy: a failed read is
+// retried up to Retry.MaxAttempts times with exponential backoff in virtual
+// time. When the fault survives the policy — or the query aborts while
+// backing off — the spec's control is canceled with the device error and
+// fetchRetry reports false; the caller winds its worker down. A spec
+// without a control keeps the pre-fault contract: the fault panics.
+func (b *cpuBudget) fetchRetry(wp *sim.Proc, spec *Spec, f *disk.File, page int64) (buffer.Handle, bool) {
+	pol := spec.Retry.Normalized()
+	for attempt := 0; ; attempt++ {
+		h, err := b.fetchE(wp, f, page)
+		if err == nil {
+			return h, true
+		}
+		if b.ctx.Reg != nil {
+			b.ctx.Reg.Counter("exec.read_faults").Inc()
+		}
+		if spec.Ctl == nil {
+			panic(fmt.Sprintf("exec: read of %v page %d failed without fault control: %v",
+				f.ID(), page, err))
+		}
+		if attempt+1 >= pol.MaxAttempts || spec.aborted() {
+			spec.Ctl.Cancel(err)
+			return buffer.Handle{}, false
+		}
+		wp.Sleep(pol.BackoffFor(attempt))
+	}
+}
+
 // prefetch issues an asynchronous read for page unless it is already
 // present or in flight, charging the issue cost as new debt. The settle
 // happens before the issue so the read enters the device queue at the
@@ -88,6 +130,18 @@ func (b *cpuBudget) prefetch(wp *sim.Proc, f *disk.File, page int64) {
 // accounting greppable.
 func useCPU(p *sim.Proc, ctx *Context, d sim.Duration) {
 	p.Use(ctx.CPU, d)
+}
+
+// fetchE mirrors meter.fetch for the failable path; a failed fetch still
+// counts its blocked time but not a fetched page.
+func (m *meter) fetchE(wp *sim.Proc, f *disk.File, page int64) (buffer.Handle, error) {
+	t0 := m.ctx.Env.Now()
+	h, err := m.ctx.Pool.FetchPageE(wp, f, page)
+	m.io += sim.Duration(m.ctx.Env.Now() - t0)
+	if err == nil {
+		m.pages++
+	}
+	return h, err
 }
 
 // use charges d against the CPU through the meter, attributing queueing

@@ -18,6 +18,7 @@ import (
 	"pioqo/internal/buffer"
 	"pioqo/internal/device"
 	"pioqo/internal/disk"
+	"pioqo/internal/fault"
 	"pioqo/internal/obs"
 	"pioqo/internal/sim"
 	"pioqo/internal/table"
@@ -185,7 +186,23 @@ type Spec struct {
 	// instead of the whole pool, so concurrent queries' prefetch windows
 	// cannot collectively exhaust the shared pool. Zero means ungoverned.
 	PoolShare int
+
+	// Ctl, when set, is the query's abort switch: workers and drivers check
+	// it at batch boundaries (page, leaf, phase) and wind down cleanly —
+	// releasing pins, exiting, reporting to the governor — when it trips.
+	// It is also how injected device faults surface: an unrecoverable fetch
+	// cancels the control and Result.Err carries the cause. Nil means
+	// non-abortable execution where a device fault panics (the pre-fault
+	// layer behavior, still used by calibration and composite operators).
+	Ctl *fault.Control
+
+	// Retry bounds the response to injected device read faults when Ctl is
+	// set; the zero value means fault.DefaultRetry.
+	Retry fault.RetryPolicy
 }
+
+// aborted reports whether the query's control has tripped. Nil-safe.
+func (s *Spec) aborted() bool { return s.Ctl.Aborted() }
 
 // poolCapacity is the pool capacity this scan's clamps budget against: the
 // lease's page reservation when governed, the whole pool otherwise.
@@ -266,6 +283,11 @@ type Result struct {
 	RowsMatched int64
 	Runtime     sim.Duration
 
+	// Err is why the query aborted (cancellation, deadline, unrecoverable
+	// device fault), or nil on a complete scan. An aborted Result's Value
+	// and RowsMatched reflect only the work done before the abort.
+	Err error
+
 	IO   device.Summary // device traffic during the query
 	Pool buffer.Stats   // buffer pool traffic during the query
 }
@@ -301,6 +323,12 @@ func RunScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 	spec.Span = op
 
 	var res Result
+	if spec.aborted() {
+		res.Err = spec.Ctl.Err()
+		op.SetAttr("err", res.Err.Error())
+		op.End()
+		return res
+	}
 	switch spec.Method {
 	case FullScan:
 		res = runFullScan(p, ctx, spec)
@@ -318,6 +346,9 @@ func RunScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 		panic("exec: unknown method " + spec.Method.String())
 	}
 
+	if res.Err = spec.Ctl.Err(); res.Err != nil {
+		op.SetAttr("err", res.Err.Error())
+	}
 	op.SetAttr("rows", res.RowsMatched)
 	op.End()
 	if ctx.Reg != nil {
@@ -528,9 +559,15 @@ func runFullScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 			ps := ctx.Tracer.StartTrack(spec.Span, "fts-prefetcher",
 				obs.KV("blocks", blocks), obs.KV("block_pages", spec.BlockPages))
 			for b := int64(0); b < blocks; b++ {
-				for issued-reachedCount >= int64(spec.PrefetchBlocks) {
+				for issued-reachedCount >= int64(spec.PrefetchBlocks) && !spec.aborted() {
 					wakeup = sim.NewCompletion(ctx.Env)
 					pf.Wait(wakeup)
+				}
+				// An aborted scan's workers stop claiming blocks, so the
+				// prefetcher would otherwise park forever on its flow-control
+				// window; it stands down instead.
+				if spec.aborted() {
+					break
 				}
 				start := b * int64(spec.BlockPages)
 				count := spec.BlockPages
@@ -562,7 +599,15 @@ func runFullScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 				}
 			}
 		}
-		return runFullScanWorkers(p, ctx, spec, &nextPage, onClaim, rpp)
+		res := runFullScanWorkers(p, ctx, spec, &nextPage, onClaim, rpp)
+		// On abort the prefetcher may be parked on its flow-control window
+		// with no worker left to wake it; one final fire lets it observe the
+		// abort and exit. A completed scan's wakeups have all fired already,
+		// so this never adds events to a healthy run.
+		if wakeup != nil && !wakeup.Fired() {
+			wakeup.Fire()
+		}
+		return res
 	}
 	return runFullScanWorkers(p, ctx, spec, &nextPage, nil, rpp)
 }
@@ -590,6 +635,11 @@ func runFullScanWorkers(p *sim.Proc, ctx *Context, spec Spec, nextPage *int64, o
 			}
 			var rowBuf []table.Row
 			for {
+				// The page is the abort quantum: a tripped control stops the
+				// worker here, before it claims more work.
+				if spec.aborted() {
+					return
+				}
 				page := *nextPage
 				if page >= pages {
 					return
@@ -598,7 +648,10 @@ func runFullScanWorkers(p *sim.Proc, ctx *Context, spec Spec, nextPage *int64, o
 				if onClaim != nil {
 					onClaim(wp, bud, page)
 				}
-				h := bud.fetch(wp, file, page)
+				h, ok := bud.fetchRetry(wp, &spec, file, page)
+				if !ok {
+					return
+				}
 				firstRow := page * int64(rpp)
 				lastRow := firstRow + int64(rpp)
 				if lastRow > t.Rows() {
@@ -669,9 +722,17 @@ func runIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 	}
 
 	// Root-to-leaf descent: internal pages are read through the pool and
-	// are typically resident after the first query.
+	// are typically resident after the first query. The descent runs on the
+	// driver, so its retries go through a throwaway budget.
+	dbud := newBudget(ctx, nil)
 	for _, pg := range x.DescentPath() {
-		h := ctx.Pool.FetchPage(p, x.File(), pg)
+		if spec.aborted() {
+			return Result{}
+		}
+		h, ok := dbud.fetchRetry(p, &spec, x.File(), pg)
+		if !ok {
+			return Result{}
+		}
 		useCPU(p, ctx, ctx.Costs.PerPage)
 		h.Release()
 	}
@@ -710,6 +771,10 @@ func runIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 			var buf, matches []btree.Entry
 			pos := posLo
 			for pos < posHi {
+				// The leaf batch is the abort quantum for PIS workers.
+				if spec.aborted() {
+					return
+				}
 				// One iteration is the §3.3 I/O batch: a leaf read plus the
 				// bounded prefetch-and-fetch of its table pages. Span it only
 				// in detailed traces — at realistic scales a query touches
@@ -719,7 +784,11 @@ func runIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 					ls = ctx.Tracer.Start(m.span, "leaf-batch")
 				}
 				leaf, slot := x.LeafOf(pos)
-				lh := bud.fetch(wp, x.File(), x.LeafPage(leaf))
+				lh, ok := bud.fetchRetry(wp, &spec, x.File(), x.LeafPage(leaf))
+				if !ok {
+					ls.End()
+					return
+				}
 				buf = x.LeafEntries(leaf, buf)
 				take := len(buf) - slot
 				if rem := posHi - pos; int64(take) > rem {
@@ -742,7 +811,11 @@ func runIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 							table.PageOf(matches[prefetched].Row, rpp))
 						prefetched++
 					}
-					th := bud.fetch(wp, t.File(), table.PageOf(e.Row, rpp))
+					th, ok := bud.fetchRetry(wp, &spec, t.File(), table.PageOf(e.Row, rpp))
+					if !ok {
+						ls.End()
+						return
+					}
 					bud.charge(ctx.Costs.PerRowFetch)
 					row := t.RowAt(e.Row)
 					if row.C2 >= spec.Lo && row.C2 <= spec.Hi {

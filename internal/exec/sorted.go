@@ -35,8 +35,15 @@ func runSortedIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 		}
 	}
 
+	dbud := newBudget(ctx, nil)
 	for _, pg := range x.DescentPath() {
-		h := ctx.Pool.FetchPage(p, x.File(), pg)
+		if spec.aborted() {
+			return Result{}
+		}
+		h, ok := dbud.fetchRetry(p, &spec, x.File(), pg)
+		if !ok {
+			return Result{}
+		}
 		useCPU(p, ctx, ctx.Costs.PerPage)
 		h.Release()
 	}
@@ -75,8 +82,15 @@ func runSortedIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 			var buf []btree.Entry
 			pos := posLo
 			for pos < posHi {
+				// The leaf is the abort quantum for collect workers.
+				if spec.aborted() {
+					break
+				}
 				leaf, slot := x.LeafOf(pos)
-				lh := bud.fetch(wp, x.File(), x.LeafPage(leaf))
+				lh, ok := bud.fetchRetry(wp, &spec, x.File(), x.LeafPage(leaf))
+				if !ok {
+					break
+				}
 				buf = x.LeafEntries(leaf, buf)
 				take := len(buf) - slot
 				if rem := posHi - pos; int64(take) > rem {
@@ -96,6 +110,11 @@ func runSortedIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 		})
 	}
 	p.WaitFor(wg)
+	// The phase boundary is a natural abort point: an aborted collect phase
+	// never starts the fetch phase.
+	if spec.aborted() {
+		return Result{}
+	}
 
 	// Sort the row-id list by heap page (the "additional sorting stage").
 	var entries []btree.Entry
@@ -128,6 +147,10 @@ func runSortedIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 			bud := newBudget(ctx, m)
 			defer bud.settle(wp)
 			for {
+				// The page group is the abort quantum for fetch workers.
+				if spec.aborted() {
+					return
+				}
 				i := nextIdx
 				if i >= len(entries) {
 					return
@@ -158,7 +181,10 @@ func runSortedIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 				// One page group is one CPU batch: every entry here lives on
 				// the pinned page, so the per-entry fetch costs merge into a
 				// single settle at the next device interaction.
-				th := bud.fetch(wp, t.File(), page)
+				th, ok := bud.fetchRetry(wp, &spec, t.File(), page)
+				if !ok {
+					return
+				}
 				bud.charge(sim.Duration(j-i) * ctx.Costs.PerRowFetch)
 				for _, e := range entries[i:j] {
 					row := t.RowAt(e.Row)

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"pioqo"
+)
+
+// DegradationRow is one fault-response strategy for a concurrent batch on
+// a degraded device: its makespan, per-query latency, how many queries the
+// broker re-planned, and how often the injector throttled reads issued
+// above the degraded channel limit.
+type DegradationRow struct {
+	Strategy       string
+	Queries        int
+	ChannelLossPct float64
+	MakespanMs     float64
+	MeanLatMs      float64
+	Replans        int
+	Throttled      int64
+	Throughput     float64 // device MB/s over the batch
+}
+
+// Degradation measures graceful degradation under injected channel loss.
+// A fault schedule installed after calibration removes half the SSD's
+// internal parallel slots for the rest of the run; reads issued above the
+// shrunken limit pay a per-read overload penalty, so queue depth the device
+// can no longer absorb actively hurts instead of merely not helping.
+//
+// Three runs of the same skewed batch: a healthy baseline; the degraded
+// device with the broker's degradation response disabled
+// (Config.NoDegradationReplan), which keeps planning and admitting at the
+// healthy queue-depth supply; and the degraded device with the response on,
+// where the broker observes the injector's channel loss, shrinks its credit
+// supply proportionally, and admissions re-plan at a depth the degraded
+// device can still turn into throughput. The re-planned makespan beating
+// the no-replan makespan is the headline number.
+func (sc Scale) Degradation(queries int) []DegradationRow {
+	if queries < 2 {
+		queries = 8
+	}
+	const loss = 0.5
+	run := func(name string, chanLoss float64, noReplan bool) DegradationRow {
+		sys := pioqo.New(pioqo.Config{
+			Device:              pioqo.SSD,
+			PoolPages:           sc.PoolPages,
+			Cores:               sc.Cores,
+			NoDegradationReplan: noReplan,
+		})
+		rows := sc.Pages * 33
+		tab, err := sys.CreateTable("deg", rows, 33, pioqo.WithSyntheticData())
+		if err != nil {
+			panic(fmt.Sprintf("degradation: %v", err))
+		}
+		if _, err := sys.Calibrate(pioqo.CalibrationOptions{MaxReads: sc.CalibReads}); err != nil {
+			panic(fmt.Sprintf("degradation: %v", err))
+		}
+		if chanLoss > 0 {
+			// Post-calibration, so the cost model reflects the healthy
+			// device — the degradation is a surprise the broker must absorb,
+			// not something the optimizer was calibrated around.
+			sys.InjectFaults(pioqo.FaultSchedule{
+				Windows: []pioqo.FaultWindow{{ChannelLoss: chanLoss}},
+			})
+		}
+		res, err := sys.ExecuteConcurrent(skewedMix(tab, rows, queries), pioqo.Cold())
+		if err != nil {
+			panic(fmt.Sprintf("degradation: %v", err))
+		}
+		var lat time.Duration
+		replans := 0
+		for i, r := range res.Results {
+			lat += r.Runtime
+			if res.Admissions[i].Replanned {
+				replans++
+			}
+		}
+		return DegradationRow{
+			Strategy:       name,
+			Queries:        queries,
+			ChannelLossPct: chanLoss * 100,
+			MakespanMs:     float64(res.Elapsed) / 1e6,
+			MeanLatMs:      float64(lat) / float64(queries) / 1e6,
+			Replans:        replans,
+			Throttled:      sys.FaultStats().Throttled,
+			Throughput:     res.IOThroughputMBps,
+		}
+	}
+	strategies := []func() DegradationRow{
+		func() DegradationRow { return run("healthy", 0, false) },
+		func() DegradationRow { return run("50% channel loss, no replan", loss, true) },
+		func() DegradationRow { return run("50% channel loss, degraded replan", loss, false) },
+	}
+	return sweep(sc.workers(), len(strategies), func(i int) DegradationRow {
+		return strategies[i]()
+	})
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import "testing"
+
+func TestDegradationReplanBeatsNoReplan(t *testing.T) {
+	rows := quick().Degradation(8)
+	if len(rows) != 3 {
+		t.Fatalf("%d strategies, want 3", len(rows))
+	}
+	var healthy, noReplan, replan DegradationRow
+	for _, r := range rows {
+		switch r.Strategy {
+		case "healthy":
+			healthy = r
+		case "50% channel loss, no replan":
+			noReplan = r
+		case "50% channel loss, degraded replan":
+			replan = r
+		default:
+			t.Fatalf("unknown strategy %q", r.Strategy)
+		}
+	}
+	if healthy.MakespanMs <= 0 || noReplan.MakespanMs <= 0 || replan.MakespanMs <= 0 {
+		t.Fatalf("non-positive makespans: %+v", rows)
+	}
+	// Degradation must actually hurt, or the comparison is vacuous.
+	if noReplan.MakespanMs <= healthy.MakespanMs {
+		t.Errorf("channel loss did not slow the batch: degraded %.2fms vs healthy %.2fms",
+			noReplan.MakespanMs, healthy.MakespanMs)
+	}
+	// The headline claim: re-planning at the degraded queue-depth supply
+	// beats running the healthy plans into the shrunken device.
+	if replan.MakespanMs >= noReplan.MakespanMs {
+		t.Errorf("replanned makespan %.2fms not below no-replan %.2fms",
+			replan.MakespanMs, noReplan.MakespanMs)
+	}
+	// The mechanism: the no-replan run overdrives the degraded channels and
+	// pays throttle penalties; the replanned run stays under the limit.
+	if noReplan.Throttled == 0 {
+		t.Error("no-replan run paid no throttle penalties; the fault window was inert")
+	}
+	if replan.Throttled >= noReplan.Throttled {
+		t.Errorf("replanned run throttled %d >= no-replan %d; supply shrink had no effect",
+			replan.Throttled, noReplan.Throttled)
+	}
+	if healthy.Throttled != 0 {
+		t.Errorf("healthy run throttled %d reads, want 0", healthy.Throttled)
+	}
+}

@@ -1,0 +1,114 @@
+// Package fault is the engine's deterministic fault-injection and
+// degradation layer: a typed error taxonomy shared by every layer, a
+// per-query abort control that carries cancellation and virtual-time
+// deadlines through the executor, a bounded retry policy with exponential
+// backoff in virtual time, and a seeded device injector that produces
+// per-request I/O errors, latency stragglers, and degraded-channel
+// throttling on virtual-time schedules.
+//
+// Everything here is deterministic by construction: the injector draws from
+// its own seeded source, backoffs carry no jitter, and schedules are pure
+// functions of virtual time — so a run with the same seed and schedule
+// replays byte-identically, and a run with no schedule at all behaves
+// exactly like one without the layer.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"pioqo/internal/sim"
+)
+
+// The sentinel errors every layer reports abort causes through. They are
+// defined here — the one package below both the executor and the public
+// API — so errors.Is identity holds across layers; the root package
+// re-exports them verbatim. ErrCanceled and ErrDeadlineExceeded wrap their
+// context counterparts, so errors.Is(err, context.Canceled) (and
+// DeadlineExceeded) also hold for callers speaking stdlib.
+var (
+	// ErrCanceled reports a query aborted by caller cancellation.
+	ErrCanceled = fmt.Errorf("pioqo: query canceled: %w", context.Canceled)
+
+	// ErrDeadlineExceeded reports a query aborted by its (virtual-time or
+	// context) deadline.
+	ErrDeadlineExceeded = fmt.Errorf("pioqo: query deadline exceeded: %w", context.DeadlineExceeded)
+
+	// ErrDeviceFault reports an unrecoverable device I/O failure — an
+	// injected read error that survived the retry policy.
+	ErrDeviceFault = errors.New("pioqo: device fault")
+
+	// ErrAdmissionClosed reports a submission against a closed session.
+	ErrAdmissionClosed = errors.New("pioqo: admission closed")
+)
+
+// MapContextErr converts a context error into the engine's taxonomy, so
+// errors.Is against the sentinels works on anything that crossed a context
+// boundary. Non-context errors pass through unchanged.
+func MapContextErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return ErrDeadlineExceeded
+	case errors.Is(err, context.Canceled):
+		return ErrCanceled
+	default:
+		return err
+	}
+}
+
+// RetryPolicy bounds the executor's response to injected device faults:
+// a faulted page read is retried up to MaxAttempts total attempts, sleeping
+// an exponentially growing backoff in virtual time between them. Backoffs
+// are deterministic (no jitter) so fault-injected runs replay
+// byte-identically. The zero value means DefaultRetry.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first.
+	// 0 takes the default (4); 1 disables retries.
+	MaxAttempts int
+
+	// Backoff is the virtual-time sleep before the second attempt; each
+	// further retry doubles it. 0 takes the default (200µs).
+	Backoff sim.Duration
+
+	// MaxBackoff caps a single backoff. 0 takes the default (10ms).
+	MaxBackoff sim.Duration
+}
+
+// DefaultRetry is the policy the executor applies when a spec leaves the
+// policy zero: four attempts, 200µs initial backoff doubling to a 10ms cap.
+var DefaultRetry = RetryPolicy{
+	MaxAttempts: 4,
+	Backoff:     200 * sim.Microsecond,
+	MaxBackoff:  10 * sim.Millisecond,
+}
+
+// Normalized fills zero fields with the defaults.
+func (p RetryPolicy) Normalized() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultRetry.MaxAttempts
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = DefaultRetry.Backoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = DefaultRetry.MaxBackoff
+	}
+	return p
+}
+
+// BackoffFor reports the backoff before retry number retry (0-based: the
+// sleep between the first and second attempt is BackoffFor(0)), doubling
+// per retry and capped at MaxBackoff.
+func (p RetryPolicy) BackoffFor(retry int) sim.Duration {
+	d := p.Backoff
+	for i := 0; i < retry && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
+}

@@ -7,10 +7,15 @@ package sim
 //
 // Waiting on an already-fired Completion returns immediately, which makes
 // group waiting ("fire n, wait for all n in any order") trivial.
+//
+// A completion can also carry a failure: Fail(err) fires it with an error
+// attached, which waiters read back through Err. This is how injected
+// device faults propagate to the issuer without a second signalling path.
 type Completion struct {
 	env       *Env
 	fired     bool
 	at        Time
+	err       error
 	waiters   []*Proc
 	callbacks []func()
 }
@@ -52,6 +57,21 @@ func (c *Completion) Fire() {
 		fn()
 	}
 }
+
+// Fail fires the completion with err attached: waiters resume as with Fire
+// and read the error back through Err. Failing twice, or failing after a
+// Fire, panics like a double Fire would.
+func (c *Completion) Fail(err error) {
+	if err == nil {
+		panic("sim: Fail with nil error")
+	}
+	c.err = err
+	c.Fire()
+}
+
+// Err reports the error the completion failed with, or nil if it fired
+// normally (or has not fired yet).
+func (c *Completion) Err() error { return c.err }
 
 // OnFire registers fn to run (in event context, at the firing time) when c
 // fires. If c has already fired, fn runs immediately.

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCompletionFail(t *testing.T) {
+	env := NewEnv(1)
+	c := NewCompletion(env)
+	if c.Err() != nil {
+		t.Fatal("unfired completion has an error")
+	}
+	cause := errors.New("boom")
+	var sawErrInCallback error
+	callbackRan := false
+	c.OnFire(func() {
+		callbackRan = true
+		sawErrInCallback = c.Err()
+	})
+
+	var waiterErr error
+	env.Go("waiter", func(p *Proc) {
+		p.Wait(c)
+		waiterErr = c.Err()
+	})
+	env.Schedule(Millisecond, func() { c.Fail(cause) })
+	env.Run()
+
+	if !c.Fired() {
+		t.Fatal("Fail did not fire the completion")
+	}
+	if !callbackRan {
+		t.Fatal("OnFire callback did not run")
+	}
+	// OnFire callbacks run before waiters resume and must already see the
+	// error — the buffer pool's failed-read uninstall depends on this order.
+	if sawErrInCallback != cause {
+		t.Fatalf("callback saw err %v, want %v", sawErrInCallback, cause)
+	}
+	if waiterErr != cause {
+		t.Fatalf("waiter saw err %v, want %v", waiterErr, cause)
+	}
+	if c.FiredAt() != Time(Millisecond) {
+		t.Fatalf("failed at %v, want 1ms", c.FiredAt())
+	}
+}
+
+func TestCompletionFailNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fail(nil) did not panic")
+		}
+	}()
+	NewCompletion(NewEnv(1)).Fail(nil)
+}
+
+func TestLiveProcs(t *testing.T) {
+	env := NewEnv(1)
+	if env.LiveProcs() != 0 {
+		t.Fatalf("fresh env has %d live procs", env.LiveProcs())
+	}
+	var during int
+	env.Go("a", func(p *Proc) {
+		during = p.Env().LiveProcs()
+		p.Sleep(Millisecond)
+	})
+	env.Go("b", func(p *Proc) { p.Sleep(Microsecond) })
+	env.Run()
+	if during != 2 {
+		t.Fatalf("LiveProcs during run = %d, want 2", during)
+	}
+	if env.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs after drain = %d, want 0", env.LiveProcs())
+	}
+}

@@ -165,6 +165,12 @@ func NewEnv(seed int64) *Env {
 // Now reports the current virtual time.
 func (e *Env) Now() Time { return e.now }
 
+// LiveProcs reports how many spawned processes have not yet exited —
+// running, parked, or scheduled to start. After a clean Run it is zero;
+// test harnesses assert that to catch leaked simulation processes, the way
+// goleak catches leaked goroutines.
+func (e *Env) LiveProcs() int { return len(e.live) }
+
 // Rand returns the environment's deterministic random source.
 func (e *Env) Rand() *rand.Rand { return e.rng }
 

@@ -94,7 +94,7 @@ func (s *System) planJoin(q JoinQuery, po PlanOptions) (opt.JoinPlan, opt.Input,
 // if their chosen plan needs one; unindexed tables simply restrict the
 // planner (to full scans, and to the hash join on the probe side).
 func (s *System) ExecuteJoin(q JoinQuery, opts ...ExecOption) (JoinResult, error) {
-	var eo execOptions
+	var eo queryOptions
 	for _, o := range opts {
 		o(&eo)
 	}

@@ -137,15 +137,18 @@ func (s *System) MetricsSnapshot() MetricsSnapshot {
 
 // CaptureTelemetry records the query's telemetry into dst — span tree and
 // attributed metrics — without installing a system-wide observer.
-func CaptureTelemetry(dst *QueryTelemetry) ExecOption {
-	return func(o *execOptions) { o.telemetry = dst }
+//
+// Deprecated: use WithTrace, the consolidated QueryOption spelling. The
+// two are identical.
+func CaptureTelemetry(dst *QueryTelemetry) QueryOption {
+	return WithTrace(dst)
 }
 
 // DetailedTrace additionally records per-leaf I/O-batch spans inside index
 // scan workers (§3.3's unit of prefetching). Traces grow with leaf count;
 // use on small ranges.
 func DetailedTrace() ExecOption {
-	return func(o *execOptions) { o.detail = true }
+	return func(o *queryOptions) { o.detail = true }
 }
 
 // telemetrySession carries the per-query trace plumbing between Execute's
@@ -174,7 +177,7 @@ func (ts *telemetrySession) trc() *obs.Tracer {
 // startTelemetry opens a per-query trace when anyone is listening — the
 // system observer or a CaptureTelemetry option — and snapshots the registry
 // so the finished query's metrics can be attributed by diff.
-func (s *System) startTelemetry(q Query, eo execOptions) *telemetrySession {
+func (s *System) startTelemetry(q Query, eo queryOptions) *telemetrySession {
 	if s.observer == nil && eo.telemetry == nil {
 		return nil
 	}
@@ -192,7 +195,7 @@ func (s *System) startTelemetry(q Query, eo execOptions) *telemetrySession {
 }
 
 // finish closes the query span and delivers telemetry to the listeners.
-func (ts *telemetrySession) finish(s *System, plan Plan, runtime time.Duration, eo execOptions) {
+func (ts *telemetrySession) finish(s *System, plan Plan, runtime time.Duration, eo queryOptions) {
 	if ts == nil {
 		return
 	}

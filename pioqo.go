@@ -37,6 +37,7 @@ import (
 	"pioqo/internal/device"
 	"pioqo/internal/disk"
 	"pioqo/internal/exec"
+	"pioqo/internal/fault"
 	"pioqo/internal/obs"
 	"pioqo/internal/opt"
 	"pioqo/internal/sim"
@@ -77,6 +78,18 @@ type Config struct {
 	// Seed makes all data generation and device behaviour reproducible.
 	// Default 1.
 	Seed int64
+
+	// Faults, when set, is a fault schedule installed at assembly time,
+	// active from virtual time zero — which includes any Calibrate pass.
+	// To degrade queries without degrading calibration, call InjectFaults
+	// after Calibrate instead; its windows count from the call.
+	Faults *FaultSchedule
+
+	// NoDegradationReplan stops the resource broker from shrinking its
+	// credit supply when the device reports sustained degradation, so
+	// queries keep planning at the healthy queue depth. For A/B
+	// benchmarking the degradation response (experiments.Degradation).
+	NoDegradationReplan bool
 }
 
 // System is a single-user analytical engine over one simulated device. It
@@ -85,12 +98,16 @@ type Config struct {
 type System struct {
 	env     *sim.Env
 	dev     device.Device
+	inj     *fault.Injector // always wraps the raw device; passthrough unarmed
 	manager *disk.Manager
 	pool    *buffer.Pool
 	cpu     *sim.Resource
 	costs   exec.CPUCosts
 	cores   int
 	seed    int64
+
+	// noDegrade disables the broker's degraded-supply response.
+	noDegrade bool
 
 	tables map[string]*Table
 	model  *cost.QDTT
@@ -126,22 +143,31 @@ func New(cfg Config) *System {
 		cfg.Seed = 1
 	}
 	env := sim.NewEnv(cfg.Seed)
-	dev := workload.NewDevice(env, cfg.Device)
+	// The fault injector always wraps the raw device. Unarmed it is pure
+	// passthrough — it returns the inner device's completions directly,
+	// adding no events and drawing no randomness — so a fault-free system
+	// behaves byte-identically to one without the layer.
+	inj := fault.Wrap(env, workload.NewDevice(env, cfg.Device))
 	s := &System{
-		env:     env,
-		dev:     dev,
-		manager: disk.NewManager(dev),
-		pool:    buffer.NewPool(env, cfg.PoolPages),
-		cpu:     sim.NewResource(env, "cpu", cfg.Cores),
-		costs:   exec.DefaultCPUCosts(),
-		cores:   cfg.Cores,
-		seed:    cfg.Seed,
-		tables:  make(map[string]*Table),
-		memo:    opt.NewMemo(),
-		reg:     obs.NewRegistry(env),
+		env:       env,
+		dev:       inj,
+		inj:       inj,
+		manager:   disk.NewManager(inj),
+		pool:      buffer.NewPool(env, cfg.PoolPages),
+		cpu:       sim.NewResource(env, "cpu", cfg.Cores),
+		costs:     exec.DefaultCPUCosts(),
+		cores:     cfg.Cores,
+		seed:      cfg.Seed,
+		noDegrade: cfg.NoDegradationReplan,
+		tables:    make(map[string]*Table),
+		memo:      opt.NewMemo(),
+		reg:       obs.NewRegistry(env),
 	}
-	dev.Metrics().Publish(s.reg, "device")
+	s.dev.Metrics().Publish(s.reg, "device")
 	s.pool.Publish(s.reg, "buffer")
+	if cfg.Faults != nil {
+		s.inj.Arm(cfg.Faults.internal())
+	}
 	return s
 }
 

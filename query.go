@@ -1,12 +1,13 @@
 package pioqo
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"time"
 
 	"pioqo/internal/cost"
 	"pioqo/internal/exec"
+	"pioqo/internal/fault"
 	"pioqo/internal/opt"
 )
 
@@ -51,7 +52,7 @@ type Query struct {
 
 func (q Query) validate() error {
 	if q.Table == nil {
-		return errors.New("pioqo: query without a table")
+		return fmt.Errorf("%w: no table", ErrInvalidQuery)
 	}
 	return nil
 }
@@ -158,7 +159,7 @@ func (s *System) optConfig(q Query, o PlanOptions) (opt.Config, opt.Input, error
 		return opt.Config{}, opt.Input{}, err
 	}
 	if s.model == nil {
-		return opt.Config{}, opt.Input{}, errors.New("pioqo: optimize requires calibration; call Calibrate first")
+		return opt.Config{}, opt.Input{}, fmt.Errorf("%w: optimization needs the calibrated cost model; call Calibrate first", ErrNotCalibrated)
 	}
 	var model cost.Model = s.model
 	if o.DepthOblivious {
@@ -259,53 +260,44 @@ type Result struct {
 	IOThroughputMBps float64
 }
 
-// Execute optimizes and runs q, returning the answer and its runtime.
-// With Cold(), the buffer pool is flushed *before* planning: the optimizer
-// consults pool residency statistics, and planning for a cache that is
-// about to be dropped would mis-cost every candidate.
-func (s *System) Execute(q Query, opts ...ExecOption) (Result, error) {
-	var eo execOptions
-	for _, o := range opts {
-		o(&eo)
-	}
-	if err := q.validate(); err != nil {
-		return Result{}, err
-	}
-	if eo.cold {
-		s.pool.Flush()
-	}
-	ts := s.startTelemetry(q, eo)
-	ospan := ts.trc().Start(ts.span(), "optimize")
-	plan, err := s.Plan(q, eo.plan)
-	if err != nil {
-		return Result{}, err
-	}
-	ospan.SetAttr("plan", plan.String())
-	ospan.End()
-	return s.executePlan(q, plan, eo, ts)
+// Execute optimizes and runs q, returning the answer and its runtime. It
+// is Query with a background context — kept as the convenience entrypoint
+// for non-cancellable callers.
+func (s *System) Execute(q Query, opts ...QueryOption) (Result, error) {
+	return s.Query(context.Background(), q, opts...)
 }
 
 // ExecutePlan runs q with a caller-supplied plan, bypassing the optimizer.
-func (s *System) ExecutePlan(q Query, plan Plan, opts ...ExecOption) (Result, error) {
+// Options that need an abort control (WithTimeout, WithRetry) work here
+// too; for live cancellation use Query, which takes a context.
+func (s *System) ExecutePlan(q Query, plan Plan, opts ...QueryOption) (Result, error) {
 	if err := q.validate(); err != nil {
 		return Result{}, err
 	}
-	var eo execOptions
+	var eo queryOptions
 	for _, o := range opts {
 		o(&eo)
+	}
+	ctl, err := s.newControl(context.Background(), eo)
+	if err != nil {
+		return Result{}, &QueryError{Op: "query", Table: q.Table.Name(), Err: err}
 	}
 	if eo.cold {
 		s.pool.Flush()
 	}
-	return s.executePlan(q, plan, eo, s.startTelemetry(q, eo))
+	return s.executePlan(q, plan, eo, s.startTelemetry(q, eo), ctl)
 }
 
-// executePlan is the shared execution tail of Execute and ExecutePlan: it
-// runs the scan under the telemetry session's query span (if any) and
-// delivers telemetry to the observer/capture listeners.
-func (s *System) executePlan(q Query, plan Plan, eo execOptions, ts *telemetrySession) (Result, error) {
+// executePlan is the shared execution tail of Query and ExecutePlan: it
+// runs the scan under the telemetry session's query span (if any), wires
+// the abort control and retry policy through the executor, and delivers
+// telemetry to the observer/capture listeners.
+func (s *System) executePlan(q Query, plan Plan, eo queryOptions, ts *telemetrySession, ctl *fault.Control) (Result, error) {
 	if plan.Method != FullTableScan && q.Table.idx == nil {
-		return Result{}, fmt.Errorf("pioqo: table %q has no index", q.Table.Name())
+		return Result{}, fmt.Errorf("%w: table %q has no index", ErrInvalidQuery, q.Table.Name())
+	}
+	if eo.degree > 0 {
+		plan.Degree = eo.degree
 	}
 	if plan.Degree <= 0 {
 		plan.Degree = 1
@@ -324,6 +316,8 @@ func (s *System) executePlan(q Query, plan Plan, eo execOptions, ts *telemetrySe
 		Agg:               q.Agg.internal(),
 		PrefetchPerWorker: prefetch,
 		Span:              ts.span(),
+		Ctl:               ctl,
+		Retry:             eo.retry.internal(),
 	}
 	ctx := s.execContext()
 	ctx.Tracer = ts.trc()
@@ -338,33 +332,36 @@ func (s *System) executePlan(q Query, plan Plan, eo execOptions, ts *telemetrySe
 		IOThroughputMBps: res.IO.ThroughputMBps,
 	}
 	ts.finish(s, plan, result.Runtime, eo)
+	if res.Err != nil {
+		return Result{}, &QueryError{Op: "query", Table: q.Table.Name(), Err: res.Err}
+	}
 	return result, nil
 }
 
-// ExecOption tunes Execute/ExecutePlan.
-type ExecOption func(*execOptions)
-
-type execOptions struct {
+type queryOptions struct {
 	cold        bool
 	prefetch    int
 	plan        PlanOptions
 	telemetry   *QueryTelemetry
 	detail      bool
 	staticSplit bool
+	degree      int
+	timeout     time.Duration
+	retry       RetryPolicy
 }
 
 // Cold flushes the buffer pool before running, modelling a cold cache.
-func Cold() ExecOption { return func(o *execOptions) { o.cold = true } }
+func Cold() QueryOption { return func(o *queryOptions) { o.cold = true } }
 
 // WithPrefetch sets the per-worker table-page prefetch depth for index
 // scans (§3.3 of the paper).
-func WithPrefetch(n int) ExecOption { return func(o *execOptions) { o.prefetch = n } }
+func WithPrefetch(n int) QueryOption { return func(o *queryOptions) { o.prefetch = n } }
 
-// WithPlanOptions forwards optimizer options through Execute.
-func WithPlanOptions(po PlanOptions) ExecOption { return func(o *execOptions) { o.plan = po } }
+// WithPlanOptions forwards optimizer options through Query/Execute.
+func WithPlanOptions(po PlanOptions) QueryOption { return func(o *queryOptions) { o.plan = po } }
 
 // StaticSplit makes ExecuteConcurrent budget the batch with a one-shot
 // even split of the beneficial queue depth, never re-brokering freed
 // credits — the pre-broker behaviour, kept for A/B benchmarking against
 // dynamic admission control.
-func StaticSplit() ExecOption { return func(o *execOptions) { o.staticSplit = true } }
+func StaticSplit() QueryOption { return func(o *queryOptions) { o.staticSplit = true } }

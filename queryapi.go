@@ -1,0 +1,135 @@
+package pioqo
+
+import (
+	"context"
+	"time"
+
+	"pioqo/internal/fault"
+	"pioqo/internal/sim"
+)
+
+// Query is the system's single execution entrypoint: it optimizes and runs
+// q under ctx, with every other entrypoint (Execute, ExecutePlan,
+// ExecuteConcurrent, Session.Submit) a thin shim over the same machinery.
+//
+// The context is first-class: cancellation and deadlines propagate into
+// virtual time and abort the query cleanly through every layer — workers
+// exit at the next batch boundary, pinned pages are released, broker
+// credits and pool reservations come home. A context deadline is mapped
+// onto the virtual clock one-to-one (host time remaining becomes virtual
+// time remaining); use WithTimeout for a purely virtual-time deadline that
+// keeps runs byte-identical across hosts. An aborted query returns a
+// *QueryError wrapping the taxonomy sentinel (ErrCanceled,
+// ErrDeadlineExceeded, ErrDeviceFault).
+//
+// With Cold(), the buffer pool is flushed *before* planning: the optimizer
+// consults pool residency statistics, and planning for a cache that is
+// about to be dropped would mis-cost every candidate.
+func (s *System) Query(ctx context.Context, q Query, opts ...QueryOption) (Result, error) {
+	var eo queryOptions
+	for _, o := range opts {
+		o(&eo)
+	}
+	if err := q.validate(); err != nil {
+		return Result{}, err
+	}
+	ctl, err := s.newControl(ctx, eo)
+	if err != nil {
+		return Result{}, &QueryError{Op: "query", Table: q.Table.Name(), Err: err}
+	}
+	if eo.cold {
+		s.pool.Flush()
+	}
+	ts := s.startTelemetry(q, eo)
+	ospan := ts.trc().Start(ts.span(), "optimize")
+	plan, err := s.Plan(q, eo.plan)
+	if err != nil {
+		return Result{}, err
+	}
+	ospan.SetAttr("plan", plan.String())
+	ospan.End()
+	return s.executePlan(q, plan, eo, ts, ctl)
+}
+
+// newControl builds the per-query abort control from the caller's context
+// and options. A context already canceled or past its deadline fails fast
+// with the mapped taxonomy error. The control is inert when no abort
+// source is installed — checking it adds no events and no randomness, so a
+// deadline-free query runs byte-identically with or without it.
+func (s *System) newControl(ctx context.Context, eo queryOptions) (*fault.Control, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fault.MapContextErr(err)
+	}
+	ctl := fault.NewControl(s.env)
+	if eo.timeout > 0 {
+		ctl.SetDeadline(s.env.Now().Add(sim.Duration(eo.timeout)))
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		rem := time.Until(dl)
+		if rem <= 0 {
+			return nil, fault.ErrDeadlineExceeded
+		}
+		// Host time remaining maps one-to-one onto the virtual clock: a
+		// query that would outlive its context's deadline aborts at the
+		// equivalent virtual instant.
+		vdl := s.env.Now().Add(sim.Duration(rem))
+		ctl.SetDeadline(vdl)
+	}
+	if ctx.Done() != nil {
+		// Live cancellation: the executor polls ctx.Err at every batch
+		// boundary, so a host-side cancel lands within one batch.
+		ctl.SetPoll(ctx.Err)
+	}
+	return ctl, nil
+}
+
+// QueryOption tunes a query execution. One option set serves every
+// entrypoint — Query, Execute, ExecutePlan, ExecuteConcurrent, and
+// Session.Submit.
+type QueryOption func(*queryOptions)
+
+// ExecOption is the pre-Query name for QueryOption.
+//
+// Deprecated: use QueryOption. The two are identical; ExecOption remains
+// for source compatibility with callers written against Execute.
+type ExecOption = QueryOption
+
+// RetryPolicy bounds how the executor responds to device read faults: a
+// failed page read is retried up to MaxAttempts total attempts with
+// exponential backoff in virtual time (Backoff doubling per retry, capped
+// at MaxBackoff). Zero fields take the defaults: 4 attempts, 200µs initial
+// backoff, 10ms cap. Backoffs carry no jitter, so fault-injected runs
+// replay byte-identically.
+type RetryPolicy struct {
+	MaxAttempts int
+	Backoff     time.Duration
+	MaxBackoff  time.Duration
+}
+
+func (p RetryPolicy) internal() fault.RetryPolicy {
+	return fault.RetryPolicy{
+		MaxAttempts: p.MaxAttempts,
+		Backoff:     sim.Duration(p.Backoff),
+		MaxBackoff:  sim.Duration(p.MaxBackoff),
+	}
+}
+
+// WithDegree overrides the optimizer's chosen parallel degree for this
+// query (the planner's cost estimates are reported unchanged).
+func WithDegree(n int) QueryOption { return func(o *queryOptions) { o.degree = n } }
+
+// WithTimeout arms a virtual-time deadline: the query aborts with
+// ErrDeadlineExceeded once d of virtual time has elapsed, at its next
+// batch boundary. Unlike a context deadline, a virtual-time timeout is
+// deterministic — the same run aborts at the same virtual instant on any
+// host.
+func WithTimeout(d time.Duration) QueryOption { return func(o *queryOptions) { o.timeout = d } }
+
+// WithRetry sets the query's device-fault retry policy.
+func WithRetry(p RetryPolicy) QueryOption { return func(o *queryOptions) { o.retry = p } }
+
+// WithTrace records the query's telemetry into dst — span tree and
+// attributed metrics — without installing a system-wide observer.
+func WithTrace(dst *QueryTelemetry) QueryOption {
+	return func(o *queryOptions) { o.telemetry = dst }
+}

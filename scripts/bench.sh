@@ -142,3 +142,31 @@ cat >"$OUT4" <<EOF
 EOF
 
 echo "wrote $OUT4 (host_cores=$CORES)"
+
+# ---- PR5: fault injection & graceful degradation --------------------------
+
+# BENCH_PR5.json captures the degradation-response claim: on the same
+# skewed 8-query mix with half the SSD's internal channels faulted away
+# (injected post-calibration, so the surprise lands on the broker, not the
+# cost model), the broker's degraded re-planning — shrinking the credit
+# supply so admissions re-plan at a queue depth the device can still absorb
+# — must beat the no-replan response on batch makespan. Virtual-time
+# numbers from the deterministic simulator; host-independent.
+
+OUT5=BENCH_PR5.json
+
+DEGRADE_DEFAULT=$("$BIN" -scale default -concurrent 8 -json degrade)
+DEGRADE_QUICK=$("$BIN" -scale quick -concurrent 8 -json degrade)
+
+cat >"$OUT5" <<EOF
+{
+  "host_cores": $CORES,
+  "queries": 8,
+  "workload": "skewed mix: one ~0.25% mid-selectivity scan plus seven ~0.05% scans",
+  "fault": "50% SSD channel loss injected after calibration, open-ended window",
+  "degrade_default_scale": $DEGRADE_DEFAULT,
+  "degrade_quick_scale": $DEGRADE_QUICK
+}
+EOF
+
+echo "wrote $OUT5 (host_cores=$CORES)"

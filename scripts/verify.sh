@@ -16,7 +16,7 @@ go test ./...
 # (the determinism tests compare serial vs parallel output byte for byte),
 # plus the batched executor and memoized optimizer.
 go vet ./...
-go test -race ./internal/sim/... ./internal/obs/... ./internal/host/... ./internal/experiments/... ./internal/exec/... ./internal/opt/... ./internal/broker/...
+go test -race ./internal/sim/... ./internal/obs/... ./internal/host/... ./internal/experiments/... ./internal/exec/... ./internal/opt/... ./internal/broker/... ./internal/fault/...
 
 # Batch-accounting lint: every worker CPU charge in the executor must flow
 # through the cpuBudget (batch.go) so debt settles before device
@@ -37,5 +37,28 @@ if grep -rn 'MaxBeneficialDepth' --include='*.go' . |
 	grep -v './internal/cost/' |
 	grep -v './internal/broker/'; then
 	echo "verify: MaxBeneficialDepth used outside internal/broker (lease budgets from the broker instead)" >&2
+	exit 1
+fi
+
+# Error-taxonomy lint: sentinel conditions (cancellation, deadlines, device
+# faults, closed admission) must be expressed by wrapping the taxonomy
+# sentinels from internal/fault, never by minting fresh string errors —
+# a raw errors.New/fmt.Errorf for one of these breaks every errors.Is
+# caller silently.
+if grep -rnE '(errors\.New|fmt\.Errorf)\("[^"]*([Cc]ancel|[Dd]eadline|[Dd]evice fault|[Aa]dmission)' \
+	--include='*.go' . |
+	grep -v '_test\.go' |
+	grep -v './internal/fault/'; then
+	echo "verify: raw string error for a taxonomy condition (wrap the internal/fault sentinel instead)" >&2
+	exit 1
+fi
+
+# Context-discipline lint: the executor runs in virtual time and takes its
+# abort signal from fault.Control, threaded in by the public API layer. A
+# context.Background() inside internal/exec means a code path manufactured
+# its own context instead of accepting the caller's — cancellation would
+# silently stop propagating.
+if grep -n 'context\.Background()' internal/exec/*.go; then
+	echo "verify: context.Background() inside internal/exec (thread the caller's abort control instead)" >&2
 	exit 1
 fi

@@ -7,6 +7,7 @@ import (
 
 	"pioqo/internal/broker"
 	"pioqo/internal/exec"
+	"pioqo/internal/fault"
 	"pioqo/internal/sim"
 )
 
@@ -35,7 +36,8 @@ type Admission struct {
 // Drain, the result and its admission record after.
 type Submission struct {
 	q    Query
-	eo   execOptions
+	eo   queryOptions
+	ctl  *fault.Control
 	adm  Admission
 	res  Result
 	err  error
@@ -74,11 +76,16 @@ func (sub *Submission) Admission() Admission { return sub.adm }
 // the authoritative lease. A query submitted to an idle session receives
 // an unbounded lease and plans exactly as a standalone Execute would.
 type Session struct {
-	sys  *System
-	b    *broker.Broker
-	subs []*Submission // submissions not yet drained
-	n    int           // session-lifetime submission counter (proc names)
+	sys    *System
+	b      *broker.Broker
+	subs   []*Submission // submissions not yet drained
+	n      int           // session-lifetime submission counter (proc names)
+	closed bool
 }
+
+// Close stops admission: subsequent Submits fail with ErrAdmissionClosed.
+// Already-submitted queries are unaffected — Drain still runs them.
+func (ses *Session) Close() { ses.closed = true }
 
 // OpenSession starts a session on the system's shared resource broker.
 // Requires calibration: the broker's credit supply is the calibrated
@@ -118,10 +125,10 @@ func (s *System) Drain() error {
 // credit supply always reflects the current calibration.
 func (s *System) sharedBroker() (*broker.Broker, error) {
 	if s.model == nil {
-		return nil, errors.New("pioqo: resource brokering requires calibration; call Calibrate first")
+		return nil, fmt.Errorf("%w: resource brokering needs the calibrated queue-depth supply; call Calibrate first", ErrNotCalibrated)
 	}
 	if s.broker == nil {
-		s.broker = broker.New(broker.Config{
+		cfg := broker.Config{
 			Env:        s.env,
 			Model:      s.model,
 			Band:       s.DevicePages(),
@@ -129,7 +136,15 @@ func (s *System) sharedBroker() (*broker.Broker, error) {
 			Workers:    s.cores,
 			DepthProbe: s.dev.Metrics().DepthIntegral,
 			Obs:        s.reg,
-		})
+		}
+		if !s.noDegrade {
+			// Under an active ChannelLoss fault window the broker shrinks
+			// its credit supply, so admissions re-plan at a queue depth the
+			// degraded device can still absorb. Probe reads injector state
+			// only — no events, no randomness.
+			cfg.DegradeProbe = s.inj.Degradation
+		}
+		s.broker = broker.New(cfg)
 	}
 	return s.broker, nil
 }
@@ -138,8 +153,11 @@ func (s *System) sharedBroker() (*broker.Broker, error) {
 // under the broker's current fair share, and registers its executor
 // process. The query runs during the next Drain. With Cold(), the buffer
 // pool is flushed now — before planning, as in Execute.
-func (ses *Session) Submit(q Query, opts ...ExecOption) (*Submission, error) {
-	var eo execOptions
+func (ses *Session) Submit(q Query, opts ...QueryOption) (*Submission, error) {
+	if ses.closed {
+		return nil, fmt.Errorf("%w: session closed", ErrAdmissionClosed)
+	}
+	var eo queryOptions
 	for _, o := range opts {
 		o(&eo)
 	}
@@ -154,9 +172,13 @@ func (ses *Session) Submit(q Query, opts ...ExecOption) (*Submission, error) {
 
 // submit is the option-parsed core of Submit (ExecuteConcurrent enters
 // here so its one batch-level cold flush is not repeated per query).
-func (ses *Session) submit(q Query, eo execOptions) (*Submission, error) {
+func (ses *Session) submit(q Query, eo queryOptions) (*Submission, error) {
 	s := ses.sys
-	sub := &Submission{q: q, eo: eo}
+	ctl := fault.NewControl(s.env)
+	if eo.timeout > 0 {
+		ctl.SetDeadline(s.env.Now().Add(sim.Duration(eo.timeout)))
+	}
+	sub := &Submission{q: q, eo: eo, ctl: ctl}
 
 	// A user-set QueueBudget wins over brokered budgets; it also caps the
 	// grant (demand) so credits beyond it stay free for other queries.
@@ -177,10 +199,19 @@ func (ses *Session) submit(q Query, eo execOptions) (*Submission, error) {
 	ses.n++
 	ses.subs = append(ses.subs, sub)
 	s.env.Go(fmt.Sprintf("session-q%d", id), func(p *sim.Proc) {
+		// The deferred Release reclaims the lease on every exit path —
+		// errors between admission and first worker start included — so
+		// credits and pool reservations never leak from aborted queries.
 		defer lease.Release()
 		ts := s.startTelemetry(q, eo)
 		aspan := ts.trc().Start(ts.span(), "admit")
 		lease.Await(p)
+		if err := ctl.Err(); err != nil {
+			sub.err = &QueryError{Op: "submit", Table: q.Table.Name(), Err: err}
+			aspan.SetAttr("err", err.Error())
+			aspan.End()
+			return
+		}
 		granted := lease.Budget()
 		if userBudget == 0 && granted != po.QueueBudget {
 			// The grant differs from the provisional fair share: re-plan
@@ -203,6 +234,9 @@ func (ses *Session) submit(q Query, eo execOptions) (*Submission, error) {
 		aspan.SetAttr("replanned", sub.adm.Replanned)
 		aspan.End()
 
+		if eo.degree > 0 {
+			plan.Degree = eo.degree
+		}
 		prefetch := eo.prefetch
 		if prefetch == 0 {
 			prefetch = plan.Prefetch
@@ -219,12 +253,20 @@ func (ses *Session) submit(q Query, eo execOptions) (*Submission, error) {
 			Span:              ts.span(),
 			Gov:               lease,
 			PoolShare:         lease.PoolPages(),
+			Ctl:               ctl,
+			Retry:             eo.retry.internal(),
 		}
 		ctx := s.execContext()
 		ctx.Tracer = ts.trc()
 		t0 := p.Now()
 		res := exec.RunScan(p, ctx, spec)
 		rt := time.Duration(sim.Duration(p.Now() - t0))
+		if res.Err != nil {
+			sub.err = &QueryError{Op: "submit", Table: q.Table.Name(), Err: res.Err}
+			sub.done = true
+			ts.finish(s, plan, rt, eo)
+			return
+		}
 		sub.res = Result{
 			Value:   res.Value,
 			Found:   res.Found,
@@ -238,6 +280,11 @@ func (ses *Session) submit(q Query, eo execOptions) (*Submission, error) {
 	return sub, nil
 }
 
+// Cancel aborts the submission's query with ErrCanceled (or keeps an
+// earlier abort cause). Safe before or during Drain; the query's workers
+// exit at their next batch boundary and its lease is reclaimed.
+func (sub *Submission) Cancel() { sub.ctl.Cancel(ErrCanceled) }
+
 // Drain runs the simulation until every pending submission has finished,
 // returning the first submission error (results remain retrievable per
 // submission either way).
@@ -250,5 +297,15 @@ func (ses *Session) Drain() error {
 		}
 	}
 	ses.subs = ses.subs[:0]
+	// Reclamation invariant: with no query still admitted, every credit and
+	// every pool reservation must have come home — aborted queries included.
+	if ses.b.Active() == 0 {
+		if n := ses.b.InUse(); n != 0 {
+			panic(fmt.Sprintf("pioqo: session drain leaked %d broker credits", n))
+		}
+		if n := ses.b.PoolInUse(); n != 0 {
+			panic(fmt.Sprintf("pioqo: session drain leaked %d reserved pool pages", n))
+		}
+	}
 	return first
 }

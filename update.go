@@ -48,7 +48,7 @@ func (s *System) Update(q UpdateQuery, opts ...ExecOption) (UpdateResult, error)
 	if !ok {
 		return UpdateResult{}, fmt.Errorf("pioqo: table %q is synthetic and read-only", q.Table.Name())
 	}
-	var eo execOptions
+	var eo queryOptions
 	for _, o := range opts {
 		o(&eo)
 	}
