@@ -16,7 +16,8 @@
 //
 // Paper experiments: fig1, table1, fig4, table2, table3, fig5, fig6, fig7,
 // fig8, fig9, fig10, fig11, fig12, earlystop. Extensions: qdprofile,
-// concurrency, joins, mixed, accuracy, optimality. "all" runs everything.
+// concurrency, admission, degrade, slo, joins, mixed, accuracy,
+// optimality. "all" runs everything.
 //
 // fig4 and fig8 accept -panel to select one configuration (fig4: a..f for
 // E1-HDD, E1-SSD, E33-HDD, E33-SSD, E500-HDD, E500-SSD; fig8: a..c for
@@ -87,7 +88,7 @@ func main() {
 		for _, e := range []string{"fig1", "table1", "fig4", "table2", "table3",
 			"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 			"earlystop", "qdprofile", "concurrency", "admission", "degrade",
-			"joins", "mixed", "accuracy", "optimality"} {
+			"slo", "joins", "mixed", "accuracy", "optimality"} {
 			fmt.Printf("== %s ==\n", e)
 			if err := run(sc, e, *panel); err != nil {
 				fmt.Fprintf(os.Stderr, "pioqo-bench: %v\n", err)
@@ -152,6 +153,8 @@ experiments:
              on a skewed concurrent batch (-concurrent N, -json)
   degrade    graceful degradation under injected 50%% channel loss: healthy
              vs no-replan vs degraded re-planning (-concurrent N, -json)
+  slo        per-query-shape workload SLO report — latency p50/p95/p99,
+             queue-wait vs execution split, makespan (-concurrent N, -json)
   joins      hash vs index nested-loop join ablation across build skew
   mixed      whole-workload comparison of DTT vs QDTT planning
   accuracy   QDTT estimated cost vs measured runtime per candidate plan
@@ -422,6 +425,18 @@ func run(sc experiments.Scale, exp, panel string) error {
 		for _, r := range rows {
 			fmt.Fprintf(w, "%s\t%d\t%.0f\t%.2f\t%.2f\t%d\t%d\t%.0f\n",
 				r.Strategy, r.Queries, r.ChannelLossPct, r.MakespanMs, r.MeanLatMs, r.Replans, r.Throttled, r.Throughput)
+		}
+	case "slo":
+		rows := sc.SLO(*concurrent)
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rows)
+		}
+		fmt.Fprintln(w, "shape\tqueries\tp50_ms\tp95_ms\tp99_ms\tmean_wait_ms\tmean_exec_ms\tmakespan_ms")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%d\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+				r.Shape, r.Queries, r.P50Ms, r.P95Ms, r.P99Ms, r.WaitMs, r.ExecMs, r.MakespanMs)
 		}
 	case "qdprofile":
 		if *jsonOut {

@@ -129,6 +129,7 @@ func (s *System) batchSession(parties int, eo queryOptions) (*Session, error) {
 		Band:    s.DevicePages(),
 		Static:  true,
 		Parties: parties,
+		Log:     s.events,
 	})
 	return &Session{sys: s, b: b}, nil
 }

@@ -1,0 +1,138 @@
+package pioqo
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"pioqo/internal/obs/event"
+)
+
+// The engine event log is a bounded, virtual-time-stamped record of every
+// resource-governance and fault-handling decision the engine makes:
+// admission grants and waits, re-brokered budgets, degraded-supply
+// shrinkage, lease releases and credit reclamation, worker starts and
+// exits, read retries and backoffs, injected faults, buffer-frame
+// uninstalls, and plan-cache hits. Events live in a fixed-capacity ring —
+// old entries are overwritten, never allocated around — and every record is
+// typed: the event name and both operand names come from the catalog in
+// internal/obs/event, so there are no free-form strings at emit sites.
+//
+// Emission is pure ring mutation in host memory: it schedules no simulator
+// events, draws no randomness, and allocates nothing, so an instrumented
+// run is byte-identical to an uninstrumented one, and two runs of the same
+// seeded workload produce byte-identical JSONL exports. With the log
+// disabled (the default) every emit site is a single nil comparison.
+
+// EventLogStats reports the engine event log's occupancy.
+type EventLogStats struct {
+	// Total is the number of events emitted since the log was enabled (or
+	// last reset), including overwritten ones.
+	Total uint64
+	// Dropped is how many of those were overwritten by ring wrap-around.
+	Dropped uint64
+	// Len is the number of events currently retained.
+	Len int
+}
+
+// EngineEvent is one retained event-log record, decoded against the
+// catalog: Name identifies the event type, AName/BName label the two
+// integer operands (empty when the type carries fewer than two).
+type EngineEvent struct {
+	// Seq is the emission sequence number, dense from 0.
+	Seq uint64
+	// At is the virtual time of the decision.
+	At time.Duration
+	// Name is the catalog event name, e.g. "admission.grant".
+	Name string
+	// Query is the engine-assigned query id the event is attributed to, or
+	// -1 for device- and system-level events.
+	Query int64
+	// A and B are the typed operands; AName and BName label them.
+	A, B         int64
+	AName, BName string
+}
+
+// EnableEventLog turns on the engine event log with the given ring
+// capacity (0 or negative takes the default, 4096 events). All engine
+// layers — broker, executor, fault injector, buffer pool, plan cache —
+// emit into the one log. Enabling, disabling, or exporting the log never
+// perturbs execution: runs stay byte-identical either way.
+func (s *System) EnableEventLog(capacity int) {
+	if capacity <= 0 {
+		capacity = event.DefaultCapacity
+	}
+	s.setEventLog(event.NewLog(s.env, capacity))
+}
+
+// DisableEventLog turns the event log off and drops its buffer. Emit sites
+// revert to the zero-overhead nil path.
+func (s *System) DisableEventLog() { s.setEventLog(nil) }
+
+// EventLogEnabled reports whether the engine event log is on.
+func (s *System) EventLogEnabled() bool { return s.events != nil }
+
+// setEventLog installs l on every layer that emits. The broker may not
+// exist yet — sharedBroker passes s.events at build time.
+func (s *System) setEventLog(l *event.Log) {
+	s.events = l
+	s.inj.SetLog(l)
+	s.pool.SetEventLog(l)
+	if s.broker != nil {
+		s.broker.SetLog(l)
+	}
+}
+
+// EventLogStats reports the log's occupancy; zero values when disabled.
+func (s *System) EventLogStats() EventLogStats {
+	if s.events == nil {
+		return EventLogStats{}
+	}
+	return EventLogStats{
+		Total:   s.events.Total(),
+		Dropped: s.events.Dropped(),
+		Len:     s.events.Len(),
+	}
+}
+
+// ResetEventLog clears the retained events and counters, keeping the log
+// enabled at its current capacity.
+func (s *System) ResetEventLog() {
+	if s.events != nil {
+		s.events.Reset()
+	}
+}
+
+// EngineEvents returns the retained events, oldest first, decoded against
+// the catalog. Nil when the log is disabled.
+func (s *System) EngineEvents() []EngineEvent {
+	if s.events == nil {
+		return nil
+	}
+	evs := s.events.Events()
+	out := make([]EngineEvent, len(evs))
+	for i, e := range evs {
+		d := event.Describe(e.Type)
+		out[i] = EngineEvent{
+			Seq:   e.Seq,
+			At:    time.Duration(e.At),
+			Name:  d.Name,
+			Query: e.Query,
+			A:     e.A,
+			B:     e.B,
+			AName: d.A,
+			BName: d.B,
+		}
+	}
+	return out
+}
+
+// WriteEventLog exports the retained events as JSONL, one event per line
+// with a fixed field order, oldest first. Two runs of the same seeded
+// workload export byte-identical logs.
+func (s *System) WriteEventLog(w io.Writer) error {
+	if s.events == nil {
+		return fmt.Errorf("pioqo: event log disabled; call EnableEventLog first")
+	}
+	return s.events.WriteJSONL(w)
+}

@@ -36,6 +36,7 @@ import (
 	"fmt"
 
 	"pioqo/internal/obs"
+	"pioqo/internal/obs/event"
 	"pioqo/internal/sim"
 )
 
@@ -100,6 +101,12 @@ type Config struct {
 	// broker.replans, broker.reclaims, and broker.admission_wait_us.
 	Obs *obs.Registry
 
+	// Log, when set, receives one structured event per admission decision:
+	// enqueue, grant, re-plan, credit reclamation, lease release, and
+	// degraded-supply dispatch. Nil (the default) is the zero-cost disabled
+	// log; SetLog installs one later.
+	Log *event.Log
+
 	// Tracer, when set, records one span per admission (enqueue → grant),
 	// annotated with the granted budget and wait, under Span.
 	Tracer *obs.Tracer
@@ -135,6 +142,9 @@ type Broker struct {
 	// Device-feedback observation window.
 	probeBase float64
 	probeAt   sim.Time
+
+	// log receives admission-decision events; nil = disabled (Emit no-ops).
+	log *event.Log
 
 	// Instruments (nil-safe: left nil without a registry).
 	creditsInUse *obs.Gauge
@@ -176,16 +186,23 @@ func New(cfg Config) *Broker {
 		}
 	}
 	if cfg.Obs != nil {
-		cfg.Obs.Gauge("broker.credits_total").Set(float64(b.total))
-		b.creditsInUse = cfg.Obs.Gauge("broker.credits_in_use")
-		b.workersGauge = cfg.Obs.Gauge("broker.workers_in_use")
-		b.admissions = cfg.Obs.Counter("broker.admissions")
-		b.replans = cfg.Obs.Counter("broker.replans")
-		b.reclaims = cfg.Obs.Counter("broker.reclaims")
-		b.waitHist = cfg.Obs.Histogram("broker.admission_wait_us", admissionWaitBucketsUs)
+		cfg.Obs.Gauge(obs.MetricBrokerCreditsTotal).Set(float64(b.total))
+		b.creditsInUse = cfg.Obs.Gauge(obs.MetricBrokerCreditsInUse)
+		b.workersGauge = cfg.Obs.Gauge(obs.MetricBrokerWorkersInUse)
+		b.admissions = cfg.Obs.Counter(obs.MetricBrokerAdmissions)
+		b.replans = cfg.Obs.Counter(obs.MetricBrokerReplans)
+		b.reclaims = cfg.Obs.Counter(obs.MetricBrokerReclaims)
+		b.waitHist = cfg.Obs.Histogram(obs.MetricBrokerAdmissionWaitUs, admissionWaitBucketsUs)
 	}
+	b.log = cfg.Log
 	return b
 }
+
+// SetLog installs (or, with nil, removes) the broker's event log. The
+// engine enables observability after the broker may already exist, so the
+// log is settable post-construction; emission is pure ring mutation either
+// way and never perturbs admission decisions.
+func (b *Broker) SetLog(l *event.Log) { b.log = l }
 
 // Total reports the credit supply — the device's maximum beneficial queue
 // depth over the configured band.
@@ -282,6 +299,10 @@ type Lease struct {
 	b  *Broker
 	id int
 
+	// qid attributes this lease's events to its query in the engine event
+	// log; event.NoQuery for leases enqueued without an id.
+	qid int64
+
 	demand int // max useful credits; 0 = no cap
 
 	admitted bool
@@ -304,12 +325,19 @@ type Lease struct {
 // demand caps the useful credit grant (0 = uncapped). Admission is FIFO;
 // call Await from process context to block until granted.
 func (b *Broker) Enqueue(demand int) *Lease {
-	l := &Lease{b: b, id: b.nextID, demand: demand,
+	return b.EnqueueQuery(demand, event.NoQuery)
+}
+
+// EnqueueQuery is Enqueue with a query id attached: every event this lease
+// emits into the broker's log is attributed to qid.
+func (b *Broker) EnqueueQuery(demand int, qid int64) *Lease {
+	l := &Lease{b: b, id: b.nextID, qid: qid, demand: demand,
 		enqueuedAt: b.env.Now(), grant: sim.NewCompletion(b.env)}
 	b.nextID++
 	if b.cfg.Tracer != nil {
 		l.span = b.cfg.Tracer.Start(b.cfg.Span, fmt.Sprintf("admission%d", l.id))
 	}
+	b.log.Emit(event.EvAdmissionEnqueue, l.qid, int64(demand), 0)
 	b.queue = append(b.queue, l)
 	b.scheduleDispatch()
 	return l
@@ -370,6 +398,7 @@ func (l *Lease) EndWorker() {
 	if target < l.held {
 		n := l.held - target
 		l.held = target
+		l.b.log.Emit(event.EvCreditsReclaim, l.qid, int64(n), int64(l.held))
 		l.b.reclaim(n)
 		if l.b.reclaims != nil {
 			l.b.reclaims.Add(int64(n))
@@ -380,6 +409,7 @@ func (l *Lease) EndWorker() {
 // Replanned records that the query was re-planned because its admission
 // grant differed from the provisional budget it planned under.
 func (l *Lease) Replanned() {
+	l.b.log.Emit(event.EvAdmissionReplan, l.qid, int64(l.granted), 0)
 	if l.b.replans != nil {
 		l.b.replans.Inc()
 	}
@@ -395,6 +425,7 @@ func (l *Lease) Release() {
 		panic("broker: lease released twice")
 	}
 	l.released = true
+	l.b.log.Emit(event.EvLeaseRelease, l.qid, int64(l.held), int64(l.pool))
 	if !l.admitted {
 		// Withdrawn before admission: just drop out of the queue.
 		for i, q := range l.b.queue {
@@ -498,6 +529,7 @@ func (b *Broker) feedbackSlack() int {
 // even split.
 func (b *Broker) dispatch() {
 	b.dispatchScheduled = false
+	degradeLogged := false
 	for len(b.queue) > 0 {
 		if b.cfg.Static {
 			parties := b.cfg.Parties
@@ -518,6 +550,12 @@ func (b *Broker) dispatch() {
 		// dispatch admits against what the device can actually absorb.
 		supply := b.degradedSupply()
 		reserve := b.total - supply
+		if reserve > 0 && !degradeLogged {
+			// One degraded-supply event per dispatch pass: dispatch may admit
+			// several queries under the same shrunken supply.
+			b.log.Emit(event.EvSupplyDegrade, event.NoQuery, int64(supply), int64(b.total))
+			degradeLogged = true
+		}
 		if len(b.active) == 0 && len(b.queue) == 1 {
 			l := b.queue[0]
 			b.queue = b.queue[1:]
@@ -590,6 +628,7 @@ func (b *Broker) admit(l *Lease, grant int) {
 		b.poolInUse += l.pool
 	}
 	b.active = append(b.active, l)
+	b.log.Emit(event.EvAdmissionGrant, l.qid, int64(grant), int64(l.Wait()))
 	if b.admissions != nil {
 		b.admissions.Inc()
 	}

@@ -15,6 +15,7 @@ import (
 
 	"pioqo/internal/disk"
 	"pioqo/internal/obs"
+	"pioqo/internal/obs/event"
 	"pioqo/internal/sim"
 )
 
@@ -51,6 +52,10 @@ type Pool struct {
 	// never reset — per-query numbers come from registry snapshot diffs.
 	obsHits, obsMisses, obsJoined, obsPrefetch, obsEvict, obsDirty, obsReadErr *obs.Counter
 	obsCached                                                                 *obs.Gauge
+
+	// log receives frame-uninstall events (failed reads evicting their
+	// frame and bumping the epoch); nil = disabled.
+	log *event.Log
 }
 
 // Stats counts pool traffic since the last ResetStats.
@@ -102,20 +107,23 @@ func (p *Pool) Resident(f *disk.File) int64 { return p.resident[f.ID()] }
 // accumulating.
 func (p *Pool) ResetStats() { p.Stats = Stats{} }
 
-// Publish registers the pool's instruments in reg under prefix (e.g.
-// "buffer"): cumulative counters mirroring Stats, plus a cached_pages gauge
-// tracking residency over virtual time.
-func (p *Pool) Publish(reg *obs.Registry, prefix string) {
-	p.obsHits = reg.Counter(prefix + ".hits")
-	p.obsMisses = reg.Counter(prefix + ".misses")
-	p.obsJoined = reg.Counter(prefix + ".joined_loads")
-	p.obsPrefetch = reg.Counter(prefix + ".prefetch_reads")
-	p.obsEvict = reg.Counter(prefix + ".evictions")
-	p.obsDirty = reg.Counter(prefix + ".dirty_writes")
-	p.obsReadErr = reg.Counter(prefix + ".read_errors")
-	p.obsCached = reg.Gauge(prefix + ".cached_pages")
+// Publish registers the pool's instruments in reg under the catalog's
+// buffer.* names: cumulative counters mirroring Stats, plus a cached_pages
+// gauge tracking residency over virtual time.
+func (p *Pool) Publish(reg *obs.Registry) {
+	p.obsHits = reg.Counter(obs.MetricBufferHits)
+	p.obsMisses = reg.Counter(obs.MetricBufferMisses)
+	p.obsJoined = reg.Counter(obs.MetricBufferJoinedLoads)
+	p.obsPrefetch = reg.Counter(obs.MetricBufferPrefetchReads)
+	p.obsEvict = reg.Counter(obs.MetricBufferEvictions)
+	p.obsDirty = reg.Counter(obs.MetricBufferDirtyWrites)
+	p.obsReadErr = reg.Counter(obs.MetricBufferReadErrors)
+	p.obsCached = reg.Gauge(obs.MetricBufferCachedPages)
 	p.obsCached.Set(float64(len(p.frames)))
 }
+
+// SetEventLog installs (or, with nil, removes) the pool's event log.
+func (p *Pool) SetEventLog(l *event.Log) { p.log = l }
 
 // bump increments a registry mirror if the pool has been Published.
 func bump(c *obs.Counter) {
@@ -202,6 +210,7 @@ func (p *Pool) install(key PageKey, c *sim.Completion) *frame {
 			p.epoch++
 			p.Stats.ReadErrors++
 			bump(p.obsReadErr)
+			p.log.Emit(event.EvFrameUninstall, event.NoQuery, key.Page, int64(p.epoch))
 			p.trackCached()
 			return
 		}

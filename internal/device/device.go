@@ -101,16 +101,16 @@ func NewMetrics(e *sim.Env) *Metrics {
 // microseconds: 50 µs flash reads through multi-rotation HDD waits.
 var latencyBucketsUs = []float64{50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000}
 
-// Publish registers this device's instruments in reg under prefix (e.g.
-// "device.ssd"): the live queue-depth gauge plus cumulative counters for
+// Publish registers this device's instruments in reg under the catalog's
+// device.* names: the live queue-depth gauge plus cumulative counters for
 // requests, bytes, and latency, and a request-latency histogram. Counters
 // never reset — callers attribute intervals by diffing registry snapshots.
-func (m *Metrics) Publish(reg *obs.Registry, prefix string) {
-	reg.AdoptGauge(prefix+".queue_depth", m.depth)
-	m.reqCtr = reg.Counter(prefix + ".requests")
-	m.byteCtr = reg.Counter(prefix + ".bytes")
-	m.latCtr = reg.Counter(prefix + ".latency_ns")
-	m.latHist = reg.Histogram(prefix+".latency_us", latencyBucketsUs)
+func (m *Metrics) Publish(reg *obs.Registry) {
+	reg.AdoptGauge(obs.MetricDeviceQueueDepth, m.depth)
+	m.reqCtr = reg.Counter(obs.MetricDeviceRequests)
+	m.byteCtr = reg.Counter(obs.MetricDeviceBytes)
+	m.latCtr = reg.Counter(obs.MetricDeviceLatencyNs)
+	m.latHist = reg.Histogram(obs.MetricDeviceLatencyUs, latencyBucketsUs)
 }
 
 // Submitted records a request entering the device.

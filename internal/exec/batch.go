@@ -5,6 +5,8 @@ import (
 
 	"pioqo/internal/buffer"
 	"pioqo/internal/disk"
+	"pioqo/internal/obs"
+	"pioqo/internal/obs/event"
 	"pioqo/internal/sim"
 )
 
@@ -94,10 +96,14 @@ func (b *cpuBudget) fetchRetry(wp *sim.Proc, spec *Spec, f *disk.File, page int6
 	for attempt := 0; ; attempt++ {
 		h, err := b.fetchE(wp, f, page)
 		if err == nil {
+			if spec.Progress != nil {
+				*spec.Progress++
+			}
 			return h, true
 		}
+		b.ctx.Log.Emit(event.EvReadRetry, spec.QID, page, int64(attempt))
 		if b.ctx.Reg != nil {
-			b.ctx.Reg.Counter("exec.read_faults").Inc()
+			b.ctx.Reg.Counter(obs.MetricExecReadFaults).Inc()
 		}
 		if spec.Ctl == nil {
 			panic(fmt.Sprintf("exec: read of %v page %d failed without fault control: %v",
@@ -107,7 +113,9 @@ func (b *cpuBudget) fetchRetry(wp *sim.Proc, spec *Spec, f *disk.File, page int6
 			spec.Ctl.Cancel(err)
 			return buffer.Handle{}, false
 		}
-		wp.Sleep(pol.BackoffFor(attempt))
+		backoff := pol.BackoffFor(attempt)
+		b.ctx.Log.Emit(event.EvRetryBackoff, spec.QID, page, int64(backoff))
+		wp.Sleep(backoff)
 	}
 }
 

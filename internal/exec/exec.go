@@ -20,6 +20,7 @@ import (
 	"pioqo/internal/disk"
 	"pioqo/internal/fault"
 	"pioqo/internal/obs"
+	"pioqo/internal/obs/event"
 	"pioqo/internal/sim"
 	"pioqo/internal/table"
 )
@@ -65,6 +66,11 @@ type Context struct {
 	// Reg, when set, receives engine-wide execution counters (exec.scans,
 	// exec.rows_matched). Nil disables them.
 	Reg *obs.Registry
+
+	// Log, when set, receives structured events for worker lifecycle and
+	// fault retries, attributed to Spec.QID. Nil (the default) disables
+	// emission at the cost of one pointer comparison per event site.
+	Log *event.Log
 }
 
 // Method selects the access path family.
@@ -199,6 +205,16 @@ type Spec struct {
 	// Retry bounds the response to injected device read faults when Ctl is
 	// set; the zero value means fault.DefaultRetry.
 	Retry fault.RetryPolicy
+
+	// QID attributes this scan's events in the engine event log to its
+	// query (event.NoQuery / 0 for unattributed standalone executions).
+	QID int64
+
+	// Progress, when set, is incremented once per page the scan's workers
+	// fetch (prefetches excluded) — the live-progress counter a Submission
+	// exposes as pages processed. Increments are pure Go-side mutation:
+	// no events, no randomness, no allocation.
+	Progress *int64
 }
 
 // aborted reports whether the query's control has tripped. Nil-safe.
@@ -214,14 +230,17 @@ func (s *Spec) poolCapacity(ctx *Context) int {
 	return c
 }
 
-// startWorker/endWorker report one worker's lifetime to the governor.
-func (s *Spec) startWorker() {
+// startWorker/endWorker report one worker's lifetime to the governor and
+// the event log.
+func (s *Spec) startWorker(ctx *Context, w int) {
+	ctx.Log.Emit(event.EvWorkerStart, s.QID, int64(w), 0)
 	if s.Gov != nil {
 		s.Gov.StartWorker()
 	}
 }
 
-func (s *Spec) endWorker() {
+func (s *Spec) endWorker(ctx *Context, w int) {
+	ctx.Log.Emit(event.EvWorkerExit, s.QID, int64(w), 0)
 	if s.Gov != nil {
 		s.Gov.EndWorker()
 	}
@@ -352,8 +371,8 @@ func RunScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 	op.SetAttr("rows", res.RowsMatched)
 	op.End()
 	if ctx.Reg != nil {
-		ctx.Reg.Counter("exec.scans").Inc()
-		ctx.Reg.Counter("exec.rows_matched").Add(res.RowsMatched)
+		ctx.Reg.Counter(obs.MetricExecScans).Inc()
+		ctx.Reg.Counter(obs.MetricExecRowsMatched).Add(res.RowsMatched)
 	}
 	return res
 }
@@ -624,8 +643,8 @@ func runFullScanWorkers(p *sim.Proc, ctx *Context, spec Spec, nextPage *int64, o
 		wg.Add(1)
 		ctx.Env.Go(fmt.Sprintf("fts-w%d", w), func(wp *sim.Proc) {
 			defer wg.Done()
-			spec.startWorker()
-			defer spec.endWorker()
+			spec.startWorker(ctx, w)
+			defer spec.endWorker(ctx, w)
 			m := newMeter(ctx, spec.Span, fmt.Sprintf("fts-w%d", w))
 			defer m.finish(&results[w])
 			bud := newBudget(ctx, m)
@@ -759,8 +778,8 @@ func runIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 		wg.Add(1)
 		ctx.Env.Go(fmt.Sprintf("pis-w%d", w), func(wp *sim.Proc) {
 			defer wg.Done()
-			spec.startWorker()
-			defer spec.endWorker()
+			spec.startWorker(ctx, w)
+			defer spec.endWorker(ctx, w)
 			m := newMeter(ctx, spec.Span, fmt.Sprintf("pis-w%d", w))
 			defer m.finish(&results[w])
 			bud := newBudget(ctx, m)

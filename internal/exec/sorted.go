@@ -72,8 +72,8 @@ func runSortedIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 		wg.Add(1)
 		ctx.Env.Go(fmt.Sprintf("sis-collect%d", w), func(wp *sim.Proc) {
 			defer wg.Done()
-			spec.startWorker()
-			defer spec.endWorker()
+			spec.startWorker(ctx, w)
+			defer spec.endWorker(ctx, w)
 			m := newMeter(ctx, spec.Span, fmt.Sprintf("sis-collect%d", w))
 			bud := newBudget(ctx, m)
 			if spec.Degree > 1 {
@@ -140,8 +140,8 @@ func runSortedIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 		wg2.Add(1)
 		ctx.Env.Go(fmt.Sprintf("sis-fetch%d", w), func(wp *sim.Proc) {
 			defer wg2.Done()
-			spec.startWorker()
-			defer spec.endWorker()
+			spec.startWorker(ctx, w)
+			defer spec.endWorker(ctx, w)
 			m := newMeter(ctx, spec.Span, fmt.Sprintf("sis-fetch%d", w))
 			defer m.finish(&results[w])
 			bud := newBudget(ctx, m)

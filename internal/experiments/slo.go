@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pioqo"
+)
+
+// SLORow is one query shape's service levels from the brokered skewed mix:
+// end-to-end latency percentiles, the queue-wait versus execution
+// breakdown, and the shared batch makespan.
+type SLORow struct {
+	Shape      string
+	Queries    int
+	P50Ms      float64
+	P95Ms      float64
+	P99Ms      float64
+	WaitMs     float64 // mean admission-queue wait
+	ExecMs     float64 // mean execution time
+	MakespanMs float64 // batch makespan, repeated on every row
+}
+
+// SLO runs the Admission experiment's skewed mix — one mid-selectivity
+// scan plus n−1 small disjoint scans — under brokered admission control
+// and reports per-shape service levels from the WorkloadReport. The two
+// shapes make the broker's scheduling trade visible as SLO numbers: the
+// small shape's p95 includes the queries queued behind the mid scan's
+// admission grant, and the wait/exec split shows how much of each shape's
+// latency the queue contributed.
+func (sc Scale) SLO(queries int) []SLORow {
+	if queries < 2 {
+		queries = 8
+	}
+	sys := pioqo.New(pioqo.Config{
+		Device:    pioqo.SSD,
+		PoolPages: sc.PoolPages,
+		Cores:     sc.Cores,
+	})
+	rows := sc.Pages * 33
+	tab, err := sys.CreateTable("slo", rows, 33, pioqo.WithSyntheticData())
+	if err != nil {
+		panic(fmt.Sprintf("slo: %v", err))
+	}
+	if _, err := sys.Calibrate(pioqo.CalibrationOptions{MaxReads: sc.CalibReads}); err != nil {
+		panic(fmt.Sprintf("slo: %v", err))
+	}
+	qs := skewedMix(tab, rows, queries)
+	res, err := sys.ExecuteConcurrent(qs, pioqo.Cold())
+	if err != nil {
+		panic(fmt.Sprintf("slo: %v", err))
+	}
+	rep := res.SLOReport(qs)
+	out := make([]SLORow, len(rep.Shapes))
+	for i, s := range rep.Shapes {
+		out[i] = SLORow{
+			Shape:      s.Shape,
+			Queries:    s.Queries,
+			P50Ms:      float64(s.P50) / 1e6,
+			P95Ms:      float64(s.P95) / 1e6,
+			P99Ms:      float64(s.P99) / 1e6,
+			WaitMs:     float64(s.MeanWait) / 1e6,
+			ExecMs:     float64(s.MeanExec) / 1e6,
+			MakespanMs: float64(rep.Makespan) / 1e6,
+		}
+	}
+	return out
+}

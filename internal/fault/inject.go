@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"pioqo/internal/device"
+	"pioqo/internal/obs/event"
 	"pioqo/internal/sim"
 )
 
@@ -78,12 +79,23 @@ type Injector struct {
 
 	outstanding int // injector-tracked in-flight reads, for throttling
 	stats       Stats
+
+	// log receives one event per injected fault (error, straggler draw,
+	// throttle); nil = disabled. Fault events are device-level and carry
+	// event.NoQuery — per-query attribution happens at the executor's
+	// retry sites, which see the fault as a failed read.
+	log *event.Log
 }
 
 // Wrap returns an unarmed (passthrough) injector over inner.
 func Wrap(env *sim.Env, inner device.Device) *Injector {
 	return &Injector{env: env, inner: inner}
 }
+
+// SetLog installs (or, with nil, removes) the injector's event log.
+// Emission is pure ring mutation — it draws no randomness and schedules no
+// events, so logged and unlogged runs are byte-identical.
+func (j *Injector) SetLog(l *event.Log) { j.log = l }
 
 // Inner returns the wrapped device.
 func (j *Injector) Inner() device.Device { return j.inner }
@@ -157,6 +169,7 @@ func (j *Injector) ReadAt(offset int64, length int) *sim.Completion {
 	// Injected error: the read never reaches the device.
 	if w.ErrorRate > 0 && j.rng.Float64() < w.ErrorRate {
 		j.stats.Errors++
+		j.log.Emit(event.EvFaultError, event.NoQuery, offset, 0)
 		lat := w.ErrorLatency
 		if lat <= 0 {
 			lat = 200 * sim.Microsecond
@@ -175,6 +188,7 @@ func (j *Injector) ReadAt(offset int64, length int) *sim.Completion {
 		if lat <= 0 {
 			lat = 5 * sim.Millisecond
 		}
+		j.log.Emit(event.EvFaultStraggler, event.NoQuery, offset, int64(lat))
 		delay += lat
 	}
 	if w.ChannelLoss > 0 {
@@ -192,7 +206,9 @@ func (j *Injector) ReadAt(offset int64, length int) *sim.Completion {
 				pen = 100 * sim.Microsecond
 			}
 			j.stats.Throttled++
-			delay += sim.Duration(j.outstanding-limit+1) * pen
+			penalty := sim.Duration(j.outstanding-limit+1) * pen
+			j.log.Emit(event.EvFaultThrottle, event.NoQuery, int64(j.outstanding), int64(penalty))
+			delay += penalty
 		}
 	}
 

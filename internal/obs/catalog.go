@@ -1,0 +1,47 @@
+package obs
+
+// The metric-name catalog: every instrument name the engine registers, in
+// one place. Emit sites reference these constants — never ad-hoc string
+// literals — so the full metric surface is greppable here and
+// scripts/verify.sh rejects stringly registrations elsewhere.
+//
+// Naming convention: "<subsystem>.<measure>", with a unit suffix (_us, _ns)
+// when the measure is not a plain count.
+const (
+	// internal/device — published by Metrics.Publish.
+	MetricDeviceQueueDepth = "device.queue_depth" // gauge: outstanding requests
+	MetricDeviceRequests   = "device.requests"    // counter: completed requests
+	MetricDeviceBytes      = "device.bytes"       // counter: completed bytes
+	MetricDeviceLatencyNs  = "device.latency_ns"  // counter: summed request latency
+	MetricDeviceLatencyUs  = "device.latency_us"  // histogram: request latency
+
+	// internal/buffer — published by Pool.Publish.
+	MetricBufferHits          = "buffer.hits"
+	MetricBufferMisses        = "buffer.misses"
+	MetricBufferJoinedLoads   = "buffer.joined_loads"
+	MetricBufferPrefetchReads = "buffer.prefetch_reads"
+	MetricBufferEvictions     = "buffer.evictions"
+	MetricBufferDirtyWrites   = "buffer.dirty_writes"
+	MetricBufferReadErrors    = "buffer.read_errors"
+	MetricBufferCachedPages   = "buffer.cached_pages" // gauge: resident frames
+
+	// internal/broker — registered by broker.New.
+	MetricBrokerCreditsTotal    = "broker.credits_total" // gauge: calibrated supply
+	MetricBrokerCreditsInUse    = "broker.credits_in_use"
+	MetricBrokerWorkersInUse    = "broker.workers_in_use"
+	MetricBrokerAdmissions      = "broker.admissions"
+	MetricBrokerReplans         = "broker.replans"
+	MetricBrokerReclaims        = "broker.reclaims"
+	MetricBrokerAdmissionWaitUs = "broker.admission_wait_us" // histogram
+
+	// internal/exec.
+	MetricExecScans       = "exec.scans"
+	MetricExecRowsMatched = "exec.rows_matched"
+	MetricExecReadFaults  = "exec.read_faults"
+
+	// internal/opt.
+	MetricOptOptimizations   = "opt.optimizations"
+	MetricOptPlansEnumerated = "opt.plans_enumerated"
+	MetricOptMemoHits        = "opt.memo_hits"
+	MetricOptMemoMisses      = "opt.memo_misses"
+)

@@ -1,0 +1,100 @@
+package event
+
+// Type identifies one kind of engine event. Every type the engine can emit
+// is declared here, in this catalog file, with its JSONL name and operand
+// names — emit sites reference these constants and nothing else
+// (scripts/verify.sh rejects Emit calls whose type argument is not an
+// event.Ev* constant).
+type Type uint8
+
+// The event catalog. Grouped by emitting subsystem.
+const (
+	// EvNone is the zero Type; it is never emitted.
+	EvNone Type = iota
+
+	// Query lifecycle (pioqo session layer).
+	EvQueryStart // A = estimated pages, B = granted queue budget
+	EvQueryDone  // A = pages processed, B = runtime ns
+
+	// internal/broker: admission control and credit re-brokering.
+	EvAdmissionEnqueue // A = demand cap (0 = uncapped)
+	EvAdmissionGrant   // A = granted credits (0 = unbounded), B = wait ns
+	EvAdmissionReplan  // A = granted credits the re-plan ran under
+	EvCreditsReclaim   // A = credits reclaimed, B = credits still held
+	EvLeaseRelease     // A = credits returned, B = pool pages returned
+	EvSupplyDegrade    // A = degraded supply, B = calibrated total
+
+	// internal/exec: worker lifecycle and fault retries.
+	EvWorkerStart  // A = worker index
+	EvWorkerExit   // A = worker index
+	EvReadRetry    // A = page, B = attempt (0-based)
+	EvRetryBackoff // A = page, B = backoff ns
+
+	// internal/fault: injected device behaviour.
+	EvFaultError     // A = device offset
+	EvFaultStraggler // A = device offset, B = added latency ns
+	EvFaultThrottle  // A = outstanding reads, B = penalty ns
+
+	// internal/buffer: pool housekeeping the executor cannot see.
+	EvFrameUninstall // A = page, B = residency epoch after the uninstall
+
+	// internal/opt: plan-cache traffic.
+	EvPlanCacheHit  // A = cached candidate plans replayed
+	EvPlanCacheMiss // A = candidate plans enumerated fresh
+
+	numTypes // sentinel; keep last
+)
+
+// Desc names a type for renderers: the JSONL event name and the names of
+// the A and B operands ("" = the operand is unused and omitted).
+type Desc struct {
+	Name string
+	A, B string
+}
+
+// catalog maps every Type to its schema. A Type without an entry here is a
+// bug TestCatalogComplete catches.
+var catalog = [numTypes]Desc{
+	EvQueryStart: {Name: "query.start", A: "est_pages", B: "budget"},
+	EvQueryDone:  {Name: "query.done", A: "pages", B: "runtime_ns"},
+
+	EvAdmissionEnqueue: {Name: "admission.enqueue", A: "demand"},
+	EvAdmissionGrant:   {Name: "admission.grant", A: "granted", B: "wait_ns"},
+	EvAdmissionReplan:  {Name: "admission.replan", A: "granted"},
+	EvCreditsReclaim:   {Name: "credits.reclaim", A: "reclaimed", B: "held"},
+	EvLeaseRelease:     {Name: "lease.release", A: "credits", B: "pool_pages"},
+	EvSupplyDegrade:    {Name: "supply.degrade", A: "supply", B: "total"},
+
+	EvWorkerStart:  {Name: "worker.start", A: "worker"},
+	EvWorkerExit:   {Name: "worker.exit", A: "worker"},
+	EvReadRetry:    {Name: "read.retry", A: "page", B: "attempt"},
+	EvRetryBackoff: {Name: "retry.backoff", A: "page", B: "backoff_ns"},
+
+	EvFaultError:     {Name: "fault.error", A: "offset"},
+	EvFaultStraggler: {Name: "fault.straggler", A: "offset", B: "delay_ns"},
+	EvFaultThrottle:  {Name: "fault.throttle", A: "outstanding", B: "penalty_ns"},
+
+	EvFrameUninstall: {Name: "frame.uninstall", A: "page", B: "epoch"},
+
+	EvPlanCacheHit:  {Name: "plancache.hit", A: "plans"},
+	EvPlanCacheMiss: {Name: "plancache.miss", A: "plans"},
+}
+
+// Describe returns the schema entry for t (the zero Desc for an unknown
+// type).
+func Describe(t Type) Desc {
+	if int(t) < len(catalog) {
+		return catalog[t]
+	}
+	return Desc{}
+}
+
+// Types returns every emittable event type, in catalog order — the lint
+// and completeness tests iterate it.
+func Types() []Type {
+	out := make([]Type, 0, int(numTypes)-1)
+	for t := EvNone + 1; t < numTypes; t++ {
+		out = append(out, t)
+	}
+	return out
+}

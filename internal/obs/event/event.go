@@ -1,0 +1,189 @@
+// Package event is the engine's structured decision log: a bounded,
+// virtual-time-stamped ring of typed events recording every load-bearing
+// choice the engine makes — admission grants and re-brokered budgets, lease
+// degradation, fault injections, executor retries and backoff, worker
+// lifecycle, buffer-frame uninstalls, plan-cache hits and misses.
+//
+// The log is strictly an observer. Emit mutates a preallocated ring and
+// nothing else: it schedules no simulation events, draws no randomness, and
+// allocates no memory, so an instrumented run is byte-identical to an
+// uninstrumented one and two same-seed runs produce byte-identical JSONL
+// exports. A nil *Log is the disabled log — every method is a no-op — and
+// the nil check is the entire cost of disabled observability on the hot
+// path (benchmarked at 0 allocs/op by BenchmarkEmitDisabled).
+//
+// Events carry a typed schema, not strings: a Type from the catalog, the
+// owning query's id (or NoQuery), and two int64 operands whose meaning the
+// catalog names per type. Renderers (WriteJSONL) look the names up in the
+// catalog, so emit sites stay allocation-free and the schema lives in one
+// place (scripts/verify.sh lints emit sites against it).
+package event
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+
+	"pioqo/internal/sim"
+)
+
+// NoQuery marks an event not attributable to a single query (device-level
+// faults, buffer-pool housekeeping, plan-cache traffic).
+const NoQuery int64 = -1
+
+// Event is one recorded engine decision. A and B are the per-type operands
+// named by the catalog entry for Type.
+type Event struct {
+	Seq   uint64   // emission sequence number, dense from 0
+	At    sim.Time // virtual timestamp
+	Type  Type
+	Query int64 // owning query id, or NoQuery
+	A, B  int64
+}
+
+// DefaultCapacity is the ring size NewLog uses when given a non-positive
+// capacity: large enough to hold every event of the experiment workloads,
+// small enough to stay cache-resident.
+const DefaultCapacity = 4096
+
+// Log is a bounded event ring. The zero-cost disabled form is a nil *Log;
+// an enabled log overwrites its oldest events once the ring fills, so the
+// memory bound holds for arbitrarily long runs (Dropped reports the
+// overwritten count).
+//
+// Like every other engine structure the log is confined to simulation
+// context and needs no locking.
+type Log struct {
+	env *sim.Env
+	buf []Event
+	n   uint64 // total events emitted since NewLog
+}
+
+// NewLog returns a log with room for capacity events (DefaultCapacity when
+// capacity <= 0).
+func NewLog(env *sim.Env, capacity int) *Log {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Log{env: env, buf: make([]Event, capacity)}
+}
+
+// Emit records one event. Nil-safe and allocation-free: the disabled (nil)
+// log returns after one comparison, the enabled log writes one ring slot.
+func (l *Log) Emit(t Type, query, a, b int64) {
+	if l == nil {
+		return
+	}
+	l.buf[l.n%uint64(len(l.buf))] = Event{
+		Seq: l.n, At: l.env.Now(), Type: t, Query: query, A: a, B: b,
+	}
+	l.n++
+}
+
+// Total reports how many events have been emitted since the log was
+// created, including any the ring has since overwritten. Nil-safe.
+func (l *Log) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.n
+}
+
+// Dropped reports how many emitted events the ring has overwritten.
+// Nil-safe.
+func (l *Log) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	if cap := uint64(len(l.buf)); l.n > cap {
+		return l.n - cap
+	}
+	return 0
+}
+
+// Len reports how many events the ring currently retains. Nil-safe.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	if l.n < uint64(len(l.buf)) {
+		return int(l.n)
+	}
+	return len(l.buf)
+}
+
+// Events returns the retained events oldest-first, as a fresh copy.
+// Nil-safe (nil log returns nil).
+func (l *Log) Events() []Event {
+	n := l.Len()
+	if n == 0 {
+		return nil
+	}
+	out := make([]Event, 0, n)
+	start := l.n - uint64(n)
+	for i := uint64(0); i < uint64(n); i++ {
+		out = append(out, l.buf[(start+i)%uint64(len(l.buf))])
+	}
+	return out
+}
+
+// Reset drops every retained event and restarts the sequence numbering.
+// Nil-safe.
+func (l *Log) Reset() {
+	if l == nil {
+		return
+	}
+	l.n = 0
+}
+
+// appendJSON renders the event as one JSON object with a fixed field
+// order — seq, at_ns, event, query, then the catalog-named operands — so
+// exports are byte-identical across runs. Operand fields with an empty
+// catalog name are omitted; query is omitted for NoQuery events.
+func (e Event) appendJSON(buf []byte) []byte {
+	d := Describe(e.Type)
+	buf = append(buf, `{"seq":`...)
+	buf = strconv.AppendUint(buf, e.Seq, 10)
+	buf = append(buf, `,"at_ns":`...)
+	buf = strconv.AppendInt(buf, int64(e.At), 10)
+	buf = append(buf, `,"event":"`...)
+	buf = append(buf, d.Name...)
+	buf = append(buf, '"')
+	if e.Query != NoQuery {
+		buf = append(buf, `,"query":`...)
+		buf = strconv.AppendInt(buf, e.Query, 10)
+	}
+	if d.A != "" {
+		buf = append(buf, `,"`...)
+		buf = append(buf, d.A...)
+		buf = append(buf, `":`...)
+		buf = strconv.AppendInt(buf, e.A, 10)
+	}
+	if d.B != "" {
+		buf = append(buf, `,"`...)
+		buf = append(buf, d.B...)
+		buf = append(buf, `":`...)
+		buf = strconv.AppendInt(buf, e.B, 10)
+	}
+	return append(buf, '}')
+}
+
+// String renders the event as its JSONL line (without the newline).
+func (e Event) String() string { return string(e.appendJSON(nil)) }
+
+// WriteJSONL exports the retained events oldest-first as JSON Lines. The
+// rendering is fully deterministic — fixed field order, integer-only
+// values — so two same-seed runs export byte-identical logs. Nil-safe (a
+// nil log writes nothing).
+func (l *Log) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var line []byte
+	for _, e := range l.Events() {
+		line = e.appendJSON(line[:0])
+		line = append(line, '\n')
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

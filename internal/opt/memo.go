@@ -17,6 +17,8 @@ import (
 	"pioqo/internal/btree"
 	"pioqo/internal/buffer"
 	"pioqo/internal/cost"
+	"pioqo/internal/obs"
+	"pioqo/internal/obs/event"
 	"pioqo/internal/stats"
 	"pioqo/internal/table"
 )
@@ -93,17 +95,19 @@ func (m *Memo) Enumerate(cfg Config, in Input) []Plan {
 		if cfg.Obs != nil {
 			// Replays count as optimizations: per-query observability diffs
 			// must not depend on whether the memo happened to be warm.
-			cfg.Obs.Counter("opt.optimizations").Inc()
-			cfg.Obs.Counter("opt.plans_enumerated").Add(int64(len(cached)))
-			cfg.Obs.Counter("opt.memo_hits").Inc()
+			cfg.Obs.Counter(obs.MetricOptOptimizations).Inc()
+			cfg.Obs.Counter(obs.MetricOptPlansEnumerated).Add(int64(len(cached)))
+			cfg.Obs.Counter(obs.MetricOptMemoHits).Inc()
 		}
+		cfg.Log.Emit(event.EvPlanCacheHit, event.NoQuery, int64(len(cached)), 0)
 		return append([]Plan(nil), cached...)
 	}
 	m.misses++
 	plans := Enumerate(cfg, in)
 	if cfg.Obs != nil {
-		cfg.Obs.Counter("opt.memo_misses").Inc()
+		cfg.Obs.Counter(obs.MetricOptMemoMisses).Inc()
 	}
+	cfg.Log.Emit(event.EvPlanCacheMiss, event.NoQuery, int64(len(plans)), 0)
 	m.entries[key] = append([]Plan(nil), plans...)
 	return plans
 }

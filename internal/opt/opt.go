@@ -21,6 +21,7 @@ import (
 	"pioqo/internal/cost"
 	"pioqo/internal/exec"
 	"pioqo/internal/obs"
+	"pioqo/internal/obs/event"
 	"pioqo/internal/stats"
 	"pioqo/internal/table"
 )
@@ -67,6 +68,10 @@ type Config struct {
 	// Obs, when set, receives optimizer counters (opt.optimizations,
 	// opt.plans_enumerated) for engine-wide observability.
 	Obs *obs.Registry
+
+	// Log, when set, receives plan-cache hit/miss events from the memo.
+	// Excluded from the memo key: logging never changes what is cached.
+	Log *event.Log
 }
 
 func (c Config) degrees() []int {
@@ -189,8 +194,8 @@ func Enumerate(cfg Config, in Input) []Plan {
 		return plans[i].TotalMicros < plans[j].TotalMicros
 	})
 	if cfg.Obs != nil {
-		cfg.Obs.Counter("opt.optimizations").Inc()
-		cfg.Obs.Counter("opt.plans_enumerated").Add(int64(len(plans)))
+		cfg.Obs.Counter(obs.MetricOptOptimizations).Inc()
+		cfg.Obs.Counter(obs.MetricOptPlansEnumerated).Add(int64(len(plans)))
 	}
 	return plans
 }

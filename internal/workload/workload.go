@@ -201,8 +201,8 @@ func New(opts Options) *System {
 		Index:   idx,
 		Obs:     obs.NewRegistry(env),
 	}
-	dev.Metrics().Publish(s.Obs, "device")
-	s.Pool.Publish(s.Obs, "buffer")
+	dev.Metrics().Publish(s.Obs)
+	s.Pool.Publish(s.Obs)
 	if opts.Trace != nil {
 		s.Tracer = opts.Trace.NewTracer(env,
 			fmt.Sprintf("E%d-%s", opts.RowsPerPage, opts.Device))

@@ -144,11 +144,12 @@ func CaptureTelemetry(dst *QueryTelemetry) QueryOption {
 	return WithTrace(dst)
 }
 
-// DetailedTrace additionally records per-leaf I/O-batch spans inside index
-// scan workers (§3.3's unit of prefetching). Traces grow with leaf count;
-// use on small ranges.
+// DetailedTrace is the pre-Query spelling of WithDetailedTrace.
+//
+// Deprecated: use WithDetailedTrace, the consolidated QueryOption
+// spelling. The two are identical.
 func DetailedTrace() ExecOption {
-	return func(o *queryOptions) { o.detail = true }
+	return WithDetailedTrace()
 }
 
 // telemetrySession carries the per-query trace plumbing between Execute's

@@ -39,6 +39,7 @@ import (
 	"pioqo/internal/exec"
 	"pioqo/internal/fault"
 	"pioqo/internal/obs"
+	"pioqo/internal/obs/event"
 	"pioqo/internal/opt"
 	"pioqo/internal/sim"
 	"pioqo/internal/stats"
@@ -90,6 +91,11 @@ type Config struct {
 	// queries keep planning at the healthy queue depth. For A/B
 	// benchmarking the degradation response (experiments.Degradation).
 	NoDegradationReplan bool
+
+	// EventLog, when positive, enables the engine's structured event log
+	// at assembly time with that ring capacity (see EnableEventLog).
+	// Default 0: disabled, with every emit site a single nil check.
+	EventLog int
 }
 
 // System is a single-user analytical engine over one simulated device. It
@@ -129,6 +135,13 @@ type System struct {
 	// receives per-query telemetry.
 	reg      *obs.Registry
 	observer Observer
+
+	// events is the structured engine event log; nil = disabled, making
+	// every emit site a single nil check. nextQID numbers queries for
+	// event attribution and advances whether or not the log is on — pure
+	// host-side state, invisible to the simulation.
+	events  *event.Log
+	nextQID int64
 }
 
 // New builds a system per cfg.
@@ -163,8 +176,11 @@ func New(cfg Config) *System {
 		memo:      opt.NewMemo(),
 		reg:       obs.NewRegistry(env),
 	}
-	s.dev.Metrics().Publish(s.reg, "device")
-	s.pool.Publish(s.reg, "buffer")
+	s.dev.Metrics().Publish(s.reg)
+	s.pool.Publish(s.reg)
+	if cfg.EventLog > 0 {
+		s.EnableEventLog(cfg.EventLog)
+	}
 	if cfg.Faults != nil {
 		s.inj.Arm(cfg.Faults.internal())
 	}
@@ -307,7 +323,7 @@ func (s *System) DeviceName() string { return s.dev.Name() }
 
 func (s *System) execContext() *exec.Context {
 	return &exec.Context{Env: s.env, CPU: s.cpu, Pool: s.pool, Dev: s.dev,
-		Costs: s.costs, Reg: s.reg}
+		Costs: s.costs, Reg: s.reg, Log: s.events}
 }
 
 // Now reports the system's virtual clock.

@@ -1,0 +1,79 @@
+package pioqo
+
+import "pioqo/internal/btree"
+
+// QueryProgress reports a running query's page progress: how many page
+// pins the plan was expected to perform against how many its workers have
+// completed so far. The estimate comes from plan cardinalities at
+// admission time; the processed count is incremented by the executor at
+// every successful page fetch, so reading it mid-Drain (from an Observer
+// callback or another submission's vantage point) sees live state.
+type QueryProgress struct {
+	// EstimatedPages is the optimizer-derived page-pin estimate for the
+	// admitted plan; 0 until the query has been admitted and planned.
+	EstimatedPages int64
+	// PagesProcessed is how many page fetches the query's workers have
+	// completed.
+	PagesProcessed int64
+	// Remaining is max(0, EstimatedPages − PagesProcessed); estimates can
+	// undershoot, so PagesProcessed may exceed EstimatedPages near the end.
+	Remaining int64
+	// Started reports that admission was granted and execution has begun.
+	Started bool
+	// Done reports that the query has finished.
+	Done bool
+}
+
+// Progress reports the submission's live page progress. Valid at any
+// point: before admission it reports zeros, mid-execution a moving count,
+// after Drain the final tally with Done set.
+func (sub *Submission) Progress() QueryProgress {
+	p := QueryProgress{
+		EstimatedPages: sub.est,
+		PagesProcessed: sub.pages,
+		Started:        sub.started,
+		Done:           sub.done,
+	}
+	if rem := p.EstimatedPages - p.PagesProcessed; rem > 0 && !p.Done {
+		p.Remaining = rem
+	}
+	return p
+}
+
+// Progress reports the live progress of every submission not yet drained,
+// in submission order.
+func (ses *Session) Progress() []QueryProgress {
+	out := make([]QueryProgress, len(ses.subs))
+	for i, sub := range ses.subs {
+		out[i] = sub.Progress()
+	}
+	return out
+}
+
+// estimatePages predicts how many page pins a plan's execution performs —
+// the denominator for live progress. A full scan pins every heap page; an
+// index scan descends the tree once, walks the qualifying leaves, and pins
+// one heap page per fetched row; the sorted variant pins each distinct
+// heap page at most once, so its heap component is capped at the table
+// size. Prefetches are excluded on both sides of the ratio: the executor's
+// progress counter also counts only demand fetches.
+func estimatePages(q Query, plan Plan) int64 {
+	heap := q.Table.Pages()
+	if plan.Method == FullTableScan {
+		return heap
+	}
+	rows := int64(plan.EstimatedRows + 0.5)
+	leaves := (rows + btree.DefaultLeafCap - 1) / btree.DefaultLeafCap
+	if leaves < 1 {
+		leaves = 1
+	}
+	descent := int64(1)
+	if q.Table.idx != nil {
+		descent = int64(len(q.Table.idx.DescentPath()))
+	}
+	touched := rows
+	if plan.Method == SortedIndexScan && touched > heap {
+		touched = heap
+	}
+	return descent + leaves + touched
+}

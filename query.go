@@ -8,6 +8,7 @@ import (
 	"pioqo/internal/cost"
 	"pioqo/internal/exec"
 	"pioqo/internal/fault"
+	"pioqo/internal/obs/event"
 	"pioqo/internal/opt"
 )
 
@@ -184,6 +185,7 @@ func (s *System) optConfig(q Query, o PlanOptions) (opt.Config, opt.Input, error
 		EnableSortedScan: o.EnableSortedScan,
 		QueueBudget:      o.QueueBudget,
 		Obs:              s.reg,
+		Log:              s.events,
 	}
 	if o.EnablePrefetchPlanning {
 		cfg.PrefetchDepths = []int{2, 4, 8, 16, 32}
@@ -306,6 +308,9 @@ func (s *System) executePlan(q Query, plan Plan, eo queryOptions, ts *telemetryS
 	if prefetch == 0 {
 		prefetch = plan.Prefetch
 	}
+	qid := s.nextQID
+	s.nextQID++
+	var pages int64
 	spec := exec.Spec{
 		Table:             q.Table.tab,
 		Index:             q.Table.idx,
@@ -318,10 +323,14 @@ func (s *System) executePlan(q Query, plan Plan, eo queryOptions, ts *telemetryS
 		Span:              ts.span(),
 		Ctl:               ctl,
 		Retry:             eo.retry.internal(),
+		QID:               qid,
+		Progress:          &pages,
 	}
 	ctx := s.execContext()
 	ctx.Tracer = ts.trc()
+	s.events.Emit(event.EvQueryStart, qid, estimatePages(q, plan), int64(eo.plan.QueueBudget))
 	res := exec.Execute(ctx, spec)
+	s.events.Emit(event.EvQueryDone, qid, pages, int64(res.Runtime))
 	result := Result{
 		Value:            res.Value,
 		Found:            res.Found,

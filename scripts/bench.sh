@@ -17,6 +17,13 @@ cd "$(dirname "$0")/.."
 
 OUT=BENCH_PR2.json
 CORES=$(getconf _NPROCESSORS_ONLN)
+GO_VERSION=$(go env GOVERSION)
+GIT_COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+# Every BENCH_*.json opens with this host stanza so snapshots from
+# different machines or toolchains are never compared as like-for-like.
+HOST_META="\"host_cores\": $CORES,
+  \"go_version\": \"$GO_VERSION\",
+  \"git_commit\": \"$GIT_COMMIT\""
 BIN=$(mktemp -d)/pioqo-bench
 trap 'rm -rf "$(dirname "$BIN")"' EXIT
 
@@ -60,7 +67,7 @@ FIG12_PARALLEL=$(sweep_seconds fig12 0 "")
 
 cat >"$OUT" <<EOF
 {
-  "host_cores": $CORES,
+  $HOST_META,
   "kernel_baseline_pre_pr2": [
     {"name": "BenchmarkEventThroughput", "ns_per_op": 44.49, "bytes_per_op": 24, "allocs_per_op": 1},
     {"name": "BenchmarkProcessContextSwitch", "ns_per_op": 1182, "bytes_per_op": 88, "allocs_per_op": 6},
@@ -98,7 +105,7 @@ EXEC=$(go test -run '^$' -bench 'FullScanHostTime|HashJoinBuild' ./internal/exec
 
 cat >"$OUT3" <<EOF
 {
-  "host_cores": $CORES,
+  $HOST_META,
   "exec_baseline_pre_pr3": [
     {"name": "BenchmarkFullScanHostTime/degree1", "ns/simrow": 14.87},
     {"name": "BenchmarkFullScanHostTime/degree8", "ns/simrow": 15.12},
@@ -133,7 +140,7 @@ ADMISSION_QUICK=$("$BIN" -scale quick -concurrent 8 -json admission)
 
 cat >"$OUT4" <<EOF
 {
-  "host_cores": $CORES,
+  $HOST_META,
   "queries": 8,
   "workload": "skewed mix: one ~0.25% mid-selectivity scan plus seven ~0.05% scans",
   "admission_default_scale": $ADMISSION_DEFAULT,
@@ -160,7 +167,7 @@ DEGRADE_QUICK=$("$BIN" -scale quick -concurrent 8 -json degrade)
 
 cat >"$OUT5" <<EOF
 {
-  "host_cores": $CORES,
+  $HOST_META,
   "queries": 8,
   "workload": "skewed mix: one ~0.25% mid-selectivity scan plus seven ~0.05% scans",
   "fault": "50% SSD channel loss injected after calibration, open-ended window",
@@ -170,3 +177,41 @@ cat >"$OUT5" <<EOF
 EOF
 
 echo "wrote $OUT5 (host_cores=$CORES)"
+
+# ---- PR6: observability — event log overhead & workload SLOs --------------
+
+# BENCH_PR6.json captures the observability layer's two claims: the
+# disabled event-log path costs nothing (0 allocs/op, single-ns Emit on a
+# nil log), and enabled emission stays allocation-free pure ring mutation —
+# plus the slo experiment's per-shape service levels on the skewed 8-query
+# mix at both scales (virtual-time numbers; host-independent).
+
+OUT6=BENCH_PR6.json
+
+EMIT=$(go test -run '^$' -bench 'EmitDisabled|EmitEnabled' -benchmem ./internal/obs/event/ |
+	awk '
+		/^Benchmark/ {
+			name = $1
+			sub(/-[0-9]+$/, "", name)
+			printf "%s    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, name, $3, $5, $7
+			sep = ",\n"
+		}
+	')
+
+SLO_DEFAULT=$("$BIN" -scale default -concurrent 8 -json slo)
+SLO_QUICK=$("$BIN" -scale quick -concurrent 8 -json slo)
+
+cat >"$OUT6" <<EOF
+{
+  $HOST_META,
+  "queries": 8,
+  "workload": "skewed mix: one ~0.25% mid-selectivity scan plus seven ~0.05% scans",
+  "event_log_benchmarks": [
+$EMIT
+  ],
+  "slo_default_scale": $SLO_DEFAULT,
+  "slo_quick_scale": $SLO_QUICK
+}
+EOF
+
+echo "wrote $OUT6 (host_cores=$CORES)"

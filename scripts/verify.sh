@@ -14,9 +14,12 @@ go test ./...
 # Tier 2: vet everything, race-test the event loop and metrics/span layer,
 # plus the host-parallel sweep runner and the experiments that fan out on it
 # (the determinism tests compare serial vs parallel output byte for byte),
-# plus the batched executor and memoized optimizer.
+# plus the batched executor and memoized optimizer, plus the root-package
+# telemetry paths (observer + per-query WithTrace attribution under
+# concurrent sessions, event log, progress, SLO reporting).
 go vet ./...
 go test -race ./internal/sim/... ./internal/obs/... ./internal/host/... ./internal/experiments/... ./internal/exec/... ./internal/opt/... ./internal/broker/... ./internal/fault/...
+go test -race -run 'TestEventLog|TestLiveProgress|TestSLOReport|TestConcurrentAttribution|TestObserver|TestCaptureTelemetry' .
 
 # Batch-accounting lint: every worker CPU charge in the executor must flow
 # through the cpuBudget (batch.go) so debt settles before device
@@ -60,5 +63,38 @@ fi
 # silently stop propagating.
 if grep -n 'context\.Background()' internal/exec/*.go; then
 	echo "verify: context.Background() inside internal/exec (thread the caller's abort control instead)" >&2
+	exit 1
+fi
+
+# Metric-name catalog lint: every registry instrument name lives in
+# internal/obs/catalog.go as an obs.Metric* constant. A string literal at a
+# Counter/Gauge/Histogram/AdoptGauge call site is an ad-hoc metric name the
+# catalog (and every dashboard keyed on it) doesn't know about.
+if grep -rnE '\.(Counter|Gauge|Histogram|AdoptGauge)\(\s*"' --include='*.go' . |
+	grep -v '_test\.go' |
+	grep -v './internal/obs/'; then
+	echo "verify: string-literal metric name at an instrument call site (add it to internal/obs/catalog.go)" >&2
+	exit 1
+fi
+
+# Event-name catalog lint: event-log emissions carry typed event.Ev*
+# constants from internal/obs/event/catalog.go, never ad-hoc values — the
+# JSONL schema and its replay guarantee depend on the catalog being the
+# single source of event names.
+if grep -rnE '(log|Log|events)\.Emit\(' --include='*.go' . |
+	grep -v '_test\.go' |
+	grep -v './internal/obs/event/' |
+	grep -v 'event\.Ev'; then
+	echo "verify: event emission without a typed event.Ev* constant (add the type to internal/obs/event/catalog.go)" >&2
+	exit 1
+fi
+
+# Zero-overhead gate: the disabled event-log path must stay allocation-free
+# — a nil log's Emit is one comparison, so observability-off runs remain
+# byte-identical to pre-observability builds at zero cost.
+EMIT_DISABLED=$(go test -run '^$' -bench 'EmitDisabled' -benchmem ./internal/obs/event/ | grep '^BenchmarkEmitDisabled')
+echo "$EMIT_DISABLED"
+if ! echo "$EMIT_DISABLED" | grep -q ' 0 allocs/op'; then
+	echo "verify: disabled event-log Emit allocates (must be 0 allocs/op)" >&2
 	exit 1
 fi

@@ -8,6 +8,7 @@ import (
 	"pioqo/internal/broker"
 	"pioqo/internal/exec"
 	"pioqo/internal/fault"
+	"pioqo/internal/obs/event"
 	"pioqo/internal/sim"
 )
 
@@ -35,9 +36,18 @@ type Admission struct {
 // Submission is one query's handle in a Session: submit-time state before
 // Drain, the result and its admission record after.
 type Submission struct {
-	q    Query
-	eo   queryOptions
-	ctl  *fault.Control
+	q   Query
+	eo  queryOptions
+	ctl *fault.Control
+
+	// qid is the engine-assigned query id for event attribution; est and
+	// pages feed Progress — est is the plan's page-pin estimate fixed at
+	// admission, pages the executor's live fetch counter.
+	qid     int64
+	est     int64
+	pages   int64
+	started bool
+
 	adm  Admission
 	res  Result
 	err  error
@@ -144,6 +154,7 @@ func (s *System) sharedBroker() (*broker.Broker, error) {
 			// only — no events, no randomness.
 			cfg.DegradeProbe = s.inj.Degradation
 		}
+		cfg.Log = s.events
 		s.broker = broker.New(cfg)
 	}
 	return s.broker, nil
@@ -178,7 +189,9 @@ func (ses *Session) submit(q Query, eo queryOptions) (*Submission, error) {
 	if eo.timeout > 0 {
 		ctl.SetDeadline(s.env.Now().Add(sim.Duration(eo.timeout)))
 	}
-	sub := &Submission{q: q, eo: eo, ctl: ctl}
+	qid := s.nextQID
+	s.nextQID++
+	sub := &Submission{q: q, eo: eo, ctl: ctl, qid: qid}
 
 	// A user-set QueueBudget wins over brokered budgets; it also caps the
 	// grant (demand) so credits beyond it stay free for other queries.
@@ -187,7 +200,7 @@ func (ses *Session) submit(q Query, eo queryOptions) (*Submission, error) {
 	if userBudget == 0 {
 		po.QueueBudget = ses.b.FairShare()
 	}
-	lease := ses.b.Enqueue(userBudget)
+	lease := ses.b.EnqueueQuery(userBudget, qid)
 
 	plan, err := s.Plan(q, po)
 	if err != nil {
@@ -233,6 +246,9 @@ func (ses *Session) submit(q Query, eo queryOptions) (*Submission, error) {
 		aspan.SetAttr("wait", sub.adm.Wait)
 		aspan.SetAttr("replanned", sub.adm.Replanned)
 		aspan.End()
+		sub.est = estimatePages(q, plan)
+		sub.started = true
+		s.events.Emit(event.EvQueryStart, qid, sub.est, int64(granted))
 
 		if eo.degree > 0 {
 			plan.Degree = eo.degree
@@ -255,12 +271,15 @@ func (ses *Session) submit(q Query, eo queryOptions) (*Submission, error) {
 			PoolShare:         lease.PoolPages(),
 			Ctl:               ctl,
 			Retry:             eo.retry.internal(),
+			QID:               qid,
+			Progress:          &sub.pages,
 		}
 		ctx := s.execContext()
 		ctx.Tracer = ts.trc()
 		t0 := p.Now()
 		res := exec.RunScan(p, ctx, spec)
 		rt := time.Duration(sim.Duration(p.Now() - t0))
+		s.events.Emit(event.EvQueryDone, qid, sub.pages, int64(rt))
 		if res.Err != nil {
 			sub.err = &QueryError{Op: "submit", Table: q.Table.Name(), Err: res.Err}
 			sub.done = true
