@@ -16,7 +16,7 @@
 //
 // Paper experiments: fig1, table1, fig4, table2, table3, fig5, fig6, fig7,
 // fig8, fig9, fig10, fig11, fig12, earlystop. Extensions: qdprofile,
-// concurrency, admission, degrade, slo, joins, mixed, accuracy,
+// concurrency, admission, degrade, slo, shared, joins, mixed, accuracy,
 // optimality. "all" runs everything.
 //
 // fig4 and fig8 accept -panel to select one configuration (fig4: a..f for
@@ -88,7 +88,7 @@ func main() {
 		for _, e := range []string{"fig1", "table1", "fig4", "table2", "table3",
 			"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 			"earlystop", "qdprofile", "concurrency", "admission", "degrade",
-			"slo", "joins", "mixed", "accuracy", "optimality"} {
+			"slo", "shared", "joins", "mixed", "accuracy", "optimality"} {
 			fmt.Printf("== %s ==\n", e)
 			if err := run(sc, e, *panel); err != nil {
 				fmt.Fprintf(os.Stderr, "pioqo-bench: %v\n", err)
@@ -155,6 +155,8 @@ experiments:
              vs no-replan vs degraded re-planning (-concurrent N, -json)
   slo        per-query-shape workload SLO report — latency p50/p95/p99,
              queue-wait vs execution split, makespan (-concurrent N, -json)
+  shared     heavy-traffic scan sharing A/B: a thousand-query point/scan
+             mix with circulating shared scans on vs off (-concurrent N, -json)
   joins      hash vs index nested-loop join ablation across build skew
   mixed      whole-workload comparison of DTT vs QDTT planning
   accuracy   QDTT estimated cost vs measured runtime per candidate plan
@@ -437,6 +439,23 @@ func run(sc experiments.Scale, exp, panel string) error {
 		for _, r := range rows {
 			fmt.Fprintf(w, "%s\t%d\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
 				r.Shape, r.Queries, r.P50Ms, r.P95Ms, r.P99Ms, r.WaitMs, r.ExecMs, r.MakespanMs)
+		}
+	case "shared":
+		n := *concurrent
+		if n == 8 { // the admission default is far too small for this one
+			n = 1000
+		}
+		rows := sc.SharedScan(n)
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rows)
+		}
+		fmt.Fprintln(w, "arm\tqueries\tscans\tmakespan_ms\tscan_p50_ms\tscan_p95_ms\tpoint_p95_ms\tdevice_reads\tshared_adm\tlaps\tspeedup")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%d\t%d\t%.1f\t%.1f\t%.1f\t%.1f\t%d\t%d\t%d\t%.2fx\n",
+				r.Arm, r.Queries, r.Scans, r.MakespanMs, r.ScanP50Ms, r.ScanP95Ms,
+				r.PointP95Ms, r.DeviceReads, r.SharedAdmissions, r.Laps, r.Speedup)
 		}
 	case "qdprofile":
 		if *jsonOut {

@@ -78,6 +78,9 @@ func (s *System) setEventLog(l *event.Log) {
 	s.events = l
 	s.inj.SetLog(l)
 	s.pool.SetEventLog(l)
+	if s.shares != nil {
+		s.shares.SetEventLog(l)
+	}
 	if s.broker != nil {
 		s.broker.SetLog(l)
 	}

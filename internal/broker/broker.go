@@ -150,6 +150,7 @@ type Broker struct {
 	creditsInUse *obs.Gauge
 	workersGauge *obs.Gauge
 	admissions   *obs.Counter
+	sharedAdm    *obs.Counter
 	replans      *obs.Counter
 	reclaims     *obs.Counter
 	waitHist     *obs.Histogram
@@ -190,6 +191,7 @@ func New(cfg Config) *Broker {
 		b.creditsInUse = cfg.Obs.Gauge(obs.MetricBrokerCreditsInUse)
 		b.workersGauge = cfg.Obs.Gauge(obs.MetricBrokerWorkersInUse)
 		b.admissions = cfg.Obs.Counter(obs.MetricBrokerAdmissions)
+		b.sharedAdm = cfg.Obs.Counter(obs.MetricBrokerSharedAdmissions)
 		b.replans = cfg.Obs.Counter(obs.MetricBrokerReplans)
 		b.reclaims = cfg.Obs.Counter(obs.MetricBrokerReclaims)
 		b.waitHist = cfg.Obs.Histogram(obs.MetricBrokerAdmissionWaitUs, admissionWaitBucketsUs)
@@ -307,6 +309,7 @@ type Lease struct {
 
 	admitted bool
 	released bool
+	shared   bool // admitted via AdmitShared: rides a circulating scan
 	granted  int // credit grant at admission; 0 = unbounded (sole query)
 	held     int // credits still debited from the broker
 	pool     int // buffer-pool page reservation
@@ -341,6 +344,39 @@ func (b *Broker) EnqueueQuery(demand int, qid int64) *Lease {
 	b.queue = append(b.queue, l)
 	b.scheduleDispatch()
 	return l
+}
+
+// Shared reports whether the lease was admitted through AdmitShared —
+// riding a live circulating scan rather than holding queue-depth credits.
+func (l *Lease) Shared() bool { return l.shared }
+
+// AdmitShared converts a still-queued lease into an immediate zero-credit
+// admission: the query's table scan will attach to a circulating scan whose
+// producer already holds the device's readahead depth, so granting it
+// queue-depth credits — or making it wait for them — would price device
+// work it will never issue. The lease leaves the FIFO out of turn, is
+// granted no credits and no pool reservation (the producer pins under its
+// own budget), and its grant fires at once. Calling it on an
+// already-admitted lease only marks it shared; on a released lease it is a
+// bug, as with any resource.
+func (b *Broker) AdmitShared(l *Lease) {
+	if l.released {
+		panic("broker: AdmitShared on a released lease")
+	}
+	l.shared = true
+	if b.sharedAdm != nil {
+		b.sharedAdm.Inc()
+	}
+	if l.admitted {
+		return
+	}
+	for i, q := range b.queue {
+		if q == l {
+			b.queue = append(b.queue[:i], b.queue[i+1:]...)
+			break
+		}
+	}
+	b.admit(l, 0)
 }
 
 // Await blocks p until the lease has been granted. A lease already granted

@@ -316,3 +316,74 @@ func TestPoolReservationProportionalToGrant(t *testing.T) {
 		t.Errorf("unbounded lease reserved %d pages, want 0 (whole pool)", sole.PoolPages())
 	}
 }
+
+// TestAdmitSharedBypassesQueue exercises the shared-work admission path: a
+// query joining a live circulating scan issues no device reads of its own,
+// so it is admitted out of turn with zero credits — ahead of queries still
+// waiting for queue-depth budget — and its release disturbs nothing.
+func TestAdmitSharedBypassesQueue(t *testing.T) {
+	env := sim.NewEnv(1)
+	reg := obs.NewRegistry(env)
+	b := New(Config{Env: env, Model: fixedModel(8), Band: 1 << 20,
+		PoolPages: 4096, Obs: reg})
+
+	// Saturate the credit supply so the queue backs up.
+	holders := []*Lease{b.Enqueue(0), b.Enqueue(0), b.Enqueue(0)}
+	env.Run()
+	waiter := b.Enqueue(0) // blocked: all credits out on loan
+	shared := b.EnqueueQuery(0, 42)
+	env.Run()
+	if waiter.admitted {
+		t.Fatal("setup broken: waiter admitted with supply exhausted")
+	}
+	if shared.admitted {
+		t.Fatal("setup broken: shared lease admitted before AdmitShared")
+	}
+
+	inUse, poolInUse := b.InUse(), b.PoolInUse()
+	b.AdmitShared(shared)
+	if !shared.admitted || !shared.Shared() {
+		t.Fatalf("AdmitShared: admitted=%v shared=%v", shared.admitted, shared.Shared())
+	}
+	if !shared.grant.Fired() {
+		t.Error("shared grant did not fire immediately")
+	}
+	if shared.Budget() != 0 || shared.PoolPages() != 0 {
+		t.Errorf("shared lease holds budget=%d pool=%d, want 0/0",
+			shared.Budget(), shared.PoolPages())
+	}
+	if b.InUse() != inUse || b.PoolInUse() != poolInUse {
+		t.Errorf("shared admission moved credits: in_use %d→%d pool %d→%d",
+			inUse, b.InUse(), poolInUse, b.PoolInUse())
+	}
+	if waiter.admitted {
+		t.Error("credit-bound waiter admitted by the shared admission")
+	}
+	if got := reg.Counter(obs.MetricBrokerSharedAdmissions).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", obs.MetricBrokerSharedAdmissions, got)
+	}
+
+	// Worker lifecycle and release on a zero-credit lease reclaim nothing:
+	// the shared query's departure frees no credits, so the waiter stays
+	// queued until a real credit holder releases.
+	shared.StartWorker()
+	shared.EndWorker()
+	shared.Release()
+	env.Run()
+	if waiter.admitted {
+		t.Error("waiter admitted by a zero-credit release")
+	}
+	for _, h := range holders {
+		h.Release()
+	}
+	env.Run()
+	if !waiter.admitted {
+		t.Error("waiter still queued after the credit holders released")
+	}
+	waiter.Release()
+	env.Run()
+	if b.InUse() != 0 || b.PoolInUse() != 0 || b.Active() != 0 {
+		t.Errorf("after all releases: in_use=%d pool=%d active=%d",
+			b.InUse(), b.PoolInUse(), b.Active())
+	}
+}

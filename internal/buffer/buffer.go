@@ -50,8 +50,8 @@ type Pool struct {
 
 	// Cumulative registry mirrors, nil until Publish. Unlike Stats, these
 	// never reset — per-query numbers come from registry snapshot diffs.
-	obsHits, obsMisses, obsJoined, obsPrefetch, obsEvict, obsDirty, obsReadErr *obs.Counter
-	obsCached                                                                 *obs.Gauge
+	obsHits, obsMisses, obsJoined, obsPrefetch, obsPrefetchPages, obsEvict, obsDirty, obsReadErr *obs.Counter
+	obsCached                                                                                   *obs.Gauge
 
 	// log receives frame-uninstall events (failed reads evicting their
 	// frame and bumping the epoch); nil = disabled.
@@ -60,13 +60,20 @@ type Pool struct {
 
 // Stats counts pool traffic since the last ResetStats.
 type Stats struct {
-	Hits          int64 // requests served without device I/O
-	Misses        int64 // requests that had to issue or join a device read
-	JoinedLoads   int64 // misses that piggybacked on an in-flight read
-	PrefetchReads int64 // device reads issued by Prefetch/PrefetchRun
-	Evictions     int64
-	DirtyWrites   int64 // write-backs issued for dirty frames
-	ReadErrors    int64 // device reads that completed with an error
+	Hits        int64 // requests served without device I/O
+	Misses      int64 // requests that had to issue or join a device read
+	JoinedLoads int64 // misses that piggybacked on an in-flight read
+
+	// PrefetchReads counts device operations issued by readahead (one per
+	// Prefetch, one per PrefetchRun block read); PrefetchedPages counts the
+	// pages those operations covered. Their ratio is the readahead
+	// efficiency: pages moved per device op.
+	PrefetchReads   int64
+	PrefetchedPages int64
+
+	Evictions   int64
+	DirtyWrites int64 // write-backs issued for dirty frames
+	ReadErrors  int64 // device reads that completed with an error
 }
 
 type frame struct {
@@ -115,6 +122,7 @@ func (p *Pool) Publish(reg *obs.Registry) {
 	p.obsMisses = reg.Counter(obs.MetricBufferMisses)
 	p.obsJoined = reg.Counter(obs.MetricBufferJoinedLoads)
 	p.obsPrefetch = reg.Counter(obs.MetricBufferPrefetchReads)
+	p.obsPrefetchPages = reg.Counter(obs.MetricBufferPrefetchedPages)
 	p.obsEvict = reg.Counter(obs.MetricBufferEvictions)
 	p.obsDirty = reg.Counter(obs.MetricBufferDirtyWrites)
 	p.obsReadErr = reg.Counter(obs.MetricBufferReadErrors)
@@ -319,7 +327,9 @@ func (p *Pool) Prefetch(file *disk.File, page int64) bool {
 		return false
 	}
 	p.Stats.PrefetchReads++
+	p.Stats.PrefetchedPages++
 	bump(p.obsPrefetch)
+	bump(p.obsPrefetchPages)
 	p.install(key, file.ReadPage(page))
 	return true
 }
@@ -343,7 +353,11 @@ func (p *Pool) PrefetchRun(file *disk.File, page int64, count int) bool {
 	}
 	c := file.ReadRun(page, count)
 	p.Stats.PrefetchReads++
+	p.Stats.PrefetchedPages += int64(count)
 	bump(p.obsPrefetch)
+	if p.obsPrefetchPages != nil {
+		p.obsPrefetchPages.Add(int64(count))
+	}
 	for i := int64(0); i < int64(count); i++ {
 		key := PageKey{file.ID(), page + i}
 		if _, ok := p.frames[key]; ok {
@@ -352,6 +366,49 @@ func (p *Pool) PrefetchRun(file *disk.File, page int64, count int) bool {
 		p.install(key, c)
 	}
 	return true
+}
+
+// PrefetchRunTrimmed is PrefetchRun with overlap trimming: instead of
+// re-covering pages another scan's readahead already brought (or is
+// bringing) in, it issues one block read per *uncovered* gap in
+// [page, page+count). With several unshared scans circulating the same
+// file, this is what keeps their readahead windows from multiplying
+// device work for bytes the pool already holds — the multi-query prefetch
+// coordination path. It reports how many device reads were issued.
+func (p *Pool) PrefetchRunTrimmed(file *disk.File, page int64, count int) int {
+	p.files[file.ID()] = file
+	issued := 0
+	gap := int64(-1) // start of the current uncovered gap, -1 = none open
+	flush := func(end int64) {
+		if gap < 0 {
+			return
+		}
+		n := int(end - gap)
+		c := file.ReadRun(gap, n)
+		p.Stats.PrefetchReads++
+		p.Stats.PrefetchedPages += int64(n)
+		bump(p.obsPrefetch)
+		if p.obsPrefetchPages != nil {
+			p.obsPrefetchPages.Add(int64(n))
+		}
+		for i := int64(0); i < int64(n); i++ {
+			p.install(PageKey{file.ID(), gap + i}, c)
+		}
+		issued++
+		gap = -1
+	}
+	for i := int64(0); i < int64(count); i++ {
+		pg := page + i
+		if _, ok := p.frames[PageKey{file.ID(), pg}]; ok {
+			flush(pg)
+			continue
+		}
+		if gap < 0 {
+			gap = pg
+		}
+	}
+	flush(page + int64(count))
+	return issued
 }
 
 // Contains reports whether the page is loaded or loading.

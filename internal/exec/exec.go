@@ -67,6 +67,12 @@ type Context struct {
 	// exec.rows_matched). Nil disables them.
 	Reg *obs.Registry
 
+	// Shares, when set, is the pool's scan-share registry: full scans
+	// planned as shared (Spec.Shared) attach to their table's circulating
+	// producer instead of demand-fetching. Nil disables scan sharing and
+	// every scan takes the demand path.
+	Shares *buffer.Shares
+
 	// Log, when set, receives structured events for worker lifecycle and
 	// fault retries, attributed to Spec.QID. Nil (the default) disables
 	// emission at the cost of one pointer comparison per event site.
@@ -213,8 +219,23 @@ type Spec struct {
 	// Progress, when set, is incremented once per page the scan's workers
 	// fetch (prefetches excluded) — the live-progress counter a Submission
 	// exposes as pages processed. Increments are pure Go-side mutation:
-	// no events, no randomness, no allocation.
+	// no events, no randomness, no allocation. For a shared scan it counts
+	// pages delivered to this consumer, not the producer's position.
 	Progress *int64
+
+	// Shared routes a FullScan through the circulating-scan consumer path:
+	// the scan attaches to Context.Shares' producer for its table and
+	// consumes pushed page batches over one lap. Set by the optimizer when
+	// the attach path priced cheapest; ignored (demand path) when
+	// Context.Shares is nil or the spec has row hooks.
+	Shared bool
+
+	// CoordPrefetch switches the demand full scan's readahead to the
+	// pool's trimmed runs, which skip pages other scans' readahead already
+	// covers — the multi-query prefetch coordination for concurrent
+	// *unshared* scans of one file. Off (the default) preserves the exact
+	// single-query device schedule.
+	CoordPrefetch bool
 }
 
 // aborted reports whether the query's control has tripped. Nil-safe.
@@ -350,7 +371,11 @@ func RunScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 	}
 	switch spec.Method {
 	case FullScan:
-		res = runFullScan(p, ctx, spec)
+		if spec.sharable(ctx) {
+			res = runSharedFullScan(p, ctx, spec)
+		} else {
+			res = runFullScan(p, ctx, spec)
+		}
 	case IndexScan:
 		if spec.Index == nil {
 			panic("exec: IndexScan without an index")
@@ -593,7 +618,11 @@ func runFullScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 				if start+int64(count) > pages {
 					count = int(pages - start)
 				}
-				ctx.Pool.PrefetchRun(file, start, count)
+				if spec.CoordPrefetch {
+					ctx.Pool.PrefetchRunTrimmed(file, start, count)
+				} else {
+					ctx.Pool.PrefetchRun(file, start, count)
+				}
 				issued++
 			}
 			ps.End()

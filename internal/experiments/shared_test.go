@@ -1,0 +1,37 @@
+package experiments
+
+import "testing"
+
+// TestSharedScanShape checks the A/B harness wiring at quick scale: the
+// sharing arm must actually route every full scan onto a circulating
+// producer and the private arm must never touch the share machinery.
+// Speedup is asserted only at default scale (see BENCH_PR7.json): the
+// quick pool is smaller than the three producers' windows, which is
+// exactly the regime where sharing should not be expected to win.
+func TestSharedScanShape(t *testing.T) {
+	rows := QuickScale().SharedScan(300)
+	if len(rows) != 2 || rows[0].Arm != "sharing" || rows[1].Arm != "private" {
+		t.Fatalf("rows = %+v, want [sharing, private]", rows)
+	}
+	sharing, private := rows[0], rows[1]
+	if sharing.Queries != 300 || sharing.Scans != 15 {
+		t.Errorf("mix = %d queries / %d scans, want 300/15", sharing.Queries, sharing.Scans)
+	}
+	if sharing.SharedAdmissions != sharing.Scans {
+		t.Errorf("sharing arm attached %d of %d scans", sharing.SharedAdmissions, sharing.Scans)
+	}
+	if sharing.Laps < 3 {
+		t.Errorf("sharing arm completed %d laps, want one per hot table", sharing.Laps)
+	}
+	if private.SharedAdmissions != 0 || private.Laps != 0 {
+		t.Errorf("private arm shows sharing activity: %+v", private)
+	}
+	for _, r := range rows {
+		if r.MakespanMs <= 0 || r.ScanP95Ms <= 0 || r.PointP95Ms <= 0 || r.DeviceReads <= 0 {
+			t.Errorf("%s arm has empty measurements: %+v", r.Arm, r)
+		}
+	}
+	if private.Speedup != 1 || sharing.Speedup <= 0 {
+		t.Errorf("speedup fields: sharing %.2f, private %.2f", sharing.Speedup, private.Speedup)
+	}
+}

@@ -16,23 +16,30 @@ const (
 	MetricDeviceLatencyUs  = "device.latency_us"  // histogram: request latency
 
 	// internal/buffer — published by Pool.Publish.
-	MetricBufferHits          = "buffer.hits"
-	MetricBufferMisses        = "buffer.misses"
-	MetricBufferJoinedLoads   = "buffer.joined_loads"
-	MetricBufferPrefetchReads = "buffer.prefetch_reads"
-	MetricBufferEvictions     = "buffer.evictions"
-	MetricBufferDirtyWrites   = "buffer.dirty_writes"
-	MetricBufferReadErrors    = "buffer.read_errors"
-	MetricBufferCachedPages   = "buffer.cached_pages" // gauge: resident frames
+	MetricBufferHits            = "buffer.hits"
+	MetricBufferMisses          = "buffer.misses"
+	MetricBufferJoinedLoads     = "buffer.joined_loads"
+	MetricBufferPrefetchReads   = "buffer.prefetch_reads"   // counter: device ops issued
+	MetricBufferPrefetchedPages = "buffer.prefetched_pages" // counter: pages covered by those ops
+	MetricBufferEvictions       = "buffer.evictions"
+	MetricBufferDirtyWrites     = "buffer.dirty_writes"
+	MetricBufferReadErrors      = "buffer.read_errors"
+	MetricBufferCachedPages     = "buffer.cached_pages" // gauge: resident frames
+
+	// internal/buffer scan sharing — published by Shares.Publish.
+	MetricScanShareAttaches = "scanshare.attaches"
+	MetricScanShareDetaches = "scanshare.detaches"
+	MetricScanShareLaps     = "scanshare.laps"
 
 	// internal/broker — registered by broker.New.
-	MetricBrokerCreditsTotal    = "broker.credits_total" // gauge: calibrated supply
-	MetricBrokerCreditsInUse    = "broker.credits_in_use"
-	MetricBrokerWorkersInUse    = "broker.workers_in_use"
-	MetricBrokerAdmissions      = "broker.admissions"
-	MetricBrokerReplans         = "broker.replans"
-	MetricBrokerReclaims        = "broker.reclaims"
-	MetricBrokerAdmissionWaitUs = "broker.admission_wait_us" // histogram
+	MetricBrokerCreditsTotal     = "broker.credits_total" // gauge: calibrated supply
+	MetricBrokerCreditsInUse     = "broker.credits_in_use"
+	MetricBrokerWorkersInUse     = "broker.workers_in_use"
+	MetricBrokerAdmissions       = "broker.admissions"
+	MetricBrokerSharedAdmissions = "broker.shared_admissions" // joined a live circulating scan, no credits
+	MetricBrokerReplans          = "broker.replans"
+	MetricBrokerReclaims         = "broker.reclaims"
+	MetricBrokerAdmissionWaitUs  = "broker.admission_wait_us" // histogram
 
 	// internal/exec.
 	MetricExecScans       = "exec.scans"

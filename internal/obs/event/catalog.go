@@ -38,6 +38,11 @@ const (
 	// internal/buffer: pool housekeeping the executor cannot see.
 	EvFrameUninstall // A = page, B = residency epoch after the uninstall
 
+	// internal/buffer: circulating shared scans.
+	EvScanShareAttach // A = join block (producer position), B = attached consumers after
+	EvScanShareDetach // A = blocks consumed by the departing consumer, B = attached consumers after
+	EvScanShareLap    // A = laps completed, B = attached consumers
+
 	// internal/opt: plan-cache traffic.
 	EvPlanCacheHit  // A = cached candidate plans replayed
 	EvPlanCacheMiss // A = candidate plans enumerated fresh
@@ -75,6 +80,10 @@ var catalog = [numTypes]Desc{
 	EvFaultThrottle:  {Name: "fault.throttle", A: "outstanding", B: "penalty_ns"},
 
 	EvFrameUninstall: {Name: "frame.uninstall", A: "page", B: "epoch"},
+
+	EvScanShareAttach: {Name: "scanshare.attach", A: "join_block", B: "consumers"},
+	EvScanShareDetach: {Name: "scanshare.detach", A: "blocks", B: "consumers"},
+	EvScanShareLap:    {Name: "scanshare.lap", A: "laps", B: "consumers"},
 
 	EvPlanCacheHit:  {Name: "plancache.hit", A: "plans"},
 	EvPlanCacheMiss: {Name: "plancache.miss", A: "plans"},

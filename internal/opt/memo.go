@@ -39,11 +39,12 @@ type memoKey struct {
 	// 0 when the input carries no pool.
 	epoch uint64
 
-	model       cost.Model
-	cores       int
-	poolPages   int64
-	sorted      bool
-	queueBudget int
+	model        cost.Model
+	cores        int
+	poolPages    int64
+	sorted       bool
+	queueBudget  int
+	shareParties int
 
 	// grid flattens the enumeration's shape — degrees and prefetch depths —
 	// so configs enumerating different candidate sets never collide.
@@ -52,18 +53,19 @@ type memoKey struct {
 
 func newMemoKey(cfg Config, in Input) memoKey {
 	k := memoKey{
-		table:       in.Table,
-		index:       in.Index,
-		stats:       in.Stats,
-		pool:        in.Pool,
-		lo:          in.Lo,
-		hi:          in.Hi,
-		model:       cfg.Model,
-		cores:       cfg.Cores,
-		poolPages:   cfg.PoolPages,
-		sorted:      cfg.EnableSortedScan,
-		queueBudget: cfg.QueueBudget,
-		grid:        fmt.Sprint(cfg.degrees(), cfg.PrefetchDepths),
+		table:        in.Table,
+		index:        in.Index,
+		stats:        in.Stats,
+		pool:         in.Pool,
+		lo:           in.Lo,
+		hi:           in.Hi,
+		model:        cfg.Model,
+		cores:        cfg.Cores,
+		poolPages:    cfg.PoolPages,
+		sorted:       cfg.EnableSortedScan,
+		queueBudget:  cfg.QueueBudget,
+		shareParties: cfg.ShareParties,
+		grid:         fmt.Sprint(cfg.degrees(), cfg.PrefetchDepths),
 	}
 	if in.Pool != nil {
 		k.epoch = in.Pool.Epoch()

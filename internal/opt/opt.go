@@ -65,6 +65,14 @@ type Config struct {
 	// queue depth. Zero means uncapped.
 	QueueBudget int
 
+	// ShareParties, when ≥ 2, is the number of concurrent queries (this one
+	// included) interested in a full scan of the same table. The enumeration
+	// then adds a shared-scan candidate: attach to the table's circulating
+	// scan, ride one lap, and split the producer's sequential device work
+	// N ways — the attach path costs one lap of I/O over N, not a private
+	// copy of the table. 0 or 1 means no sharing is available.
+	ShareParties int
+
 	// Obs, when set, receives optimizer counters (opt.optimizations,
 	// opt.plans_enumerated) for engine-wide observability.
 	Obs *obs.Registry
@@ -106,6 +114,11 @@ type Plan struct {
 	// prefetch planning is disabled).
 	Prefetch int
 
+	// Shared marks the circulating-scan attach path: the query rides the
+	// table's shared producer instead of scanning privately, so its device
+	// cost is one lap split over the attached parties.
+	Shared bool
+
 	// EstRows is the estimated number of matching rows.
 	EstRows float64
 	// EstPageIO is the estimated number of page reads.
@@ -125,6 +138,9 @@ func (p Plan) String() string {
 	if p.Prefetch > 0 {
 		name += fmt.Sprintf("+pf%d", p.Prefetch)
 	}
+	if p.Shared {
+		name += "+shared"
+	}
 	return fmt.Sprintf("%s cost=%.0fus (io=%.0fus cpu=%.0fus rows=%.0f pages=%.0f)",
 		name, p.TotalMicros, p.IOMicros, p.CPUMicros, p.EstRows, p.EstPageIO)
 }
@@ -139,6 +155,7 @@ func (p Plan) Spec(in Input) exec.Spec {
 		Method:            p.Method,
 		Degree:            p.Degree,
 		PrefetchPerWorker: p.Prefetch,
+		Shared:            p.Shared,
 	}
 }
 
@@ -165,6 +182,13 @@ func Enumerate(cfg Config, in Input) []Plan {
 	}
 	cc := newCosting(in)
 	var plans []Plan
+	// The shared candidate goes first: when a CPU-bound shared lap ties a
+	// serial private scan on total cost, the stable sort keeps the shared
+	// plan ahead — at equal price, riding the circulation frees the device
+	// for everyone else.
+	if cfg.ShareParties >= 2 {
+		plans = append(plans, costSharedScan(cfg, in, cc))
+	}
 	for _, d := range cfg.degrees() {
 		if cfg.QueueBudget > 0 && d > cfg.QueueBudget && d > 1 {
 			continue
@@ -283,6 +307,31 @@ func costFullScan(cfg Config, in Input, cc costing, d int) Plan {
 		Method: exec.FullScan, Degree: d,
 		EstRows: matched, EstPageIO: pageIO,
 		IOMicros: io, CPUMicros: cpu + startup, TotalMicros: total,
+	}
+}
+
+// costSharedScan prices attaching to the table's circulating scan with
+// ShareParties riders. The producer reads the whole heap sequentially once
+// per lap at its own readahead depth, so each rider's share of the device
+// work is one lap over N — and it needs no queue-depth credits of its own.
+// The rider's CPU is serial: it consumes pushed batches on one process,
+// evaluating every row, exactly like a degree-1 full scan. No worker
+// startup: attaching is a registry append, not a fleet spawn.
+func costSharedScan(cfg Config, in Input, cc costing) Plan {
+	t := in.Table
+	pages := float64(t.Pages())
+	rows := float64(t.Rows())
+
+	pageIO := pages * (1 - cc.resident)
+	io := pageIO * cfg.Model.PageCost(1, 1) / float64(cfg.ShareParties)
+
+	cpu := pages*float64(cfg.Costs.PerPage.Micros()) +
+		rows*float64(cfg.Costs.PerRow.Micros())
+
+	return Plan{
+		Method: exec.FullScan, Degree: 1, Shared: true,
+		EstRows: cc.matched, EstPageIO: pageIO / float64(cfg.ShareParties),
+		IOMicros: io, CPUMicros: cpu, TotalMicros: maxf(io, cpu),
 	}
 }
 

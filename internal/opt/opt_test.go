@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"math"
 	"testing"
 
 	"pioqo/internal/btree"
@@ -265,5 +266,72 @@ func TestPlanString(t *testing.T) {
 	p = Plan{Method: exec.FullScan, Degree: 1}
 	if got := p.String(); got[:4] != "FTS " {
 		t.Errorf("String() = %q, want FTS prefix", got)
+	}
+}
+
+// TestSharedScanCandidate covers the attach-path pricing: with parties
+// interested in the same table, the enumeration offers a shared plan whose
+// I/O is one lap over N, and for an unselective scan the shared plan wins.
+func TestSharedScanCandidate(t *testing.T) {
+	f := newFixture(t, "ssd", 60000, 33)
+	cfg := f.cfg
+	cfg.Model = f.qdtt
+	in := f.in
+	in.Lo, in.Hi = rangeFor(f.in.Table, 1.0)
+
+	for _, parties := range []int{0, 1} {
+		cfg.ShareParties = parties
+		for _, p := range Enumerate(cfg, in) {
+			if p.Shared {
+				t.Errorf("ShareParties=%d enumerated a shared plan: %v", parties, p)
+			}
+		}
+	}
+
+	cfg.ShareParties = 8
+	plans := Enumerate(cfg, in)
+	var shared *Plan
+	for i := range plans {
+		if plans[i].Shared {
+			if shared != nil {
+				t.Fatal("more than one shared candidate enumerated")
+			}
+			shared = &plans[i]
+		}
+	}
+	if shared == nil {
+		t.Fatal("ShareParties=8 enumerated no shared plan")
+	}
+	if shared.Degree != 1 || shared.Method != exec.FullScan {
+		t.Errorf("shared plan is %v %d-way, want degree-1 FullScan", shared.Method, shared.Degree)
+	}
+
+	// The rider's I/O share is the serial lap split N ways.
+	solo := costFullScan(cfg, in, newCosting(in), 1)
+	if want := solo.IOMicros / 8; math.Abs(shared.IOMicros-want) > 1e-6 {
+		t.Errorf("shared io = %.0fus, want lap/8 = %.0fus", shared.IOMicros, want)
+	}
+
+	// Under heavy concurrency the broker's split leaves each query ~one
+	// queue-depth credit, forcing private plans serial — the regime the
+	// attach path exists for. There the shared lap is never worse than a
+	// serial private scan (same CPU, a fraction of the I/O) and the
+	// stable enumeration order breaks the CPU-bound tie in its favor.
+	cfg.QueueBudget = 1
+	best := Choose(cfg, in)
+	if !best.Shared {
+		t.Errorf("full-table scan with 8 parties chose %v, want the shared plan", best)
+	}
+	if spec := best.Spec(in); !spec.Shared {
+		t.Error("Plan.Spec dropped the Shared flag")
+	}
+
+	// The memo must not replay a differently-shared enumeration.
+	m := NewMemo()
+	cfg.ShareParties = 0
+	m.Enumerate(cfg, in)
+	cfg.ShareParties = 8
+	if p := m.Choose(cfg, in); !p.Shared {
+		t.Errorf("memo replayed the unshared enumeration for ShareParties=8: %v", p)
 	}
 }

@@ -86,6 +86,12 @@ type Config struct {
 	// after Calibrate instead; its windows count from the call.
 	Faults *FaultSchedule
 
+	// NoScanSharing disables the shared circulating-scan subsystem: every
+	// session-submitted full scan reads the heap privately, as in the
+	// pre-sharing engine. For A/B benchmarking heavy concurrent traffic
+	// (experiments.SharedScan); per-query opt-out is WithNoScanSharing.
+	NoScanSharing bool
+
 	// NoDegradationReplan stops the resource broker from shrinking its
 	// credit supply when the device reports sustained degradation, so
 	// queries keep planning at the healthy queue depth. For A/B
@@ -107,6 +113,9 @@ type System struct {
 	inj     *fault.Injector // always wraps the raw device; passthrough unarmed
 	manager *disk.Manager
 	pool    *buffer.Pool
+	// shares is the per-table circulating-scan registry concurrent full
+	// scans attach to; nil when Config.NoScanSharing disabled the subsystem.
+	shares *buffer.Shares
 	cpu     *sim.Resource
 	costs   exec.CPUCosts
 	cores   int
@@ -178,6 +187,10 @@ func New(cfg Config) *System {
 	}
 	s.dev.Metrics().Publish(s.reg)
 	s.pool.Publish(s.reg)
+	if !cfg.NoScanSharing {
+		s.shares = buffer.NewShares(env, s.pool, buffer.ShareConfig{})
+		s.shares.Publish(s.reg)
+	}
 	if cfg.EventLog > 0 {
 		s.EnableEventLog(cfg.EventLog)
 	}
@@ -323,7 +336,7 @@ func (s *System) DeviceName() string { return s.dev.Name() }
 
 func (s *System) execContext() *exec.Context {
 	return &exec.Context{Env: s.env, CPU: s.cpu, Pool: s.pool, Dev: s.dev,
-		Costs: s.costs, Reg: s.reg, Log: s.events}
+		Costs: s.costs, Reg: s.reg, Log: s.events, Shares: s.shares}
 }
 
 // Now reports the system's virtual clock.

@@ -103,6 +103,12 @@ type Plan struct {
 	// Prefetch is the per-worker prefetch depth for index scans, chosen by
 	// the optimizer when PlanOptions.EnablePrefetchPlanning is set.
 	Prefetch int
+	// Shared marks the circulating-scan attach path: instead of scanning
+	// the heap privately, the query attaches to the table's shared
+	// producer, rides one full lap, and splits the sequential device work
+	// with every other attached query. Enumerated when
+	// PlanOptions.ShareParties ≥ 2 (sessions set it from live interest).
+	Shared bool
 	// EstimatedCost is the optimizer's total cost estimate; EstimatedIO
 	// and EstimatedCPU are its components. All are virtual durations.
 	EstimatedCost time.Duration
@@ -124,6 +130,9 @@ func (p Plan) String() string {
 	}
 	if p.Degree > 1 {
 		name = fmt.Sprintf("P%s%d", name, p.Degree)
+	}
+	if p.Shared {
+		name += "+shared"
 	}
 	return fmt.Sprintf("%s (cost %v, ~%.0f rows)", name, p.EstimatedCost, p.EstimatedRows)
 }
@@ -153,6 +162,14 @@ type PlanOptions struct {
 	// are running ... the optimizer needs to pass a lower queue depth").
 	// Zero means uncapped.
 	QueueBudget int
+
+	// ShareParties, when ≥ 2, tells the optimizer that that many
+	// concurrent queries (this one included) are interested in the same
+	// table, enabling the shared circulating-scan candidate — one lap of
+	// sequential I/O split over the parties. Sessions set it automatically
+	// from live per-table interest; standalone planning may set it to
+	// price the attach path by hand.
+	ShareParties int
 }
 
 func (s *System) optConfig(q Query, o PlanOptions) (opt.Config, opt.Input, error) {
@@ -184,6 +201,7 @@ func (s *System) optConfig(q Query, o PlanOptions) (opt.Config, opt.Input, error
 		PoolPages:        int64(s.pool.Capacity()),
 		EnableSortedScan: o.EnableSortedScan,
 		QueueBudget:      o.QueueBudget,
+		ShareParties:     o.ShareParties,
 		Obs:              s.reg,
 		Log:              s.events,
 	}
@@ -213,6 +231,7 @@ func fromInternalPlan(p opt.Plan) Plan {
 		Method:        method,
 		Degree:        p.Degree,
 		Prefetch:      p.Prefetch,
+		Shared:        p.Shared,
 		EstimatedCost: time.Duration(p.TotalMicros * 1e3),
 		EstimatedIO:   time.Duration(p.IOMicros * 1e3),
 		EstimatedCPU:  time.Duration(p.CPUMicros * 1e3),
@@ -318,6 +337,7 @@ func (s *System) executePlan(q Query, plan Plan, eo queryOptions, ts *telemetryS
 		Hi:                q.High,
 		Method:            plan.Method.internal(),
 		Degree:            plan.Degree,
+		Shared:            plan.Shared,
 		Agg:               q.Agg.internal(),
 		PrefetchPerWorker: prefetch,
 		Span:              ts.span(),
@@ -354,6 +374,7 @@ type queryOptions struct {
 	telemetry   *QueryTelemetry
 	detail      bool
 	staticSplit bool
+	noShare     bool
 	degree      int
 	timeout     time.Duration
 	retry       RetryPolicy
@@ -368,6 +389,12 @@ func WithPrefetch(n int) QueryOption { return func(o *queryOptions) { o.prefetch
 
 // WithPlanOptions forwards optimizer options through Query/Execute.
 func WithPlanOptions(po PlanOptions) QueryOption { return func(o *queryOptions) { o.plan = po } }
+
+// WithNoScanSharing keeps this query off the shared circulating scan: it
+// registers no table interest, never plans the attach path, and scans the
+// heap privately. The A/B control for benchmarking scan sharing per query;
+// Config.NoScanSharing disables the subsystem system-wide.
+func WithNoScanSharing() QueryOption { return func(o *queryOptions) { o.noShare = true } }
 
 // StaticSplit makes ExecuteConcurrent budget the batch with a one-shot
 // even split of the beneficial queue depth, never re-brokering freed

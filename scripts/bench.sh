@@ -215,3 +215,33 @@ $EMIT
 EOF
 
 echo "wrote $OUT6 (host_cores=$CORES)"
+
+# ---- PR7: shared circulating scans under heavy traffic --------------------
+
+# BENCH_PR7.json captures the scan-sharing claim: on a thousand-query
+# concurrent mix over three hot HDD tables — 5% full-table reporting scans
+# riding on hot-stripe point traffic — circulating shared scans (every
+# eligible scan attaches to its table's one producer and rides exactly one
+# lap, admitted with zero queue-depth credits) must at least halve the
+# batch makespan against the same mix with sharing disabled. The quick
+# scale is also recorded for regression tracking, but no speedup is claimed
+# there: its buffer pool is smaller than the three producers' circulation
+# windows, which is precisely the regime where sharing should lose.
+# Virtual-time numbers from the deterministic simulator; host-independent.
+
+OUT7=BENCH_PR7.json
+
+SHARED_DEFAULT=$("$BIN" -scale default -concurrent 1000 -json shared)
+SHARED_QUICK=$("$BIN" -scale quick -concurrent 300 -json shared)
+
+cat >"$OUT7" <<EOF
+{
+  $HOST_META,
+  "queries": 1000,
+  "workload": "3 hot HDD tables; 950 point lookups on a 1% hot key stripe + 50 full-table scans, submitted concurrently",
+  "shared_default_scale": $SHARED_DEFAULT,
+  "shared_quick_scale": $SHARED_QUICK
+}
+EOF
+
+echo "wrote $OUT7 (host_cores=$CORES)"

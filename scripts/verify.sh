@@ -18,7 +18,7 @@ go test ./...
 # telemetry paths (observer + per-query WithTrace attribution under
 # concurrent sessions, event log, progress, SLO reporting).
 go vet ./...
-go test -race ./internal/sim/... ./internal/obs/... ./internal/host/... ./internal/experiments/... ./internal/exec/... ./internal/opt/... ./internal/broker/... ./internal/fault/...
+go test -race ./internal/sim/... ./internal/obs/... ./internal/host/... ./internal/experiments/... ./internal/exec/... ./internal/opt/... ./internal/broker/... ./internal/fault/... ./internal/buffer/...
 go test -race -run 'TestEventLog|TestLiveProgress|TestSLOReport|TestConcurrentAttribution|TestObserver|TestCaptureTelemetry' .
 
 # Batch-accounting lint: every worker CPU charge in the executor must flow
@@ -63,6 +63,16 @@ fi
 # silently stop propagating.
 if grep -n 'context\.Background()' internal/exec/*.go; then
 	echo "verify: context.Background() inside internal/exec (thread the caller's abort control instead)" >&2
+	exit 1
+fi
+
+# Shared-scan consumer lint: an attached scan consumes pages pushed by its
+# table's circulating producer — the whole point is that riders add zero
+# demand I/O. A FetchPage or Prefetch call in the shared consumer path
+# would silently reintroduce per-rider device traffic and unravel the
+# one-lap-over-N economics the optimizer prices the attach path with.
+if grep -nE '\.(FetchPage|Prefetch|PrefetchRun|PrefetchRunTrimmed)\(' internal/exec/shared.go; then
+	echo "verify: demand fetch/prefetch in the shared-scan consumer path (pages must come from the circulating producer)" >&2
 	exit 1
 fi
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"pioqo/internal/broker"
+	"pioqo/internal/disk"
 	"pioqo/internal/exec"
 	"pioqo/internal/fault"
 	"pioqo/internal/obs/event"
@@ -31,6 +32,11 @@ type Admission struct {
 	// provisional fair share the query was planned under at submit time,
 	// so the optimizer re-planned it under the authoritative lease.
 	Replanned bool
+
+	// Shared reports that the query rode a circulating scan: it was
+	// admitted immediately with zero queue-depth credits, since the shared
+	// producer — not this query — issues the device work.
+	Shared bool
 }
 
 // Submission is one query's handle in a Session: submit-time state before
@@ -156,6 +162,12 @@ func (s *System) sharedBroker() (*broker.Broker, error) {
 		}
 		cfg.Log = s.events
 		s.broker = broker.New(cfg)
+		if s.shares != nil {
+			// The circulating producers read ahead at the device's
+			// beneficial queue depth — the same calibrated supply the
+			// broker's credits are denominated in.
+			s.shares.SetDepth(s.broker.Total())
+		}
 	}
 	return s.broker, nil
 }
@@ -202,10 +214,38 @@ func (ses *Session) submit(q Query, eo queryOptions) (*Submission, error) {
 	}
 	lease := ses.b.EnqueueQuery(userBudget, qid)
 
+	// Scan-sharing interest: every sharing-eligible query on the table
+	// counts as a potential rider, so a full scan submitted now prices the
+	// attach path against everyone already in flight. Interest is dropped
+	// when the query's process finishes; the parties count is quantized so
+	// the plan memo caches a handful of contention levels, not one
+	// enumeration per exact rider count.
+	// Invalid queries (nil table) fall through to Plan, which reports them.
+	sharing := s.shares != nil && !eo.noShare && q.Table != nil
+	var file disk.FileID
+	if sharing {
+		file = q.Table.tab.File().ID()
+		s.shares.AddInterest(file)
+		if po.ShareParties == 0 {
+			po.ShareParties = quantizeParties(s.shares.Interest(file))
+		}
+	}
+
 	plan, err := s.Plan(q, po)
 	if err != nil {
+		if sharing {
+			s.shares.DropInterest(file)
+		}
 		lease.Release() // withdraw from the admission queue
 		return nil, err
+	}
+	if plan.Shared {
+		// The rider issues no demand reads — the circulating producer owns
+		// the device work — so waiting for queue-depth credits would gate
+		// it on capacity it will not consume. Admit it out of turn with a
+		// zero-credit lease.
+		ses.b.AdmitShared(lease)
+		sub.adm.Shared = true
 	}
 
 	id := ses.n
@@ -216,6 +256,9 @@ func (ses *Session) submit(q Query, eo queryOptions) (*Submission, error) {
 		// errors between admission and first worker start included — so
 		// credits and pool reservations never leak from aborted queries.
 		defer lease.Release()
+		if sharing {
+			defer s.shares.DropInterest(file)
+		}
 		ts := s.startTelemetry(q, eo)
 		aspan := ts.trc().Start(ts.span(), "admit")
 		lease.Await(p)
@@ -226,7 +269,7 @@ func (ses *Session) submit(q Query, eo queryOptions) (*Submission, error) {
 			return
 		}
 		granted := lease.Budget()
-		if userBudget == 0 && granted != po.QueueBudget {
+		if userBudget == 0 && !plan.Shared && granted != po.QueueBudget {
 			// The grant differs from the provisional fair share: re-plan
 			// under the lease. The memo keys on the budget, so both plans
 			// stay cached for queries admitted later at either size.
@@ -264,6 +307,7 @@ func (ses *Session) submit(q Query, eo queryOptions) (*Submission, error) {
 			Hi:                q.High,
 			Method:            plan.Method.internal(),
 			Degree:            plan.Degree,
+			Shared:            plan.Shared,
 			Agg:               q.Agg.internal(),
 			PrefetchPerWorker: prefetch,
 			Span:              ts.span(),
@@ -273,6 +317,12 @@ func (ses *Session) submit(q Query, eo queryOptions) (*Submission, error) {
 			Retry:             eo.retry.internal(),
 			QID:               qid,
 			Progress:          &sub.pages,
+		}
+		// With other queries interested in the same file, a private scan's
+		// readahead trims the pages a neighbour (or the circulating
+		// producer) already covered instead of re-requesting them.
+		if sharing && !plan.Shared && s.shares.Interest(file) > 1 {
+			spec.CoordPrefetch = true
 		}
 		ctx := s.execContext()
 		ctx.Tracer = ts.trc()
@@ -297,6 +347,23 @@ func (ses *Session) submit(q Query, eo queryOptions) (*Submission, error) {
 		ts.finish(s, plan, rt, eo)
 	})
 	return sub, nil
+}
+
+// quantizeParties buckets a live interest count into the share-party sizes
+// the optimizer plans for: 0 (no sharing), 2, 4, or 8+. The exact rider
+// count moves with every submit; pricing against a handful of contention
+// levels keeps the plan memo warm across a thousand-query burst.
+func quantizeParties(n int) int {
+	switch {
+	case n < 2:
+		return 0
+	case n < 4:
+		return 2
+	case n < 8:
+		return 4
+	default:
+		return 8
+	}
 }
 
 // Cancel aborts the submission's query with ErrCanceled (or keeps an
@@ -324,6 +391,11 @@ func (ses *Session) Drain() error {
 		}
 		if n := ses.b.PoolInUse(); n != 0 {
 			panic(fmt.Sprintf("pioqo: session drain leaked %d reserved pool pages", n))
+		}
+		if sh := ses.sys.shares; sh != nil {
+			if n := sh.Live(); n != 0 {
+				panic(fmt.Sprintf("pioqo: session drain left %d consumers attached to circulating scans", n))
+			}
 		}
 	}
 	return first

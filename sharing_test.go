@@ -1,0 +1,164 @@
+package pioqo
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// submitScans submits n full-range scans and returns their submissions.
+func submitScans(t *testing.T, sys *System, tab *Table, n int, opts ...QueryOption) []*Submission {
+	t.Helper()
+	subs := make([]*Submission, n)
+	for i := range subs {
+		sub, err := sys.Submit(Query{Table: tab, Low: 0, High: tab.Rows() - 1}, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[i] = sub
+	}
+	return subs
+}
+
+func TestSessionSharesConcurrentScans(t *testing.T) {
+	sys, tab := newCalibrated(t, SSD, 40000, 4)
+	want, err := sys.Execute(Query{Table: tab, Low: 0, High: tab.Rows() - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The attach path wins once contention squeezes each query's fair
+	// share to a single queue-depth credit — below that, a parallel
+	// private scan is still cheaper for the individual query. Submit
+	// enough scans to get well past the credit supply.
+	m, err := sys.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := m.MaxBeneficialDepth(sys.DevicePages(), 0.05)
+	n := 2 * total
+	if n < 16 {
+		n = 16
+	}
+	subs := submitScans(t, sys, tab, n)
+	if err := sys.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	sharedSeen := 0
+	for i, sub := range subs {
+		res, err := sub.Result()
+		if err != nil {
+			t.Fatalf("scan %d: %v", i, err)
+		}
+		if res.Value != want.Value || res.Rows != want.Rows {
+			t.Errorf("scan %d: got (%d, %d rows), want (%d, %d rows)",
+				i, res.Value, res.Rows, want.Value, want.Rows)
+		}
+		if sub.Admission().Shared {
+			sharedSeen++
+			if !res.Plan.Shared {
+				t.Errorf("scan %d admitted shared but its plan is %v", i, res.Plan)
+			}
+			if sub.Admission().Budget != 0 || sub.Admission().Wait != 0 {
+				t.Errorf("scan %d: shared admission holds budget=%d wait=%v, want 0/0",
+					i, sub.Admission().Budget, sub.Admission().Wait)
+			}
+			// The Progress contract for attached scans: pages delivered to
+			// this consumer, one full lap exactly.
+			if got := sub.Progress().PagesProcessed; got != tab.Pages() {
+				t.Errorf("scan %d: progress %d pages, want exactly %d", i, got, tab.Pages())
+			}
+		}
+	}
+	// Scans submitted once the admission queue already held `total`
+	// queries planned under a one-credit fair share — the regime where the
+	// shared lap is never worse than the serial private scan it ties.
+	if want := len(subs) - total - 1; sharedSeen < want {
+		t.Errorf("%d of %d concurrent scans shared the circulation, want ≥ %d",
+			sharedSeen, len(subs), want)
+	}
+}
+
+// TestSharedScanProgressExactOnMidLapAttach aborts a shared scan partway
+// through its lap, leaving the circulating producer parked mid-table; a
+// fresh scan then attaches at that interior position and its Progress
+// counter must still end at exactly the table's page count.
+func TestSharedScanProgressExactOnMidLapAttach(t *testing.T) {
+	sys, tab := newCalibrated(t, SSD, 40000, 4)
+	// Force the attach path for a sole query: price it as one of 8 riders
+	// under a serial queue budget, where the shared lap always wins.
+	force := WithPlanOptions(PlanOptions{ShareParties: 8, QueueBudget: 1})
+
+	aborted, err := sys.Submit(Query{Table: tab, Low: 0, High: tab.Rows() - 1},
+		force, WithTimeout(2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Drain(); err == nil {
+		t.Fatal("2ms deadline on a full scan did not abort")
+	} else if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("abort error = %v, want deadline exceeded", err)
+	}
+	if !aborted.Admission().Shared {
+		t.Fatal("forced plan was not admitted shared")
+	}
+	got := aborted.Progress().PagesProcessed
+	if got <= 0 || got >= tab.Pages() {
+		t.Fatalf("aborted scan processed %d of %d pages; need a mid-lap abort for this test to bite",
+			got, tab.Pages())
+	}
+
+	// The second scan finds the producer mid-table and joins there.
+	sub, err := sys.Submit(Query{Table: tab, Low: 0, High: tab.Rows() - 1}, force)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if !sub.Admission().Shared {
+		t.Fatal("resumed scan was not admitted shared")
+	}
+	if got := sub.Progress().PagesProcessed; got != tab.Pages() {
+		t.Errorf("mid-lap attached scan progressed %d pages, want exactly %d", got, tab.Pages())
+	}
+	if p := sub.Progress(); !p.Done || p.Remaining != 0 {
+		t.Errorf("final progress = %+v, want done with nothing remaining", p)
+	}
+}
+
+func TestNoScanSharingKnobs(t *testing.T) {
+	// System-wide off: no submission is ever admitted shared.
+	sys := New(Config{Device: SSD, PoolPages: 1024, NoScanSharing: true})
+	tab, err := sys.CreateTable("t", 40000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Calibrate(CalibrationOptions{MaxReads: 640}); err != nil {
+		t.Fatal(err)
+	}
+	subs := submitScans(t, sys, tab, 4)
+	if err := sys.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	for i, sub := range subs {
+		if sub.Admission().Shared {
+			t.Errorf("scan %d shared under Config.NoScanSharing", i)
+		}
+		if res, err := sub.Result(); err != nil || res.Plan.Shared {
+			t.Errorf("scan %d: err=%v plan=%v", i, err, res.Plan)
+		}
+	}
+
+	// Per-query opt-out on a sharing-enabled system.
+	sys2, tab2 := newCalibrated(t, SSD, 40000, 4)
+	opted := submitScans(t, sys2, tab2, 4, WithNoScanSharing())
+	if err := sys2.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	for i, sub := range opted {
+		if sub.Admission().Shared {
+			t.Errorf("scan %d shared despite WithNoScanSharing", i)
+		}
+	}
+}
