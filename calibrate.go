@@ -148,14 +148,16 @@ func (s *System) LoadModel(r io.Reader) error {
 }
 
 // installModel swaps the optimizer's cost model and drops everything
-// derived from the old one: the plan memo (whose cached costs priced I/O
-// with the previous model), the depth-oblivious projection, and the
-// resource broker (whose credit supply was the old model's beneficial
-// depth) along with the default session riding on it.
+// derived from the old one: the plan memo and the parameterized plan cache
+// (whose cached costs priced I/O with the previous model), the
+// depth-oblivious projection, and the resource broker (whose credit supply
+// was the old model's beneficial depth) along with the default session
+// riding on it.
 func (s *System) installModel(m *cost.QDTT) {
 	s.model = m
 	s.depthOne = nil
 	s.memo.Reset()
+	s.pcache.Reset()
 	s.broker = nil
 	s.session = nil
 }

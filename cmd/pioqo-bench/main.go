@@ -43,6 +43,7 @@ var (
 	jsonOut    = flag.Bool("json", false, "qdprofile/admission: emit the result rows as JSON instead of the TSV summary")
 	parallel   = flag.Int("parallel", 0, "host workers for sweep points: 0 = one per core, 1 = serial (output is identical either way)")
 	concurrent = flag.Int("concurrent", 8, "admission: number of queries in the skewed concurrent batch")
+	queries    = flag.Int("queries", 100000, "planbench: plan lookups per throughput arm")
 )
 
 func main() {
@@ -88,7 +89,8 @@ func main() {
 		for _, e := range []string{"fig1", "table1", "fig4", "table2", "table3",
 			"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 			"earlystop", "qdprofile", "concurrency", "admission", "degrade",
-			"slo", "shared", "joins", "mixed", "accuracy", "optimality"} {
+			"slo", "shared", "joins", "mixed", "accuracy", "optimality",
+			"planbench"} {
 			fmt.Printf("== %s ==\n", e)
 			if err := run(sc, e, *panel); err != nil {
 				fmt.Fprintf(os.Stderr, "pioqo-bench: %v\n", err)
@@ -161,6 +163,9 @@ experiments:
   mixed      whole-workload comparison of DTT vs QDTT planning
   accuracy   QDTT estimated cost vs measured runtime per candidate plan
   optimality measured regret of DTT vs QDTT plan choices
+  planbench  serving-scale planner: plans/sec per plan path (exact-key memo
+             vs parameterized band cache, drifting and concurrent) plus the
+             greedy-vs-full quality grid (-queries N, -json)
   all        everything above
 `)
 }
@@ -472,6 +477,26 @@ func run(sc experiments.Scale, exp, panel string) error {
 		for _, r := range sc.Accuracy(workload.Config{Name: "E33-SSD", RowsPerPage: 33, Device: workload.SSD}) {
 			fmt.Fprintf(w, "%s\t%.6g\t%s\t%.2f\t%.2f\t%.2f\n",
 				r.Config, r.Selectivity, r.Plan, r.EstimatedMs, r.MeasuredMs, r.Ratio)
+		}
+	case "planbench":
+		rep := sc.PlanBench(*queries)
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rep)
+		}
+		fmt.Fprintln(w, "device\tmode\tworkers\tplans\twall_s\tplans_per_sec\tspeedup_vs_memo_miss\thits\tmisses\trevalidations\tfallbacks")
+		for _, r := range rep.Throughput {
+			fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%.3f\t%.0f\t%.1fx\t%d\t%d\t%d\t%d\n",
+				r.Device, r.Mode, r.Workers, r.Plans, r.WallSeconds, r.PlansPerSec,
+				r.SpeedupVsMemoMiss, r.Hits, r.Misses, r.Revalidations, r.Fallbacks)
+		}
+		fmt.Fprintf(w, "\nquality: %d grid points, greedy agrees %.1f%%, mean regret %.3f%%, max regret %.3f%%, %d fallbacks\n",
+			rep.QualityPoints, rep.AgreePct, rep.MeanRegretPct, rep.MaxRegretPct, rep.Fallbacks)
+		fmt.Fprintln(w, "device\tselectivity\tfull\tgreedy\tagree\tregret_%\tfell_back")
+		for _, q := range rep.Quality {
+			fmt.Fprintf(w, "%s\t%.6g\t%s\t%s\t%v\t%.3f\t%v\n",
+				q.Device, q.Selectivity, q.Full, q.Greedy, q.Agree, q.RegretPct, q.FellBack)
 		}
 	case "optimality":
 		fmt.Fprintln(w, "config\tselectivity\tbest_plan\tbest_ms\told_plan\told_regret\tnew_plan\tnew_regret")

@@ -1,0 +1,58 @@
+package experiments
+
+import "testing"
+
+// TestPlanBenchQualityGates runs the planner benchmark at quick scale and
+// asserts the acceptance-criteria quality aggregates (the deterministic
+// half; throughput rows are host timings, so only their shape is checked).
+func TestPlanBenchQualityGates(t *testing.T) {
+	rep := QuickScale().PlanBench(2000)
+
+	if rep.QualityPoints == 0 {
+		t.Fatal("quality grid is empty")
+	}
+	if rep.AgreePct < 95 {
+		t.Errorf("greedy agreed with full enumeration on %.1f%% of the grid, want >= 95%%", rep.AgreePct)
+	}
+	if rep.MaxRegretPct > 5 {
+		t.Errorf("max greedy cost regret %.2f%%, want <= 5%%", rep.MaxRegretPct)
+	}
+	for _, q := range rep.Quality {
+		if q.Agree && q.RegretPct != 0 {
+			t.Errorf("%s sel=%g: agreeing point carries regret %.2f%%", q.Device, q.Selectivity, q.RegretPct)
+		}
+		if q.FellBack && !q.Agree {
+			t.Errorf("%s sel=%g: fallback point should match full enumeration exactly", q.Device, q.Selectivity)
+		}
+	}
+
+	modes := map[string]int{}
+	for _, r := range rep.Throughput {
+		modes[r.Mode]++
+		if r.Plans != rep.Queries || r.PlansPerSec <= 0 || r.WallSeconds <= 0 {
+			t.Errorf("%s/%s: malformed throughput row %+v", r.Device, r.Mode, r)
+		}
+		switch r.Mode {
+		case "paramcache", "paramcache-mt", "paramcache-drift":
+			if r.Hits+r.Misses+r.Fallbacks < int64(rep.Queries) {
+				t.Errorf("%s/%s: cache counters lost lookups: %+v", r.Device, r.Mode, r)
+			}
+			if r.Hits < int64(rep.Queries)/2 {
+				t.Errorf("%s/%s: parameterized stream mostly missed: %+v", r.Device, r.Mode, r)
+			}
+		}
+	}
+	for _, m := range []string{"memo-miss", "memo-replay", "paramcache", "paramcache-mt", "paramcache-drift"} {
+		if modes[m] != 2 {
+			t.Errorf("mode %s appears %d times, want one row per device", m, modes[m])
+		}
+	}
+
+	// The drift arm must have seen epoch churn and survived it: at least one
+	// revalidation or margin fallback on each device.
+	for _, r := range rep.Throughput {
+		if r.Mode == "paramcache-drift" && r.Revalidations == 0 && r.Fallbacks == 0 {
+			t.Errorf("%s/drift: no revalidations or fallbacks despite epoch churn: %+v", r.Device, r)
+		}
+	}
+}

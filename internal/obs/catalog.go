@@ -51,4 +51,14 @@ const (
 	MetricOptPlansEnumerated = "opt.plans_enumerated"
 	MetricOptMemoHits        = "opt.memo_hits"
 	MetricOptMemoMisses      = "opt.memo_misses"
+
+	// internal/opt parameterized cache + greedy fast path (serving plan
+	// path). Band metrics count selectivity-band cache traffic; greedy
+	// metrics split fast-path decisions from crossover fallbacks to full
+	// enumeration.
+	MetricOptBandHits          = "opt.band_hits"
+	MetricOptBandMisses        = "opt.band_misses"
+	MetricOptBandRevalidations = "opt.band_revalidations" // epoch drift survived by winner/runner re-pricing
+	MetricOptGreedyPlans       = "opt.greedy_plans"
+	MetricOptGreedyFallbacks   = "opt.greedy_fallbacks"
 )

@@ -47,6 +47,13 @@ const (
 	EvPlanCacheHit  // A = cached candidate plans replayed
 	EvPlanCacheMiss // A = candidate plans enumerated fresh
 
+	// internal/opt: parameterized cache and greedy fast path.
+	EvPlanBandHit    // A = selectivity band, B = 1 when the stable O(1) path served it
+	EvPlanBandMiss   // A = selectivity band
+	EvPlanRevalidate // A = selectivity band, B = 1 kept on epoch drift, 0 re-enumerated
+	EvGreedyPlan     // A = selectivity band, B = candidates priced
+	EvGreedyFallback // A = selectivity band, B = candidates priced before falling back
+
 	numTypes // sentinel; keep last
 )
 
@@ -87,6 +94,12 @@ var catalog = [numTypes]Desc{
 
 	EvPlanCacheHit:  {Name: "plancache.hit", A: "plans"},
 	EvPlanCacheMiss: {Name: "plancache.miss", A: "plans"},
+
+	EvPlanBandHit:    {Name: "plancache.band_hit", A: "band", B: "stable"},
+	EvPlanBandMiss:   {Name: "plancache.band_miss", A: "band"},
+	EvPlanRevalidate: {Name: "plancache.revalidate", A: "band", B: "kept"},
+	EvGreedyPlan:     {Name: "planner.greedy", A: "band", B: "candidates"},
+	EvGreedyFallback: {Name: "planner.fallback", A: "band", B: "candidates"},
 }
 
 // Describe returns the schema entry for t (the zero Desc for an unknown

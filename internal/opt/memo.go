@@ -12,8 +12,6 @@
 package opt
 
 import (
-	"fmt"
-
 	"pioqo/internal/btree"
 	"pioqo/internal/buffer"
 	"pioqo/internal/cost"
@@ -65,7 +63,7 @@ func newMemoKey(cfg Config, in Input) memoKey {
 		sorted:       cfg.EnableSortedScan,
 		queueBudget:  cfg.QueueBudget,
 		shareParties: cfg.ShareParties,
-		grid:         fmt.Sprint(cfg.degrees(), cfg.PrefetchDepths),
+		grid:         cfg.gridKey(),
 	}
 	if in.Pool != nil {
 		k.epoch = in.Pool.Epoch()
@@ -110,8 +108,35 @@ func (m *Memo) Enumerate(cfg Config, in Input) []Plan {
 		cfg.Obs.Counter(obs.MetricOptMemoMisses).Inc()
 	}
 	cfg.Log.Emit(event.EvPlanCacheMiss, event.NoQuery, int64(len(plans)), 0)
+	m.bound()
 	m.entries[key] = append([]Plan(nil), plans...)
 	return plans
+}
+
+// memoMaxEntries bounds the memo. Entries keyed on a superseded pool epoch
+// can never hit again — every pool install or eviction strands the whole
+// epoch — so a long-running engine would otherwise grow the map without
+// limit, one enumeration per residency change.
+const memoMaxEntries = 1024
+
+// bound keeps the memo under memoMaxEntries before an install: first sweep
+// entries pinned to dead pool epochs (predicate-driven, so the surviving
+// set is independent of map iteration order), then — if live entries alone
+// exceed the cap — drop everything. Never evict an arbitrary entry: that
+// would make hit/miss streams depend on map iteration order and break
+// byte-identical replay.
+func (m *Memo) bound() {
+	if len(m.entries) < memoMaxEntries {
+		return
+	}
+	for k := range m.entries {
+		if k.pool != nil && k.epoch != k.pool.Epoch() {
+			delete(m.entries, k)
+		}
+	}
+	if len(m.entries) >= memoMaxEntries {
+		m.entries = make(map[memoKey][]Plan)
+	}
 }
 
 // Choose returns the cheapest plan for the input through the memo.

@@ -141,6 +141,66 @@ func TestMemoKeysOnLeasedQueueBudget(t *testing.T) {
 	}
 }
 
+// TestMemoBoundedUnderEpochChurn is the unbounded-growth fix's gate: a long
+// install/evict churn — every pool install bumps the epoch, stranding the
+// previous epoch's entries forever — must keep the memo's size bounded.
+func TestMemoBoundedUnderEpochChurn(t *testing.T) {
+	cfg, in, _ := memoFixture(t)
+	m := NewMemo()
+
+	pages := in.Table.Pages()
+	const churn = 3 * memoMaxEntries
+	for i := int64(0); i < churn; i++ {
+		// Install churn: while fresh heap pages remain every prefetch bumps
+		// the residency epoch, stranding the previous iteration's entry on
+		// a dead epoch (the stale-sweep case). Once the heap is resident the
+		// epoch freezes and distinct predicates pile up live entries (the
+		// full-reset case). Both phases must stay bounded.
+		in.Pool.Prefetch(in.Table.File(), i%pages)
+		q := in
+		q.Lo, q.Hi = i, i+100
+		m.Enumerate(cfg, q)
+	}
+	if n := m.Len(); n > memoMaxEntries {
+		t.Fatalf("after churn the memo holds %d entries, cap is %d", n, memoMaxEntries)
+	}
+	if _, misses := m.Stats(); misses != churn {
+		t.Fatalf("every churn lookup should miss; misses = %d, want %d", misses, churn)
+	}
+
+	// Bounding must never drop the entry just installed: the final
+	// iteration's enumeration still replays.
+	q := in
+	q.Lo, q.Hi = churn-1, churn-1+100
+	m.Enumerate(cfg, q)
+	if hits, _ := m.Stats(); hits != 1 {
+		t.Fatalf("freshly installed entry evicted by bounding; hits = %d", hits)
+	}
+}
+
+// TestGridKeyMatchesPerLookupComputation pins the precomputed-grid-key fix:
+// a Config carrying GridKey must produce the same memo key as one building
+// the string per lookup, for defaulted and explicit grids alike.
+func TestGridKeyMatchesPerLookupComputation(t *testing.T) {
+	cfg, in, _ := memoFixture(t)
+	grids := []Config{
+		{},
+		{Degrees: []int{1, 4, 16}},
+		{PrefetchDepths: []int{2, 8}},
+		{Degrees: []int{2, 8}, PrefetchDepths: []int{4, 32}},
+	}
+	for _, g := range grids {
+		lazy := cfg
+		lazy.Degrees, lazy.PrefetchDepths = g.Degrees, g.PrefetchDepths
+		pre := lazy
+		pre.GridKey = GridKey(g.Degrees, g.PrefetchDepths)
+		if newMemoKey(pre, in) != newMemoKey(lazy, in) {
+			t.Errorf("grid %v/%v: precomputed key diverges from per-lookup key",
+				g.Degrees, g.PrefetchDepths)
+		}
+	}
+}
+
 func TestMemoCountsOptimizationsOnReplay(t *testing.T) {
 	cfg, in, _ := memoFixture(t)
 	reg := obs.NewRegistry(sim.NewEnv(1))

@@ -73,6 +73,19 @@ type Config struct {
 	// copy of the table. 0 or 1 means no sharing is available.
 	ShareParties int
 
+	// GreedyMargin is the relative cost margin the greedy fast path and the
+	// parameterized cache treat as crossover-close: when the best plans of
+	// two different access-path families price within this fraction of each
+	// other, the serving path distrusts its shortcut and falls back to full
+	// enumeration. 0 means the default (10%).
+	GreedyMargin float64
+
+	// GridKey, when non-empty, is the precomputed flattening of the
+	// enumeration grid (see the GridKey function). Plan caches key on it;
+	// leaving it empty makes every lookup rebuild — and allocate — the
+	// string from Degrees and PrefetchDepths.
+	GridKey string
+
 	// Obs, when set, receives optimizer counters (opt.optimizations,
 	// opt.plans_enumerated) for engine-wide observability.
 	Obs *obs.Registry
@@ -87,6 +100,21 @@ func (c Config) degrees() []int {
 		return c.Degrees
 	}
 	return []int{1, 2, 4, 8, 16, 32}
+}
+
+// GridKey flattens an enumeration grid — degrees and prefetch depths, with
+// the same defaulting as Config — into the string the plan caches key on.
+// Compute it once when the Config's grid is fixed and store it in
+// Config.GridKey to keep cache lookups allocation-free.
+func GridKey(degrees, prefetchDepths []int) string {
+	return fmt.Sprint(Config{Degrees: degrees}.degrees(), prefetchDepths)
+}
+
+func (c Config) gridKey() string {
+	if c.GridKey != "" {
+		return c.GridKey
+	}
+	return fmt.Sprint(c.degrees(), c.PrefetchDepths)
 }
 
 // Input is one optimization request: the table, its C2 index, the live

@@ -1,0 +1,416 @@
+// Parameterized plan cache. The Memo keys on exact predicate constants and
+// the exact pool epoch, so a serving tier re-planning one query *shape*
+// millions of times with different constants gets a near-zero hit rate.
+// The ParamCache keys on the shape alone — table/index/stats/model/machine/
+// enumeration grid — and buckets the predicate's estimated selectivity into
+// logarithmic bands: band b holds every query whose selectivity falls in
+// (2^-(b+1), 2^-b]. Within a band the access-path choice is almost always
+// the same; only the cardinality estimate moves. Constants are bound at
+// lookup time: a hit re-prices nothing when the entry is band-stable, or at
+// most the cached winner and its cross-family runner-up when it is not.
+//
+// Residency drift is handled the same way: instead of the memo's
+// epoch-exact invalidate-everything, an epoch mismatch re-costs just the
+// winner and runner-up at the current residency and keeps the entry when
+// the winner still wins by more than the uncertainty margin — full
+// re-enumeration happens only when the ranking actually flips or lands on
+// a crossover.
+//
+// The cache is safe for concurrent readers and writers: host.Sweep workers
+// and ExecuteConcurrent sessions share one instance. Entries are immutable
+// once published (updates swap an atomic pointer), so the hot hit path is
+// lock-free. Config.Obs and Config.Log are NOT thread-safe — concurrent
+// callers must leave them nil; the single-threaded engine driver sets them.
+package opt
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"pioqo/internal/btree"
+	"pioqo/internal/buffer"
+	"pioqo/internal/cost"
+	"pioqo/internal/obs"
+	"pioqo/internal/obs/event"
+	"pioqo/internal/stats"
+	"pioqo/internal/table"
+)
+
+// emptyBand is the sentinel band for zero-selectivity predicates; real
+// bands are 0..emptyBand-1, so a bandSet holds emptyBand+1 slots.
+const emptyBand = 63
+
+// maxShapes bounds the number of cached query shapes. Shapes are few (one
+// per table × plan-option combination), so hitting the cap means shape
+// churn — objects being rebuilt — and the whole map is dropped
+// deterministically rather than evicting in map-iteration order.
+const maxShapes = 256
+
+// selBand buckets an estimated selectivity into its logarithmic band:
+// floor(-log2(sel)), clamped to [0, emptyBand-1], with emptyBand reserved
+// for sel ≤ 0.
+func selBand(sel float64) int {
+	if sel <= 0 {
+		return emptyBand
+	}
+	if sel >= 1 {
+		return 0
+	}
+	b := int(math.Floor(-math.Log2(sel)))
+	if b < 0 {
+		b = 0
+	}
+	if b >= emptyBand {
+		b = emptyBand - 1
+	}
+	return b
+}
+
+// bandEdges returns the band's selectivity extremes — the probe points for
+// the stability test. Band b covers (2^-(b+1), 2^-b].
+func bandEdges(band int) (lo, hi float64) {
+	if band >= emptyBand {
+		return 0, 0
+	}
+	hi = math.Pow(2, -float64(band))
+	return hi / 2, hi
+}
+
+// shapeKey is a memoKey minus the constants: no lo/hi, no epoch. Everything
+// left is fixed for a query shape's lifetime; object-valued fields key on
+// identity exactly as in the memo. The margin is included because both the
+// fallback decision and entry stability depend on it.
+type shapeKey struct {
+	table table.Table
+	index *btree.Index
+	stats *stats.Histogram
+	pool  *buffer.Pool
+
+	model        cost.Model
+	cores        int
+	poolPages    int64
+	sorted       bool
+	queueBudget  int
+	shareParties int
+	margin       float64
+	grid         string
+}
+
+func newShapeKey(cfg Config, in Input) shapeKey {
+	return shapeKey{
+		table:        in.Table,
+		index:        in.Index,
+		stats:        in.Stats,
+		pool:         in.Pool,
+		model:        cfg.Model,
+		cores:        cfg.Cores,
+		poolPages:    cfg.PoolPages,
+		sorted:       cfg.EnableSortedScan,
+		queueBudget:  cfg.QueueBudget,
+		shareParties: cfg.ShareParties,
+		margin:       cfg.greedyMargin(),
+		grid:         cfg.gridKey(),
+	}
+}
+
+// bandEntry is one band's cached decision. Immutable after publication.
+type bandEntry struct {
+	winner Plan
+	// runner is the cheapest plan from a different access-path family —
+	// the crossover competitor revalidation re-prices against. A shape
+	// with a single family (no index, no sharing) has none.
+	runner    Plan
+	hasRunner bool
+
+	// epoch pins the pool residency the entry was priced at.
+	epoch uint64
+
+	// stable means the winner beats the runner by more than the margin at
+	// BOTH selectivity edges of the band (at the entry's residency), so a
+	// same-epoch hit can skip re-pricing entirely.
+	stable bool
+}
+
+// bandSet is one shape's cache line: a crossover table shared by every
+// band, plus one slot per selectivity band. Slots hold immutable entries
+// behind atomic pointers, making lookups lock-free.
+type bandSet struct {
+	cross atomic.Pointer[crossover]
+	slots [emptyBand + 1]atomic.Pointer[bandEntry]
+}
+
+func (s *bandSet) crossoverFor(cfg Config, in Input) *crossover {
+	if cx := s.cross.Load(); cx != nil {
+		return cx
+	}
+	cx := computeCrossover(cfg, in.Table.Pages())
+	s.cross.Store(cx)
+	return cx
+}
+
+// lastShape is a one-entry front cache: serving workloads hammer a single
+// shape, and comparing one struct beats hashing it into the map.
+type lastShape struct {
+	key shapeKey
+	set *bandSet
+}
+
+// ParamCache is the concurrent parameterized plan cache. The zero value is
+// not usable; call NewParamCache.
+type ParamCache struct {
+	mu     sync.RWMutex
+	shapes map[shapeKey]*bandSet
+	last   atomic.Pointer[lastShape]
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	revalidations atomic.Int64
+	greedyPlans   atomic.Int64
+	fallbacks     atomic.Int64
+}
+
+// NewParamCache returns an empty parameterized plan cache.
+func NewParamCache() *ParamCache {
+	return &ParamCache{shapes: make(map[shapeKey]*bandSet)}
+}
+
+// CacheStats is a snapshot of the cache's internal counters.
+type CacheStats struct {
+	// Hits served a query from a cached band entry: the stable O(1) path
+	// or a winner/runner re-pricing that confirmed the cached winner.
+	Hits int64
+	// Misses saw a shape × band combination for the first time.
+	Misses int64
+	// Revalidations are hits that crossed a pool-epoch drift: the entry
+	// was re-priced at the new residency and survived.
+	Revalidations int64
+	// GreedyPlans are misses the greedy fast path decided alone.
+	GreedyPlans int64
+	// Fallbacks are full enumerations forced by a crossover: a greedy
+	// margin trip on miss, or a cached ranking that flipped on rebind.
+	Fallbacks int64
+}
+
+// Stats snapshots the counters. Safe for concurrent use.
+func (pc *ParamCache) Stats() CacheStats {
+	return CacheStats{
+		Hits:          pc.hits.Load(),
+		Misses:        pc.misses.Load(),
+		Revalidations: pc.revalidations.Load(),
+		GreedyPlans:   pc.greedyPlans.Load(),
+		Fallbacks:     pc.fallbacks.Load(),
+	}
+}
+
+// Len reports how many query shapes are currently cached.
+func (pc *ParamCache) Len() int {
+	pc.mu.RLock()
+	defer pc.mu.RUnlock()
+	return len(pc.shapes)
+}
+
+// Reset drops every cached shape and zeroes the counters. Required when a
+// keyed object mutates in place — above all when calibration swaps the
+// cost model's contents.
+func (pc *ParamCache) Reset() {
+	pc.mu.Lock()
+	pc.shapes = make(map[shapeKey]*bandSet)
+	pc.mu.Unlock()
+	pc.last.Store(nil)
+	pc.hits.Store(0)
+	pc.misses.Store(0)
+	pc.revalidations.Store(0)
+	pc.greedyPlans.Store(0)
+	pc.fallbacks.Store(0)
+}
+
+// bandSetFor resolves the shape's cache line, creating it on first sight.
+// The one-entry front cache makes the steady-state path a struct compare;
+// the map is consulted — and, at the cap, deterministically dropped whole —
+// only on shape changes.
+func (pc *ParamCache) bandSetFor(key shapeKey) *bandSet {
+	if ls := pc.last.Load(); ls != nil && ls.key == key {
+		return ls.set
+	}
+	pc.mu.RLock()
+	set, ok := pc.shapes[key]
+	pc.mu.RUnlock()
+	if !ok {
+		pc.mu.Lock()
+		if set, ok = pc.shapes[key]; !ok {
+			if len(pc.shapes) >= maxShapes {
+				pc.shapes = make(map[shapeKey]*bandSet)
+			}
+			set = &bandSet{}
+			pc.shapes[key] = set
+		}
+		pc.mu.Unlock()
+	}
+	pc.last.Store(&lastShape{key: key, set: set})
+	return set
+}
+
+// bindCosting builds the costing context for this query's actual constants:
+// the estimated matched rows at the given selectivity and the pool's
+// current residency.
+func bindCosting(in Input, sel float64) costing {
+	cc := costing{matched: sel * float64(in.Table.Rows())}
+	if in.Pool != nil {
+		cc.resident = residentFraction(in.Pool, in.Table.File(), in.Pool.Resident(in.Table.File()))
+	}
+	return cc
+}
+
+// wins reports whether w beats r by more than the margin — the condition
+// under which the cache trusts a cached ranking without re-enumerating.
+func wins(w, r Plan, margin float64) bool {
+	return w.TotalMicros < r.TotalMicros &&
+		r.TotalMicros-w.TotalMicros > margin*w.TotalMicros
+}
+
+// stableInBand probes the entry at both selectivity edges of its band (at
+// the given residency): when the winner beats the runner by more than the
+// margin at both extremes, same-epoch hits inside the band skip re-pricing.
+// Edge probing is a heuristic — cost curves could in principle cross twice
+// inside a band — but the planbench quality gate measures the realized
+// agreement directly.
+func stableInBand(cfg Config, in Input, band int, resident float64, e *bandEntry) bool {
+	if !e.hasRunner {
+		// Single-family shape: with residency pinned by the epoch check,
+		// re-pricing within the band cannot change the family, and the
+		// winner's degree was chosen at this band's costs.
+		return true
+	}
+	lo, hi := bandEdges(band)
+	rows := float64(in.Table.Rows())
+	margin := cfg.greedyMargin()
+	for _, sel := range [2]float64{lo, hi} {
+		cc := costing{matched: sel * rows, resident: resident}
+		if !wins(costShape(cfg, in, cc, e.winner), costShape(cfg, in, cc, e.runner), margin) {
+			return false
+		}
+	}
+	return true
+}
+
+// publish installs a freshly decided entry for the band, computing its
+// stability at the current residency.
+func (pc *ParamCache) publish(cfg Config, in Input, set *bandSet, band int, epoch uint64, resident float64, t top2) {
+	e := &bandEntry{winner: t.winner, runner: t.runner, hasRunner: t.hasRunner, epoch: epoch}
+	e.stable = stableInBand(cfg, in, band, resident, e)
+	set.slots[band].Store(e)
+}
+
+// Choose returns the cheapest plan for the input through the parameterized
+// cache: band hit → bind constants into the cached winner (O(1) when the
+// entry is band-stable, winner-vs-runner re-pricing otherwise); band miss →
+// greedy fast path with crossover fallback. Safe for concurrent use when
+// cfg.Obs and cfg.Log are nil.
+func (pc *ParamCache) Choose(cfg Config, in Input) Plan {
+	if cfg.Model == nil {
+		panic("opt: Config.Model is nil")
+	}
+	if cfg.Cores <= 0 {
+		panic("opt: Config.Cores must be positive")
+	}
+	sel := selectivity(in, in.Lo, in.Hi)
+	band := selBand(sel)
+	set := pc.bandSetFor(newShapeKey(cfg, in))
+	var epoch uint64
+	if in.Pool != nil {
+		epoch = in.Pool.Epoch()
+	}
+
+	if e := set.slots[band].Load(); e != nil {
+		if e.stable && e.epoch == epoch {
+			// Band-stable at unchanged residency: the cached shape wins
+			// anywhere in the band. Rebind only the cardinality estimate.
+			pc.hits.Add(1)
+			if cfg.Obs != nil {
+				cfg.Obs.Counter(obs.MetricOptOptimizations).Inc()
+				cfg.Obs.Counter(obs.MetricOptBandHits).Inc()
+			}
+			cfg.Log.Emit(event.EvPlanBandHit, event.NoQuery, int64(band), 1)
+			w := e.winner
+			w.EstRows = sel * float64(in.Table.Rows())
+			return w
+		}
+		cc := bindCosting(in, sel)
+		w := costShape(cfg, in, cc, e.winner)
+		confirmed := false
+		var r Plan
+		if e.hasRunner {
+			r = costShape(cfg, in, cc, e.runner)
+			confirmed = wins(w, r, cfg.greedyMargin())
+		} else {
+			// Single-family shape: only residency can move the choice, and
+			// the epoch check covers that.
+			confirmed = e.epoch == epoch
+		}
+		if confirmed {
+			pc.hits.Add(1)
+			if e.epoch != epoch {
+				// Band-tolerant revalidation: residency drifted, but the
+				// winner still wins outside the margin — keep the shape,
+				// re-pin the epoch.
+				pc.revalidations.Add(1)
+				ne := &bandEntry{winner: w, runner: r, hasRunner: e.hasRunner, epoch: epoch}
+				ne.stable = stableInBand(cfg, in, band, cc.resident, ne)
+				set.slots[band].Store(ne)
+				if cfg.Obs != nil {
+					cfg.Obs.Counter(obs.MetricOptOptimizations).Inc()
+					cfg.Obs.Counter(obs.MetricOptBandRevalidations).Inc()
+				}
+				cfg.Log.Emit(event.EvPlanRevalidate, event.NoQuery, int64(band), 1)
+			} else {
+				if cfg.Obs != nil {
+					cfg.Obs.Counter(obs.MetricOptOptimizations).Inc()
+					cfg.Obs.Counter(obs.MetricOptBandHits).Inc()
+				}
+				cfg.Log.Emit(event.EvPlanBandHit, event.NoQuery, int64(band), 0)
+			}
+			return w
+		}
+		// The cached ranking flipped or landed inside the margin: this
+		// query sits on a crossover, so pay for the full enumeration.
+		// (Enumerate counts the optimization itself.)
+		pc.fallbacks.Add(1)
+		if e.epoch != epoch {
+			cfg.Log.Emit(event.EvPlanRevalidate, event.NoQuery, int64(band), 0)
+		}
+		t := pickTop(Enumerate(cfg, in))
+		if cfg.Obs != nil {
+			cfg.Obs.Counter(obs.MetricOptGreedyFallbacks).Inc()
+		}
+		cfg.Log.Emit(event.EvGreedyFallback, event.NoQuery, int64(band), int64(t.n))
+		pc.publish(cfg, in, set, band, epoch, cc.resident, t)
+		return t.winner
+	}
+
+	// First sight of this shape × band: decide through the greedy fast
+	// path, falling back to full enumeration near crossovers.
+	pc.misses.Add(1)
+	if cfg.Obs != nil {
+		cfg.Obs.Counter(obs.MetricOptBandMisses).Inc()
+	}
+	cfg.Log.Emit(event.EvPlanBandMiss, event.NoQuery, int64(band), 0)
+	cc := bindCosting(in, sel)
+	t, fell := greedyPlan(cfg, in, cc, set.crossoverFor(cfg, in))
+	if fell {
+		pc.fallbacks.Add(1)
+		if cfg.Obs != nil {
+			cfg.Obs.Counter(obs.MetricOptGreedyFallbacks).Inc()
+		}
+		cfg.Log.Emit(event.EvGreedyFallback, event.NoQuery, int64(band), int64(t.n))
+	} else {
+		pc.greedyPlans.Add(1)
+		if cfg.Obs != nil {
+			cfg.Obs.Counter(obs.MetricOptOptimizations).Inc()
+			cfg.Obs.Counter(obs.MetricOptGreedyPlans).Inc()
+		}
+		cfg.Log.Emit(event.EvGreedyPlan, event.NoQuery, int64(band), int64(t.n))
+	}
+	pc.publish(cfg, in, set, band, epoch, cc.resident, t)
+	return t.winner
+}

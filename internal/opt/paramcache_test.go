@@ -1,0 +1,238 @@
+package opt
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"pioqo/internal/host"
+)
+
+func TestSelBand(t *testing.T) {
+	cases := []struct {
+		sel  float64
+		band int
+	}{
+		{1.0, 0}, {0.75, 0}, {0.5, 1}, {0.3, 1}, {0.25, 2},
+		{0.01, 6}, {1e-5, 16}, {0, emptyBand}, {-1, emptyBand},
+		{math.SmallestNonzeroFloat64, emptyBand - 1}, {2, 0},
+	}
+	for _, c := range cases {
+		if got := selBand(c.sel); got != c.band {
+			t.Errorf("selBand(%g) = %d, want %d", c.sel, got, c.band)
+		}
+	}
+	for _, band := range []int{0, 1, 6, 40} {
+		lo, hi := bandEdges(band)
+		if selBand(hi) != band {
+			t.Errorf("band %d: hi edge %g maps to band %d", band, hi, selBand(hi))
+		}
+		if lo > 0 && selBand(lo) != band+1 {
+			t.Errorf("band %d: lo edge %g maps to band %d, want %d (exclusive edge)",
+				band, lo, selBand(lo), band+1)
+		}
+	}
+}
+
+// paramFixture returns a warm config+input pair for cache tests.
+func paramFixture(t *testing.T) (Config, Input, *fixture) {
+	t.Helper()
+	f := newFixture(t, "ssd", 50000, 33)
+	cfg := f.cfg
+	cfg.Model = f.qdtt
+	cfg.GridKey = GridKey(cfg.Degrees, cfg.PrefetchDepths)
+	in := f.in
+	in.Lo, in.Hi = rangeFor(in.Table, 0.01)
+	return cfg, in, f
+}
+
+// TestParamCacheBindsConstantsWithinBand is the tentpole behaviour: queries
+// with different constants but the same shape and selectivity band are
+// served from one cached entry, each with its own cardinality estimate.
+func TestParamCacheBindsConstantsWithinBand(t *testing.T) {
+	cfg, in, f := paramFixture(t)
+	// Deep index-scan territory, far from any crossover: band 9 covers
+	// (0.098%, 0.195%].
+	in.Lo, in.Hi = rangeFor(f.in.Table, 0.0015)
+	pc := NewParamCache()
+
+	first := pc.Choose(cfg, in)
+	if s := pc.Stats(); s.Misses != 1 || s.Hits != 0 {
+		t.Fatalf("first lookup: %+v, want 1 miss", s)
+	}
+
+	// Same band, different constants.
+	rows := float64(in.Table.Rows())
+	for i, sel := range []float64{0.001, 0.0012, 0.0018} {
+		q := in
+		q.Lo, q.Hi = rangeFor(f.in.Table, sel)
+		q.Lo += int64(i) // shift the window; width fixes the selectivity
+		q.Hi += int64(i)
+		got := pc.Choose(cfg, q)
+		if got.Method != first.Method || got.Degree != first.Degree {
+			t.Errorf("sel=%.4f: served %v, cached shape was %v", sel, got, first)
+		}
+		wantRows := selectivity(q, q.Lo, q.Hi) * rows
+		if math.Abs(got.EstRows-wantRows) > 0.5 {
+			t.Errorf("sel=%.4f: EstRows %.1f, want rebound %.1f", sel, got.EstRows, wantRows)
+		}
+	}
+	if s := pc.Stats(); s.Misses != 1 || s.Hits != 3 {
+		t.Errorf("after 3 same-band lookups: %+v, want 1 miss + 3 hits", s)
+	}
+}
+
+func TestParamCacheSeparatesBandsAndShapes(t *testing.T) {
+	cfg, in, f := paramFixture(t)
+	pc := NewParamCache()
+
+	// Distant bands are distinct entries.
+	for _, sel := range []float64{0.01, 0.1, 0.0001} {
+		q := in
+		q.Lo, q.Hi = rangeFor(f.in.Table, sel)
+		pc.Choose(cfg, q)
+	}
+	if s := pc.Stats(); s.Misses != 3 {
+		t.Errorf("3 distant selectivities: %+v, want 3 misses", s)
+	}
+	if pc.Len() != 1 {
+		t.Errorf("one shape expected, cache holds %d", pc.Len())
+	}
+
+	// A different grid is a different shape.
+	gridCfg := cfg
+	gridCfg.PrefetchDepths = []int{4, 16}
+	gridCfg.GridKey = GridKey(gridCfg.Degrees, gridCfg.PrefetchDepths)
+	pc.Choose(gridCfg, in)
+	if pc.Len() != 2 {
+		t.Errorf("second grid: cache holds %d shapes, want 2", pc.Len())
+	}
+
+	// So is a different queue budget (the broker's leased re-plans).
+	leaseCfg := cfg
+	leaseCfg.QueueBudget = 2
+	if got := pc.Choose(leaseCfg, in); got.Degree > 2 {
+		t.Errorf("budget 2 served degree %d", got.Degree)
+	}
+	if pc.Len() != 3 {
+		t.Errorf("third shape: cache holds %d, want 3", pc.Len())
+	}
+}
+
+func TestParamCacheRevalidatesOnEpochDrift(t *testing.T) {
+	cfg, in, _ := paramFixture(t)
+	pc := NewParamCache()
+	pc.Choose(cfg, in)
+
+	// Residency drift: warm 100 heap pages, bumping the pool epoch. The
+	// memo would invalidate everything; the param cache re-prices only
+	// winner vs. runner-up and keeps the entry when the winner survives.
+	for p := int64(0); p < 100; p++ {
+		in.Pool.Prefetch(in.Table.File(), p)
+	}
+	got := pc.Choose(cfg, in)
+	s := pc.Stats()
+	if s.Revalidations != 1 && s.Fallbacks < 1 {
+		t.Fatalf("epoch drift neither revalidated nor re-enumerated: %+v", s)
+	}
+	// Whatever path it took, the served plan must match a fresh full
+	// optimization at the current residency... up to the uncertainty
+	// margin the cache is allowed to absorb.
+	full := Choose(cfg, in)
+	if got != full && got.TotalMicros/full.TotalMicros-1 > cfg.greedyMargin() {
+		t.Errorf("after drift served %v, full optimization %v", got, full)
+	}
+
+	// A second lookup at the new epoch is a plain hit again.
+	before := pc.Stats().Hits
+	pc.Choose(cfg, in)
+	if pc.Stats().Hits != before+1 {
+		t.Errorf("post-drift lookup did not hit: %+v", pc.Stats())
+	}
+}
+
+func TestParamCacheResetAndBound(t *testing.T) {
+	cfg, in, _ := paramFixture(t)
+	pc := NewParamCache()
+
+	// Shape churn far past the cap: every queue budget is its own shape.
+	for b := 1; b <= maxShapes+50; b++ {
+		c := cfg
+		c.QueueBudget = b
+		pc.Choose(c, in)
+	}
+	if n := pc.Len(); n > maxShapes {
+		t.Errorf("cache grew to %d shapes, cap is %d", n, maxShapes)
+	}
+
+	pc.Reset()
+	if pc.Len() != 0 {
+		t.Error("Reset left shapes behind")
+	}
+	if s := pc.Stats(); s != (CacheStats{}) {
+		t.Errorf("Reset left counters: %+v", s)
+	}
+	if got := pc.Choose(cfg, in); got != Choose(cfg, in) &&
+		got.TotalMicros/Choose(cfg, in).TotalMicros-1 > 0.05 {
+		t.Error("post-Reset lookup served a bad plan")
+	}
+}
+
+// TestParamCacheStableHitAllocs gates the serving hot path: a band-stable
+// hit binds constants with zero heap allocations, and building a memo key
+// with a precomputed GridKey allocates nothing either (the satellite fix
+// for the fmt.Sprint-per-lookup regression).
+func TestParamCacheStableHitAllocs(t *testing.T) {
+	cfg, in, f := paramFixture(t)
+	in.Lo, in.Hi = rangeFor(f.in.Table, 0.0015) // far from any crossover
+	pc := NewParamCache()
+	pc.Choose(cfg, in) // warm
+
+	if s := pc.Stats(); s.Misses != 1 {
+		t.Fatalf("warm-up: %+v", s)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		pc.Choose(cfg, in)
+	}); allocs > 0 {
+		t.Errorf("cached Choose allocates %.1f/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		newMemoKey(cfg, in)
+	}); allocs > 0 {
+		t.Errorf("newMemoKey with precomputed GridKey allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestParamCacheConcurrentReaders drives one shared cache from host.Sweep
+// workers — the race test behind the concurrent-reader tentpole claim (the
+// opt package runs under -race in verify.sh). Obs and Log stay nil: those
+// sinks are simulation-confined.
+func TestParamCacheConcurrentReaders(t *testing.T) {
+	cfg, in, f := paramFixture(t)
+	pc := NewParamCache()
+
+	sels := []float64{0.0001, 0.001, 0.01, 0.05, 0.3, 1.0}
+	const lookups = 2000
+	var served atomic.Int64
+	host.Sweep(8, lookups, func(i int) {
+		q := in
+		q.Lo, q.Hi = rangeFor(f.in.Table, sels[i%len(sels)])
+		q.Lo += int64(i % 7)
+		q.Hi += int64(i % 7)
+		p := pc.Choose(cfg, q)
+		if p.TotalMicros <= 0 {
+			t.Errorf("lookup %d served un-costed plan %v", i, p)
+		}
+		served.Add(1)
+	})
+	if served.Load() != lookups {
+		t.Fatalf("served %d of %d lookups", served.Load(), lookups)
+	}
+	s := pc.Stats()
+	if s.Hits+s.Misses+s.Fallbacks < lookups {
+		t.Errorf("counters lost lookups: %+v", s)
+	}
+	if s.Hits < lookups/2 {
+		t.Errorf("parameterized workload mostly missed: %+v", s)
+	}
+}

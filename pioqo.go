@@ -98,6 +98,15 @@ type Config struct {
 	// benchmarking the degradation response (experiments.Degradation).
 	NoDegradationReplan bool
 
+	// GreedyPlanning routes every optimization through the serving-scale
+	// plan path: the parameterized plan cache (keyed on query shape with
+	// logarithmic selectivity bands, constants bound at lookup) backed by
+	// the greedy O(n) access-path fast path with cost-crossover fallback
+	// to full enumeration. Off by default — the exhaustive memoized
+	// enumeration stays byte-identical to previous releases; per-query
+	// opt-in is WithGreedyPlanning.
+	GreedyPlanning bool
+
 	// EventLog, when positive, enables the engine's structured event log
 	// at assembly time with that ring capacity (see EnableEventLog).
 	// Default 0: disabled, with every emit site a single nil check.
@@ -132,6 +141,15 @@ type System struct {
 	// are dropped whenever a calibration installs a new model.
 	memo     *opt.Memo
 	depthOne *cost.DTT
+
+	// pcache is the serving-scale parameterized plan cache; Plan routes
+	// through it instead of the memo when greedy planning is on (system
+	// default greedy, or per-query WithGreedyPlanning). gridKeys caches the
+	// flattened enumeration-grid strings plan caches key on, one per
+	// distinct PlanOptions grid, so per-query planning never rebuilds them.
+	pcache   *opt.ParamCache
+	greedy   bool
+	gridKeys map[gridSpec]string
 
 	// broker is the shared resource-governance layer (internal/broker),
 	// built lazily from the calibrated model and dropped with it; session
@@ -183,6 +201,9 @@ func New(cfg Config) *System {
 		noDegrade: cfg.NoDegradationReplan,
 		tables:    make(map[string]*Table),
 		memo:      opt.NewMemo(),
+		pcache:    opt.NewParamCache(),
+		greedy:    cfg.GreedyPlanning,
+		gridKeys:  make(map[gridSpec]string),
 		reg:       obs.NewRegistry(env),
 	}
 	s.dev.Metrics().Publish(s.reg)

@@ -170,6 +170,29 @@ type PlanOptions struct {
 	// from live per-table interest; standalone planning may set it to
 	// price the attach path by hand.
 	ShareParties int
+
+	// GreedyPlanning routes this optimization through the serving-scale
+	// plan path — the parameterized selectivity-band cache backed by the
+	// greedy O(n) fast path — instead of the exhaustive memoized
+	// enumeration. See Config.GreedyPlanning for the system-wide default
+	// and WithGreedyPlanning for the query-option form.
+	GreedyPlanning bool
+}
+
+// gridSpec identifies one distinct enumeration grid a PlanOptions value can
+// produce, for caching the flattened grid-key string plan caches key on.
+type gridSpec struct {
+	maxDegree int
+	prefetch  bool
+}
+
+func (s *System) gridKeyFor(spec gridSpec, degrees, prefetchDepths []int) string {
+	if k, ok := s.gridKeys[spec]; ok {
+		return k
+	}
+	k := opt.GridKey(degrees, prefetchDepths)
+	s.gridKeys[spec] = k
+	return k
 }
 
 func (s *System) optConfig(q Query, o PlanOptions) (opt.Config, opt.Input, error) {
@@ -208,6 +231,8 @@ func (s *System) optConfig(q Query, o PlanOptions) (opt.Config, opt.Input, error
 	if o.EnablePrefetchPlanning {
 		cfg.PrefetchDepths = []int{2, 4, 8, 16, 32}
 	}
+	cfg.GridKey = s.gridKeyFor(gridSpec{maxDegree: o.MaxDegree, prefetch: o.EnablePrefetchPlanning},
+		degrees, cfg.PrefetchDepths)
 	in := opt.Input{
 		Table: q.Table.tab,
 		Index: q.Table.idx,
@@ -244,6 +269,9 @@ func (s *System) Plan(q Query, o PlanOptions) (Plan, error) {
 	cfg, in, err := s.optConfig(q, o)
 	if err != nil {
 		return Plan{}, err
+	}
+	if o.GreedyPlanning || s.greedy {
+		return fromInternalPlan(s.pcache.Choose(cfg, in)), nil
 	}
 	return fromInternalPlan(s.memo.Choose(cfg, in)), nil
 }
@@ -401,3 +429,42 @@ func WithNoScanSharing() QueryOption { return func(o *queryOptions) { o.noShare 
 // credits — the pre-broker behaviour, kept for A/B benchmarking against
 // dynamic admission control.
 func StaticSplit() QueryOption { return func(o *queryOptions) { o.staticSplit = true } }
+
+// WithGreedyPlanning plans this query through the serving-scale plan path:
+// the parameterized selectivity-band cache backed by the greedy O(n)
+// access-path fast path, falling back to full enumeration only near cost
+// crossovers. The A/B control for benchmarking planner throughput;
+// Config.GreedyPlanning turns it on system-wide.
+func WithGreedyPlanning() QueryOption { return func(o *queryOptions) { o.plan.GreedyPlanning = true } }
+
+// PlannerStats snapshots the plan caches' traffic counters: the exact-match
+// memo on the default path, and the parameterized band cache serving greedy
+// planning.
+type PlannerStats struct {
+	// MemoHits and MemoMisses count the exact-key memo's traffic.
+	MemoHits, MemoMisses int64
+	// BandHits and BandMisses count parameterized-cache lookups that bound
+	// constants into a cached band entry vs. planned a shape × band fresh.
+	BandHits, BandMisses int64
+	// BandRevalidations counts pool-epoch drifts survived by re-pricing
+	// only the cached winner and runner-up.
+	BandRevalidations int64
+	// GreedyPlans counts decisions the O(n) fast path made alone;
+	// GreedyFallbacks counts crossover-forced full enumerations.
+	GreedyPlans, GreedyFallbacks int64
+}
+
+// PlannerStats reports the plan caches' cumulative hit/miss counters.
+func (s *System) PlannerStats() PlannerStats {
+	mh, mm := s.memo.Stats()
+	cs := s.pcache.Stats()
+	return PlannerStats{
+		MemoHits:          mh,
+		MemoMisses:        mm,
+		BandHits:          cs.Hits,
+		BandMisses:        cs.Misses,
+		BandRevalidations: cs.Revalidations,
+		GreedyPlans:       cs.GreedyPlans,
+		GreedyFallbacks:   cs.Fallbacks,
+	}
+}

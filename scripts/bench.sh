@@ -245,3 +245,49 @@ cat >"$OUT7" <<EOF
 EOF
 
 echo "wrote $OUT7 (host_cores=$CORES)"
+
+# ---- PR8: serving-scale planning ------------------------------------------
+
+# BENCH_PR8.json captures the serving-scale planner's two claims. Throughput
+# (host wall-clock, so host-dependent — compare only within one snapshot):
+# on a parameterized workload with fresh predicate constants every query,
+# the parameterized selectivity-band cache must beat the PR 7 serving
+# baseline — the exact-key memo, which misses on every fresh constant — by
+# at least 100x plans/sec. Quality (virtual-time cost model, deterministic):
+# across the selectivity x device grid the greedy O(n) fast path must pick
+# the full enumeration's winner on >= 95% of points and price within 5% of
+# it everywhere else. The public-API microbenchmarks (BenchmarkChoose vs
+# BenchmarkGreedyChoose) record the same A/B including engine overhead.
+
+OUT8=BENCH_PR8.json
+
+PLAN_DEFAULT=$("$BIN" -scale default -queries 100000 -json planbench)
+PLAN_QUICK=$("$BIN" -scale quick -queries 20000 -json planbench)
+
+PLANNER_MICRO=$(go test -run '^$' -bench 'BenchmarkChoose$|BenchmarkGreedyChoose$' -benchmem . |
+	awk '
+		/^Benchmark/ {
+			name = $1
+			sub(/-[0-9]+$/, "", name)
+			printf "%s    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, name, $3, $5, $7
+			sep = ",\n"
+		}
+	')
+
+cat >"$OUT8" <<EOF
+{
+  $HOST_META,
+  "workload": "one query shape, fresh predicate constants every lookup; 4 serving selectivities cycling, window position striding the key domain",
+  "claims": {
+    "throughput": "paramcache plans/sec >= 100x memo-miss plans/sec per device (speedup_vs_memo_miss field)",
+    "quality": "greedy agrees with full enumeration on >= 95% of the selectivity x device grid, <= 5% cost regret elsewhere (AgreePct / MaxRegretPct fields)"
+  },
+  "planner_microbenchmarks": [
+$PLANNER_MICRO
+  ],
+  "planbench_default_scale": $PLAN_DEFAULT,
+  "planbench_quick_scale": $PLAN_QUICK
+}
+EOF
+
+echo "wrote $OUT8 (host_cores=$CORES)"

@@ -99,6 +99,27 @@ if grep -rnE '(log|Log|events)\.Emit\(' --include='*.go' . |
 	exit 1
 fi
 
+# Planner-event catalog lint: the serving planner's event names
+# ("plancache.*" / "planner.*") exist only as catalog descriptions in
+# internal/obs — call sites emit the typed event.EvPlan*/EvGreedy*
+# constants. A literal name elsewhere is an emission the catalog, the JSONL
+# schema, and the planner dashboards don't know about.
+if grep -rnE '"(plancache|planner)\.' --include='*.go' . |
+	grep -v '_test\.go' |
+	grep -v './internal/obs/'; then
+	echo "verify: literal plancache.*/planner.* event name outside internal/obs (emit a cataloged event.Ev* constant)" >&2
+	exit 1
+fi
+
+# Every planner event type added for the serving plan path must be
+# described in the event catalog; an empty Desc breaks JSONL consumers.
+for ev in plancache.band_hit plancache.band_miss plancache.revalidate planner.greedy planner.fallback; do
+	if ! grep -q "\"$ev\"" internal/obs/event/catalog.go; then
+		echo "verify: planner event $ev missing from internal/obs/event/catalog.go" >&2
+		exit 1
+	fi
+done
+
 # Zero-overhead gate: the disabled event-log path must stay allocation-free
 # — a nil log's Emit is one comparison, so observability-off runs remain
 # byte-identical to pre-observability builds at zero cost.
