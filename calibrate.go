@@ -8,7 +8,6 @@ import (
 
 	"pioqo/internal/calibrate"
 	"pioqo/internal/cost"
-	"pioqo/internal/disk"
 )
 
 // CalibrationMethod selects how the calibrator generates device queue
@@ -78,7 +77,7 @@ type Calibration struct {
 // model as the optimizer's cost model. Call it once per device (the paper
 // recalibrates when hardware changes, or during idle cycles).
 func (s *System) Calibrate(o CalibrationOptions) (*Calibration, error) {
-	cfg := calibrate.DefaultConfig(s.dev)
+	cfg := calibrate.DefaultConfig(s.coord().Dev)
 	cfg.Method = o.Method.internal()
 	if o.MaxReads > 0 {
 		cfg.MaxReads = o.MaxReads
@@ -97,7 +96,9 @@ func (s *System) Calibrate(o CalibrationOptions) (*Calibration, error) {
 			o.MaxReads, o.Repetitions)
 	}
 
-	out := calibrate.Run(s.env, s.dev, cfg)
+	// Calibration measures node 0's device; every node runs the same
+	// device kind, so the one model prices I/O for all shards.
+	out := calibrate.Run(s.env, s.coord().Dev, cfg)
 	s.installModel(out.Model)
 	return &Calibration{
 		Model:        out.Model,
@@ -118,9 +119,9 @@ func (s *System) Model() (*cost.QDTT, error) {
 	return s.model, nil
 }
 
-// DevicePages reports the device capacity in pages — the largest band the
-// cost models can be asked about.
-func (s *System) DevicePages() int64 { return s.dev.Size() / disk.PageSize }
+// DevicePages reports the per-node device capacity in pages — the largest
+// band the cost models can be asked about.
+func (s *System) DevicePages() int64 { return s.coord().DevicePages() }
 
 // SaveModel writes the calibrated QDTT model as JSON, so a deployment can
 // persist a calibration and reload it at startup instead of re-measuring
@@ -160,6 +161,9 @@ func (s *System) installModel(m *cost.QDTT) {
 	s.pcache.Reset()
 	s.broker = nil
 	s.session = nil
+	for _, n := range s.nodes {
+		n.Broker = nil
+	}
 }
 
 // depthOneModel returns the model's depth-one projection, built once per

@@ -44,6 +44,7 @@ var (
 	parallel   = flag.Int("parallel", 0, "host workers for sweep points: 0 = one per core, 1 = serial (output is identical either way)")
 	concurrent = flag.Int("concurrent", 8, "admission: number of queries in the skewed concurrent batch")
 	queries    = flag.Int("queries", 100000, "planbench: plan lookups per throughput arm")
+	shards     = flag.Int("shards", 8, "shard: maximum shard count for the scaling grid")
 )
 
 func main() {
@@ -90,7 +91,7 @@ func main() {
 			"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 			"earlystop", "qdprofile", "concurrency", "admission", "degrade",
 			"slo", "shared", "joins", "mixed", "accuracy", "optimality",
-			"planbench"} {
+			"planbench", "shard"} {
 			fmt.Printf("== %s ==\n", e)
 			if err := run(sc, e, *panel); err != nil {
 				fmt.Fprintf(os.Stderr, "pioqo-bench: %v\n", err)
@@ -166,6 +167,9 @@ experiments:
   planbench  serving-scale planner: plans/sec per plan path (exact-key memo
              vs parameterized band cache, drifting and concurrent) plus the
              greedy-vs-full quality grid (-queries N, -json)
+  shard      sharded scatter-gather: makespan vs shard count across the
+             skew grid, straggler hedging A/B, and the range-partition
+             rebalance sweep (-shards N, -json)
   all        everything above
 `)
 }
@@ -461,6 +465,19 @@ func run(sc experiments.Scale, exp, panel string) error {
 			fmt.Fprintf(w, "%s\t%d\t%d\t%.1f\t%.1f\t%.1f\t%.1f\t%d\t%d\t%d\t%.2fx\n",
 				r.Arm, r.Queries, r.Scans, r.MakespanMs, r.ScanP50Ms, r.ScanP95Ms,
 				r.PointP95Ms, r.DeviceReads, r.SharedAdmissions, r.Laps, r.Speedup)
+		}
+	case "shard":
+		rows := sc.Shard(*shards)
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rows)
+		}
+		fmt.Fprintln(w, "arm\tshards\tpartition\tzipf\tplan\tfanout\tmakespan_ms\tspeedup\thedges\twins\thot_rows\tmean_rows")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%d\t%s\t%.1f\t%s\t%d\t%.2f\t%.2fx\t%d\t%d\t%d\t%d\n",
+				r.Arm, r.Shards, r.Partition, r.Zipf, r.Plan, r.Fanout,
+				r.MakespanMs, r.Speedup, r.HedgesIssued, r.HedgeWins, r.HotRows, r.MeanRows)
 		}
 	case "qdprofile":
 		if *jsonOut {

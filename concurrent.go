@@ -56,7 +56,7 @@ func (s *System) ExecuteConcurrent(queries []Query, opts ...QueryOption) (Concur
 	}
 	if eo.cold {
 		// Flush before planning: residency statistics feed the optimizer.
-		s.pool.Flush()
+		s.FlushBufferPool()
 	}
 
 	ses, err := s.batchSession(len(queries), eo)
@@ -80,14 +80,15 @@ func (s *System) ExecuteConcurrent(queries []Query, opts ...QueryOption) (Concur
 	}
 
 	// Meter the device over exactly the batch window; Elapsed is the
-	// makespan, not the max per-query runtime.
-	s.dev.Metrics().Reset()
-	s.pool.ResetStats()
+	// makespan, not the max per-query runtime. Sessions are single-node,
+	// so the coordinator's device is the batch's device.
+	s.coord().Dev.Metrics().Reset()
+	s.coord().Pool.ResetStats()
 	start := s.env.Now()
 	if err := ses.Drain(); err != nil {
 		return ConcurrentResult{}, err
 	}
-	io := s.dev.Metrics().Snapshot()
+	io := s.coord().Dev.Metrics().Snapshot()
 
 	shares := broker.SplitCredits(ses.b.Total(), len(queries))
 	out := ConcurrentResult{

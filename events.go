@@ -72,14 +72,12 @@ func (s *System) DisableEventLog() { s.setEventLog(nil) }
 // EventLogEnabled reports whether the engine event log is on.
 func (s *System) EventLogEnabled() bool { return s.events != nil }
 
-// setEventLog installs l on every layer that emits. The broker may not
-// exist yet — sharedBroker passes s.events at build time.
+// setEventLog installs l on every layer of every node that emits. The
+// broker may not exist yet — sharedBroker passes s.events at build time.
 func (s *System) setEventLog(l *event.Log) {
 	s.events = l
-	s.inj.SetLog(l)
-	s.pool.SetEventLog(l)
-	if s.shares != nil {
-		s.shares.SetEventLog(l)
+	for _, n := range s.nodes {
+		n.SetEventLog(l)
 	}
 	if s.broker != nil {
 		s.broker.SetLog(l)

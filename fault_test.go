@@ -72,8 +72,10 @@ func assertNoLeaks(t *testing.T, sys *System) {
 	if n := sys.env.LiveProcs(); n != 0 {
 		t.Errorf("%d simulation processes leaked", n)
 	}
-	if n := sys.pool.Pinned(); n != 0 {
-		t.Errorf("%d buffer pins leaked", n)
+	for _, n := range sys.nodes {
+		if pins := n.Pool.Pinned(); pins != 0 {
+			t.Errorf("node %d: %d buffer pins leaked", n.ID, pins)
+		}
 	}
 	if sys.broker != nil {
 		if n := sys.broker.InUse(); n != 0 {

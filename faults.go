@@ -89,18 +89,43 @@ type FaultStats struct {
 // queue depth the degraded device can still turn into throughput —
 // graceful degradation instead of queue-depth thrash. Config's
 // NoDegradationReplan disables that response for A/B comparison.
-func (s *System) InjectFaults(sch FaultSchedule) { s.inj.Arm(sch.internal()) }
-
-// ClearFaults removes the fault schedule; the device is healthy again.
-func (s *System) ClearFaults() { s.inj.Disarm() }
-
-// FaultStats reports the injector's activity since the last InjectFaults.
-func (s *System) FaultStats() FaultStats {
-	st := s.inj.Stats()
-	return FaultStats{
-		Errors:     st.Errors,
-		Stragglers: st.Stragglers,
-		Delayed:    st.Delayed,
-		Throttled:  st.Throttled,
+//
+// On a sharded system every node is its own fault-injection domain: the
+// schedule is armed on each node with a per-node derived seed, so the
+// windows align in virtual time but each device draws its errors and
+// stragglers independently.
+func (s *System) InjectFaults(sch FaultSchedule) {
+	for i, n := range s.nodes {
+		nsch := sch.internal()
+		if i > 0 {
+			seed := nsch.Seed
+			if seed == 0 {
+				seed = 1
+			}
+			nsch.Seed = seed + int64(i)
+		}
+		n.Inj.Arm(nsch)
 	}
+}
+
+// ClearFaults removes the fault schedule from every node; the cluster is
+// healthy again.
+func (s *System) ClearFaults() {
+	for _, n := range s.nodes {
+		n.Inj.Disarm()
+	}
+}
+
+// FaultStats reports the injectors' activity since the last InjectFaults,
+// summed across nodes.
+func (s *System) FaultStats() FaultStats {
+	var out FaultStats
+	for _, n := range s.nodes {
+		st := n.Inj.Stats()
+		out.Errors += st.Errors
+		out.Stragglers += st.Stragglers
+		out.Delayed += st.Delayed
+		out.Throttled += st.Throttled
+	}
+	return out
 }

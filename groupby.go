@@ -50,16 +50,21 @@ func (s *System) ExecuteGroupBy(q GroupByQuery, opts ...ExecOption) (GroupByResu
 		o(&eo)
 	}
 	if eo.cold {
-		s.pool.Flush()
+		s.FlushBufferPool()
 	}
 	plan, err := s.Plan(Query{Table: q.Table, Low: q.Low, High: q.High}, eo.plan)
 	if err != nil {
 		return GroupByResult{}, err
 	}
+	if q.Table.sharded() {
+		// Per-shard grouped aggregation, group partials folded on the
+		// coordinator — GROUP BY decomposes like the scalar aggregates.
+		return s.executeGatherGroupBy(q, plan, eo)
+	}
 	spec := exec.GroupBySpec{
 		Scan: exec.Spec{
-			Table:             q.Table.tab,
-			Index:             q.Table.idx,
+			Table:             q.Table.one().tab,
+			Index:             q.Table.one().idx,
 			Lo:                q.Low,
 			Hi:                q.High,
 			Method:            plan.Method.internal(),

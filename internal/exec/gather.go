@@ -1,0 +1,268 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pioqo/internal/obs"
+	"pioqo/internal/obs/event"
+	"pioqo/internal/sim"
+	"pioqo/internal/table"
+)
+
+// The gather operator: a sharded query scatters one scan spec per shard,
+// each running on its own node's storage stack (context), and merges the
+// per-shard partial results in virtual time. The aggregates are
+// decomposable — MAX/MIN/COUNT/SUM partials fold with the same agg.merge
+// the per-worker accumulators use — and Emit-based consumers get the
+// per-shard row streams interleaved back into global index order by a
+// k-way ordered merge. Per-shard Progress rolls up into the query's
+// counter by sharing one pointer across the shard specs (increments are
+// serialized by the simulation).
+
+// ShardScan is one shard's slice of a gather: the node-local execution
+// context and the spec planned for that shard.
+type ShardScan struct {
+	Ctx  *Context
+	Spec Spec
+
+	// Admit, when set, runs in the shard's process before the scan starts
+	// — typically awaiting a lease from the shard node's broker, binding
+	// it to the spec's governor — and returns the release to run when the
+	// shard finishes. It may mutate the spec (Gov, PoolShare).
+	Admit func(p *sim.Proc, spec *Spec) func()
+}
+
+// GatherSpec describes a scatter-gather execution.
+type GatherSpec struct {
+	// Shards holds the active (unpruned) shard scans, in shard order.
+	Shards []ShardScan
+
+	// Agg is the decomposable aggregate the merge stage folds. Ignored
+	// when Emit is set.
+	Agg AggKind
+
+	// Emit, when set, receives every matching row in global C2 order: the
+	// per-shard streams are collected and k-way merged by key — the
+	// "ordered index merge" path. Shard specs should be planned at degree
+	// 1 index scans for a meaningful global order.
+	Emit func(rowID int64, row table.Row)
+
+	// Pruned is the number of shards partition pruning skipped, for the
+	// scatter event and metrics.
+	Pruned int
+
+	// QID attributes gather events to the owning query.
+	QID int64
+}
+
+// GatherResult reports a scatter-gather execution: the merged result plus
+// the per-shard partials.
+type GatherResult struct {
+	Result
+
+	// Partials holds each active shard's own result, in Shards order.
+	Partials []Result
+}
+
+// emitRow is one buffered row of an ordered gather.
+type emitRow struct {
+	rowID int64
+	row   table.Row
+}
+
+// RunGather scatters the shard scans onto their own processes, waits for
+// every partial, and merges. It runs from an existing process (the
+// query's coordinator); Execute-style metering is ExecuteGather's job.
+func RunGather(p *sim.Proc, gs GatherSpec) GatherResult {
+	if len(gs.Shards) == 0 {
+		panic("exec: RunGather without shards")
+	}
+	ctx0 := gs.Shards[0].Ctx
+	env := ctx0.Env
+	ctx0.Log.Emit(event.EvShardScatter, gs.QID, int64(len(gs.Shards)), int64(gs.Pruned))
+	if ctx0.Reg != nil {
+		ctx0.Reg.Counter(obs.MetricShardScatters).Inc()
+		ctx0.Reg.Counter(obs.MetricShardPartials).Add(int64(len(gs.Shards)))
+		ctx0.Reg.Counter(obs.MetricShardPruned).Add(int64(gs.Pruned))
+	}
+
+	out := GatherResult{Partials: make([]Result, len(gs.Shards))}
+	ordered := make([][]emitRow, len(gs.Shards))
+	wg := sim.NewWaitGroup(env)
+	wg.Add(len(gs.Shards))
+	for i := range gs.Shards {
+		i := i
+		sh := gs.Shards[i]
+		env.Go(fmt.Sprintf("%s-shard%d", p.Name(), i), func(sp *sim.Proc) {
+			defer wg.Done()
+			spec := sh.Spec
+			if gs.Emit != nil {
+				spec.Emit = func(rowID int64, row table.Row) {
+					ordered[i] = append(ordered[i], emitRow{rowID, row})
+				}
+			}
+			if sh.Admit != nil {
+				release := sh.Admit(sp, &spec)
+				if release != nil {
+					defer release()
+				}
+			}
+			out.Partials[i] = RunScan(sp, sh.Ctx, spec)
+			sh.Ctx.Log.Emit(event.EvShardPartial, gs.QID, int64(i), out.Partials[i].RowsMatched)
+		})
+	}
+	p.WaitFor(wg)
+
+	// Merge stage, on the coordinator. Decomposable partials fold through
+	// the same accumulator merge per-worker results use; the CPU charge
+	// mirrors the optimizer's merge pricing.
+	if gs.Emit != nil {
+		out.Result = mergeOrdered(p, ctx0, ordered, gs.Emit)
+	} else {
+		parts := make([]agg, len(out.Partials))
+		for i, r := range out.Partials {
+			parts[i] = agg{kind: gs.Agg, val: r.Value, found: r.Found, rows: r.RowsMatched}
+		}
+		useCPU(p, ctx0, sim.Duration(len(parts))*ctx0.Costs.PerRow)
+		out.Result = mergeAggs(gs.Agg, parts)
+	}
+	for _, r := range out.Partials {
+		if r.Err != nil && out.Err == nil {
+			out.Err = r.Err
+		}
+	}
+	ctx0.Log.Emit(event.EvShardGatherDone, gs.QID, int64(len(gs.Shards)), out.RowsMatched)
+	return out
+}
+
+// mergeOrdered k-way merges the per-shard row streams by C2 (ties broken
+// by row id for determinism) and feeds them to emit in that global order.
+func mergeOrdered(p *sim.Proc, ctx *Context, streams [][]emitRow, emit func(int64, table.Row)) Result {
+	heads := make([]int, len(streams))
+	var rows int64
+	for {
+		best := -1
+		for i, s := range streams {
+			if heads[i] >= len(s) {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			a, b := s[heads[i]], streams[best][heads[best]]
+			if a.row.C2 < b.row.C2 || (a.row.C2 == b.row.C2 && a.rowID < b.rowID) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		r := streams[best][heads[best]]
+		heads[best]++
+		rows++
+		emit(r.rowID, r.row)
+	}
+	useCPU(p, ctx, sim.Duration(float64(rows)*
+		math.Log2(math.Max(2, float64(len(streams))))*float64(ctx.Costs.PerEntry)))
+	return Result{RowsMatched: rows}
+}
+
+// ExecuteGather runs a scatter-gather query to completion with per-query
+// metering: every shard's device and pool counters are reset, the
+// coordinator process scatters and merges, and the result carries the
+// summed device traffic across shards.
+func ExecuteGather(gs GatherSpec) GatherResult {
+	if len(gs.Shards) == 0 {
+		panic("exec: ExecuteGather without shards")
+	}
+	env := gs.Shards[0].Ctx.Env
+	for _, sh := range gs.Shards {
+		sh.Ctx.Dev.Metrics().Reset()
+		sh.Ctx.Pool.ResetStats()
+	}
+	start := env.Now()
+	var res GatherResult
+	env.Go("gather", func(p *sim.Proc) {
+		res = RunGather(p, gs)
+	})
+	env.Run()
+	res.Runtime = sim.Duration(env.Now() - start)
+	for _, sh := range gs.Shards {
+		io := sh.Ctx.Dev.Metrics().Snapshot()
+		res.IO.Requests += io.Requests
+		res.IO.Bytes += io.Bytes
+		res.IO.Elapsed = maxDuration(res.IO.Elapsed, io.Elapsed)
+	}
+	if res.IO.Elapsed > 0 {
+		res.IO.ThroughputMBps = float64(res.IO.Bytes) / 1e6 /
+			(float64(res.IO.Elapsed) / float64(sim.Second))
+	}
+	return res
+}
+
+// RunGatherGroupBy scatters per-shard grouped aggregations and merges the
+// group partials: each shard builds its own group hash over its partition,
+// and the coordinator folds the per-group accumulators — the decomposable
+// GROUP BY merge.
+func RunGatherGroupBy(p *sim.Proc, shards []ShardScan, width int64, kind AggKind, qid int64) GroupByResult {
+	if len(shards) == 0 {
+		panic("exec: RunGatherGroupBy without shards")
+	}
+	ctx0 := shards[0].Ctx
+	env := ctx0.Env
+	ctx0.Log.Emit(event.EvShardScatter, qid, int64(len(shards)), 0)
+	if ctx0.Reg != nil {
+		ctx0.Reg.Counter(obs.MetricShardScatters).Inc()
+		ctx0.Reg.Counter(obs.MetricShardPartials).Add(int64(len(shards)))
+	}
+	partials := make([]GroupByResult, len(shards))
+	wg := sim.NewWaitGroup(env)
+	wg.Add(len(shards))
+	for i := range shards {
+		i := i
+		sh := shards[i]
+		env.Go(fmt.Sprintf("%s-shard%d", p.Name(), i), func(sp *sim.Proc) {
+			defer wg.Done()
+			spec := sh.Spec
+			if sh.Admit != nil {
+				if release := sh.Admit(sp, &spec); release != nil {
+					defer release()
+				}
+			}
+			partials[i] = RunGroupBy(sp, sh.Ctx, GroupBySpec{Scan: spec, GroupWidth: width, Agg: kind})
+			sh.Ctx.Log.Emit(event.EvShardPartial, qid, int64(i), partials[i].Rows)
+		})
+	}
+	p.WaitFor(wg)
+
+	groups := make(map[int64]*agg)
+	var out GroupByResult
+	for _, part := range partials {
+		out.Rows += part.Rows
+		for _, g := range part.Groups {
+			a, ok := groups[g.Key]
+			if !ok {
+				a = &agg{kind: kind}
+				groups[g.Key] = a
+			}
+			a.merge(agg{kind: kind, val: g.Value, found: true, rows: g.Rows})
+		}
+	}
+	useCPU(p, ctx0, sim.Duration(len(groups)*len(shards))*ctx0.Costs.PerRow)
+	for key, a := range groups {
+		out.Groups = append(out.Groups, Group{Key: key, Value: a.val, Rows: a.rows})
+	}
+	sort.Slice(out.Groups, func(i, j int) bool { return out.Groups[i].Key < out.Groups[j].Key })
+	ctx0.Log.Emit(event.EvShardGatherDone, qid, int64(len(shards)), out.Rows)
+	return out
+}
+
+func maxDuration(a, b sim.Duration) sim.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pioqo"
+)
+
+// ShardRow is one arm/point of the sharded scatter-gather experiment.
+type ShardRow struct {
+	// Arm names the sweep the row belongs to: "scale" (makespan vs shard
+	// count across the skew grid), "hedge" (straggler hedging A/B), or
+	// "rebalance" (partition-layout sweep on skewed keys).
+	Arm       string
+	Shards    int
+	Partition string
+	Zipf      float64
+
+	// Plan is the chosen plan of the mix's full-range scan, fanout
+	// included.
+	Plan   string
+	Fanout int
+
+	// MakespanMs is the summed runtime of the query mix (queries run
+	// back-to-back, each cold); Speedup is the 1-shard (or unhedged)
+	// baseline divided by this row's makespan.
+	MakespanMs float64
+	Speedup    float64
+
+	// HedgesIssued/HedgeWins report straggler-hedging activity (hedge arm).
+	HedgesIssued int64
+	HedgeWins    int64
+
+	// HotRows/MeanRows expose the partition balance: the heaviest shard's
+	// row count against the even-split mean (rebalance arm).
+	HotRows  int64
+	MeanRows int64
+}
+
+// shardSystem builds and calibrates a cluster over one partitioned table.
+func (sc Scale) shardSystem(shards int, kind pioqo.PartitionKind, zipf float64, noHedge bool) (*pioqo.System, *pioqo.Table) {
+	sys := pioqo.New(pioqo.Config{
+		Device:    pioqo.SSD,
+		PoolPages: sc.PoolPages,
+		Cores:     sc.Cores,
+		Shards:    shards,
+		Partition: kind,
+		NoHedge:   noHedge,
+	})
+	rows := sc.Pages * 33
+	var opts []pioqo.TableOption
+	if zipf > 0 {
+		opts = append(opts, pioqo.WithZipfData(zipf))
+	}
+	tab, err := sys.CreateTable("shard", rows, 33, opts...)
+	if err != nil {
+		panic(fmt.Sprintf("shard: %v", err))
+	}
+	if _, err := sys.Calibrate(pioqo.CalibrationOptions{MaxReads: sc.CalibReads}); err != nil {
+		panic(fmt.Sprintf("shard: %v", err))
+	}
+	return sys, tab
+}
+
+// shardMix is the experiment's skewed query mix: one full-range scan plus
+// progressively narrower low-key ranges — which on a Zipf table is where
+// the row mass lives, so narrow key ranges are still heavy scans.
+func shardMix(tab *pioqo.Table, rows int64) []pioqo.Query {
+	return []pioqo.Query{
+		{Table: tab, Low: 0, High: rows - 1},
+		{Table: tab, Low: 0, High: rows/4 - 1},
+		{Table: tab, Low: 0, High: rows/20 - 1},
+		{Table: tab, Low: rows / 2, High: rows/2 + rows/100},
+	}
+}
+
+// runShardMix executes the mix back-to-back, each query cold, and reports
+// the summed makespan plus the full-range scan's plan.
+func runShardMix(sys *pioqo.System, tab *pioqo.Table, rows int64) (float64, string, int) {
+	var total float64
+	var plan string
+	var fanout int
+	for i, q := range shardMix(tab, rows) {
+		res, err := sys.Execute(q, pioqo.Cold())
+		if err != nil {
+			panic(fmt.Sprintf("shard: %v", err))
+		}
+		total += float64(res.Runtime) / 1e6
+		if i == 0 {
+			plan, fanout = res.Plan.String(), res.Plan.Fanout
+		}
+	}
+	return total, plan, fanout
+}
+
+// Shard runs the scatter-gather experiment: the shard-count scaling grid
+// over uniform and Zipf data (hash partitioning), the straggler-hedging
+// A/B, and the range-partition rebalance sweep. maxShards caps the scaling
+// grid (<= 1 means 8).
+func (sc Scale) Shard(maxShards int) []ShardRow {
+	if maxShards <= 1 {
+		maxShards = 8
+	}
+	var out []ShardRow
+	rows := sc.Pages * 33
+
+	// Scale arm: makespan vs shard count, uniform and skewed.
+	for _, zipf := range []float64{0, 1.3} {
+		var base float64
+		for shards := 1; shards <= maxShards; shards *= 2 {
+			sys, tab := sc.shardSystem(shards, pioqo.PartitionHash, zipf, false)
+			ms, plan, fanout := runShardMix(sys, tab, rows)
+			if shards == 1 {
+				base = ms
+			}
+			out = append(out, ShardRow{
+				Arm: "scale", Shards: shards, Partition: pioqo.PartitionHash.String(),
+				Zipf: zipf, Plan: plan, Fanout: fanout,
+				MakespanMs: ms, Speedup: base / ms,
+			})
+		}
+	}
+
+	// Hedge arm: same cluster and mix under injected stragglers, hedging
+	// on vs off. Each node draws stragglers independently, so the slowest
+	// shard sets the gather's makespan — exactly what hedging attacks.
+	stragglers := pioqo.FaultSchedule{Windows: []pioqo.FaultWindow{{
+		StragglerRate:    0.05,
+		StragglerLatency: 20e6, // 20ms
+	}}}
+	var unhedged float64
+	for _, noHedge := range []bool{true, false} {
+		sys, tab := sc.shardSystem(maxShards, pioqo.PartitionHash, 0, noHedge)
+		sys.InjectFaults(stragglers)
+		ms, plan, fanout := runShardMix(sys, tab, rows)
+		if noHedge {
+			unhedged = ms
+		}
+		hs := sys.HedgeStats()
+		arm := "hedged"
+		if noHedge {
+			arm = "unhedged"
+		}
+		out = append(out, ShardRow{
+			Arm: "hedge-" + arm, Shards: maxShards, Partition: pioqo.PartitionHash.String(),
+			Plan: plan, Fanout: fanout, MakespanMs: ms, Speedup: unhedged / ms,
+			HedgesIssued: hs.Issued, HedgeWins: hs.Wins,
+		})
+	}
+
+	// Rebalance arm: skewed keys under the three partition layouts. The
+	// equal-width range split piles the Zipf mass onto one shard; the
+	// quantile cuts spread it, and hash is the skew-oblivious reference.
+	for _, kind := range []pioqo.PartitionKind{pioqo.PartitionRange, pioqo.PartitionRangeBalanced, pioqo.PartitionHash} {
+		sys, tab := sc.shardSystem(maxShards, kind, 1.3, false)
+		ms, plan, fanout := runShardMix(sys, tab, rows)
+		var hot, total int64
+		shardRows := tab.ShardRows()
+		for _, r := range shardRows {
+			total += r
+			if r > hot {
+				hot = r
+			}
+		}
+		out = append(out, ShardRow{
+			Arm: "rebalance", Shards: maxShards, Partition: kind.String(), Zipf: 1.3,
+			Plan: plan, Fanout: fanout, MakespanMs: ms,
+			HotRows: hot, MeanRows: total / int64(len(shardRows)),
+		})
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import "testing"
+
+// TestShardExperimentShape runs the scatter-gather experiment at quick
+// scale and checks every claim the BENCH harness reports on: sharding
+// shrinks the skewed mix's makespan, hedging beats not hedging under
+// stragglers, and quantile cuts rebalance the Zipf partitions.
+func TestShardExperimentShape(t *testing.T) {
+	rows := QuickScale().Shard(4)
+	byArm := map[string][]ShardRow{}
+	for _, r := range rows {
+		byArm[r.Arm] = append(byArm[r.Arm], r)
+	}
+
+	scale := byArm["scale"]
+	if len(scale) != 6 { // shards {1,2,4} x zipf {0, 1.3}
+		t.Fatalf("scale arm has %d rows, want 6: %+v", len(scale), scale)
+	}
+	for _, r := range scale {
+		if r.Shards == 1 {
+			if r.Speedup != 1 || r.Fanout != 0 {
+				t.Errorf("1-shard baseline row off: %+v", r)
+			}
+			continue
+		}
+		if r.Fanout != r.Shards {
+			t.Errorf("hash-partitioned full scan fanout %d on %d shards", r.Fanout, r.Shards)
+		}
+		if r.Speedup <= 1 {
+			t.Errorf("zipf=%v shards=%d: speedup %.2f, sharding did not help", r.Zipf, r.Shards, r.Speedup)
+		}
+	}
+	// The >2x acceptance bar is for 8 shards at default scale (bench.sh);
+	// at quick scale with 4 shards the skewed mix's narrow index scans
+	// leave less parallel work, so the bar is lower there.
+	for _, tc := range []struct {
+		zipf float64
+		want float64
+	}{{0, 2}, {1.3, 1.5}} {
+		var best float64
+		for _, r := range scale {
+			if r.Zipf == tc.zipf && r.Shards == 4 {
+				best = r.Speedup
+			}
+		}
+		if best < tc.want {
+			t.Errorf("zipf=%v: 4-shard speedup %.2f, want >= %.1fx", tc.zipf, best, tc.want)
+		}
+	}
+
+	hedged, unhedged := byArm["hedge-hedged"], byArm["hedge-unhedged"]
+	if len(hedged) != 1 || len(unhedged) != 1 {
+		t.Fatalf("hedge arms: %d hedged, %d unhedged rows", len(hedged), len(unhedged))
+	}
+	if unhedged[0].HedgesIssued != 0 || unhedged[0].Speedup != 1 {
+		t.Errorf("unhedged arm off: %+v", unhedged[0])
+	}
+	if hedged[0].HedgesIssued == 0 {
+		t.Errorf("hedged arm issued no speculative reads under stragglers: %+v", hedged[0])
+	}
+	if hedged[0].MakespanMs >= unhedged[0].MakespanMs {
+		t.Errorf("hedging lost: %.2fms hedged vs %.2fms unhedged",
+			hedged[0].MakespanMs, unhedged[0].MakespanMs)
+	}
+
+	reb := byArm["rebalance"]
+	if len(reb) != 3 {
+		t.Fatalf("rebalance arm has %d rows, want 3", len(reb))
+	}
+	var naive, balanced ShardRow
+	for _, r := range reb {
+		switch r.Partition {
+		case "range":
+			naive = r
+		case "range-balanced":
+			balanced = r
+		}
+		if r.MeanRows <= 0 || r.HotRows < r.MeanRows {
+			t.Errorf("rebalance row has bad balance stats: %+v", r)
+		}
+	}
+	if balanced.HotRows*2 > naive.HotRows {
+		t.Errorf("quantile cuts hot shard %d did not halve equal-width %d",
+			balanced.HotRows, naive.HotRows)
+	}
+}

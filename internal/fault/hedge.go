@@ -1,0 +1,128 @@
+package fault
+
+import (
+	"pioqo/internal/device"
+	"pioqo/internal/obs/event"
+	"pioqo/internal/sim"
+)
+
+// Hedger is a straggler-hedging device layer: when a read has not
+// completed after the configured delay, it re-issues the same read on the
+// inner device and delivers whichever copy finishes first. Sitting above
+// the fault injector, the speculative copy re-draws the injector's
+// straggler probability — a hedge against the first read having drawn the
+// straggler latency — which is exactly the paper-adjacent "re-issue the
+// slow shard's read" policy the scatter-gather executor wants under
+// injected stragglers.
+//
+// Exactly-once delivery is structural: the caller holds the single outer
+// completion, so the losing copy completes into the hedger and goes no
+// further — the buffer pool installs the page once and rows are delivered
+// once, however many copies were in flight.
+//
+// A disarmed hedger (the default) forwards the inner device's completions
+// untouched: it schedules nothing and allocates nothing, so non-gather
+// traffic — calibration included — is byte-identical to an unhedged run.
+// The gather executor arms it only for the span of a scatter-gather query.
+type Hedger struct {
+	env   *sim.Env
+	inner device.Device
+	delay sim.Duration
+	armed bool
+	log   *event.Log
+
+	stats HedgeStats
+}
+
+// HedgeStats counts the hedger's activity since construction.
+type HedgeStats struct {
+	// Issued is the number of speculative duplicate reads issued.
+	Issued int64
+	// Wins is how many of those finished before the original read.
+	Wins int64
+}
+
+// NewHedger wraps inner with a disarmed hedger that, once armed, re-issues
+// reads still outstanding after delay.
+func NewHedger(env *sim.Env, inner device.Device, delay sim.Duration) *Hedger {
+	if delay <= 0 {
+		panic("fault: NewHedger with non-positive delay")
+	}
+	return &Hedger{env: env, inner: inner, delay: delay}
+}
+
+// SetLog installs (or removes) the event log hedge decisions are emitted
+// into. Hedge events are device-level (event.NoQuery).
+func (h *Hedger) SetLog(l *event.Log) { h.log = l }
+
+// Arm enables hedging; Disarm returns the hedger to pure passthrough.
+// Toggling never affects reads already in flight.
+func (h *Hedger) Arm()    { h.armed = true }
+func (h *Hedger) Disarm() { h.armed = false }
+
+// Armed reports whether the hedger is currently re-issuing slow reads.
+func (h *Hedger) Armed() bool { return h.armed }
+
+// Stats reports the hedger's cumulative activity.
+func (h *Hedger) Stats() HedgeStats { return h.stats }
+
+// ReadAt submits the read on the inner device and, while armed, schedules
+// the hedging race: if the read is still outstanding after the delay, a
+// duplicate is issued and the first copy to finish fires the returned
+// completion. Both copies pay real device time — speculation is visible in
+// the device metrics, as it would be on hardware.
+func (h *Hedger) ReadAt(offset int64, length int) *sim.Completion {
+	first := h.inner.ReadAt(offset, length)
+	if !h.armed {
+		return first
+	}
+	issued := h.env.Now()
+	out := sim.NewCompletion(h.env)
+	done := false
+	deliver := func(c *sim.Completion) {
+		if done {
+			return
+		}
+		done = true
+		if err := c.Err(); err != nil {
+			out.Fail(err)
+			return
+		}
+		out.Fire()
+	}
+	first.OnFire(func() { deliver(first) })
+	h.env.Schedule(h.delay, func() {
+		if done {
+			return
+		}
+		h.stats.Issued++
+		h.log.Emit(event.EvShardHedgeIssue, event.NoQuery, offset, int64(h.delay))
+		second := h.inner.ReadAt(offset, length)
+		second.OnFire(func() {
+			if !done {
+				h.stats.Wins++
+				h.log.Emit(event.EvShardHedgeWin, event.NoQuery, offset,
+					int64(h.env.Now()-issued))
+			}
+			deliver(second)
+		})
+	})
+	return out
+}
+
+// WriteAt passes writes through unhedged: speculative duplicate writes
+// would not be idempotent at the device level.
+func (h *Hedger) WriteAt(offset int64, length int) *sim.Completion {
+	return h.inner.WriteAt(offset, length)
+}
+
+// Size implements device.Device.
+func (h *Hedger) Size() int64 { return h.inner.Size() }
+
+// Name implements device.Device, reporting the inner device's name so
+// model selection and rendering are hedging-agnostic.
+func (h *Hedger) Name() string { return h.inner.Name() }
+
+// Metrics implements device.Device; speculative reads count in the inner
+// device's instrumentation like any other request.
+func (h *Hedger) Metrics() *device.Metrics { return h.inner.Metrics() }

@@ -1,0 +1,105 @@
+package fault
+
+import (
+	"testing"
+
+	"pioqo/internal/device"
+	"pioqo/internal/sim"
+)
+
+// readAll issues n sequential 4 KiB reads on dev and reports the finish
+// time plus how many completions fired (each must fire exactly once).
+func readAll(env *sim.Env, dev device.Device, n int) (sim.Time, int) {
+	fired := 0
+	env.Go("reader", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			c := dev.ReadAt(int64(i)*4096, 4096)
+			c.OnFire(func() { fired++ })
+			p.Wait(c)
+		}
+	})
+	return env.Run(), fired
+}
+
+// TestHedgerDisarmedIsPassthrough: a disarmed hedger must not change
+// completion timing at all — it returns the inner completion directly.
+func TestHedgerDisarmedIsPassthrough(t *testing.T) {
+	run := func(hedged bool) sim.Time {
+		env := sim.NewEnv(1)
+		var dev device.Device = device.NewSSD(env, device.DefaultSSDConfig())
+		if hedged {
+			dev = NewHedger(env, dev, sim.Duration(2*sim.Millisecond))
+		}
+		end, fired := readAll(env, dev, 64)
+		if fired != 64 {
+			t.Fatalf("hedged=%v: %d completions fired, want 64", hedged, fired)
+		}
+		return end
+	}
+	if bare, hedged := run(false), run(true); bare != hedged {
+		t.Errorf("disarmed hedger changed timing: bare %d, hedged %d", bare, hedged)
+	}
+}
+
+// TestHedgerRacesStragglers: above an injector that turns every read into a
+// straggler on the first draw only, an armed hedger's speculative copy
+// re-draws and wins, capping the read near delay + base latency instead of
+// the full straggler latency.
+func TestHedgerRacesStragglers(t *testing.T) {
+	run := func(armed bool) (sim.Time, HedgeStats, int) {
+		env := sim.NewEnv(1)
+		inj := Wrap(env, device.NewSSD(env, device.DefaultSSDConfig()))
+		inj.Arm(Schedule{Seed: 7, Windows: []Window{{
+			StragglerRate:    0.5,
+			StragglerLatency: sim.Duration(50 * sim.Millisecond),
+		}}})
+		h := NewHedger(env, inj, sim.Duration(1*sim.Millisecond))
+		if armed {
+			h.Arm()
+		}
+		end, fired := readAll(env, h, 64)
+		return end, h.Stats(), fired
+	}
+	slow, offStats, offFired := run(false)
+	fast, onStats, onFired := run(true)
+	if offFired != 64 || onFired != 64 {
+		t.Fatalf("completions fired %d/%d, want 64/64 — a losing copy leaked", offFired, onFired)
+	}
+	if offStats.Issued != 0 {
+		t.Errorf("disarmed hedger issued %d speculative reads", offStats.Issued)
+	}
+	if onStats.Issued == 0 || onStats.Wins == 0 {
+		t.Fatalf("armed hedger under 50%% stragglers: issued=%d wins=%d, want both > 0",
+			onStats.Issued, onStats.Wins)
+	}
+	if fast >= slow {
+		t.Errorf("hedging did not help: %d hedged vs %d unhedged", fast, slow)
+	}
+}
+
+// TestHedgerExactlyOnce: when both copies are in flight, the outer
+// completion fires exactly once (the winner), and the loser's completion
+// is absorbed by the hedger.
+func TestHedgerExactlyOnce(t *testing.T) {
+	env := sim.NewEnv(1)
+	inj := Wrap(env, device.NewSSD(env, device.DefaultSSDConfig()))
+	// Every read is a straggler: the hedge always launches, and its copy is
+	// just as slow, so both copies run to completion.
+	inj.Arm(Schedule{Seed: 3, Windows: []Window{{
+		StragglerRate:    1.0,
+		StragglerLatency: sim.Duration(30 * sim.Millisecond),
+	}}})
+	h := NewHedger(env, inj, sim.Duration(1*sim.Millisecond))
+	h.Arm()
+	_, fired := readAll(env, h, 16)
+	if fired != 16 {
+		t.Fatalf("outer completions fired %d times for 16 reads", fired)
+	}
+	if h.Stats().Issued != 16 {
+		t.Errorf("issued %d hedges for 16 always-straggling reads", h.Stats().Issued)
+	}
+	st := inj.Stats()
+	if st.Stragglers != 32 {
+		t.Errorf("injector saw %d straggler draws, want 32 (both copies of every read)", st.Stragglers)
+	}
+}

@@ -1,0 +1,136 @@
+// Package node bundles one simulated cluster node's storage stack: the
+// device (always behind a fault injector, optionally behind a straggler
+// hedger), its disk-extent manager, buffer pool, scan-share registry, and
+// CPU resource, plus the lazily attached resource broker.
+//
+// The engine's ownership structure is "a System owns N nodes": every layer
+// that used to reach for *the* device or *the* pool now addresses a node.
+// Assembly of the storage stack happens here and only here —
+// scripts/verify.sh rejects direct workload.NewDevice / buffer.NewPool /
+// disk.NewManager / fault.Wrap calls in the public package — so the
+// single-node engine is exactly the one-node special case of the cluster.
+//
+// All nodes of a System share one sim.Env: the cluster runs on one virtual
+// clock, and cross-node concurrency (scatter-gather fan-out) is ordinary
+// process concurrency in that clock. A one-node System constructs its node
+// with the same call sequence the pre-cluster engine used, so Shards=1
+// zero-fault runs are byte-identical to the single-device builds.
+package node
+
+import (
+	"fmt"
+
+	"pioqo/internal/broker"
+	"pioqo/internal/buffer"
+	"pioqo/internal/device"
+	"pioqo/internal/disk"
+	"pioqo/internal/fault"
+	"pioqo/internal/obs/event"
+	"pioqo/internal/sim"
+	"pioqo/internal/workload"
+)
+
+// Config sizes one node.
+type Config struct {
+	// Kind is the storage model to attach. Every node of a cluster runs
+	// the same device kind, so one calibration pass (on node 0) prices
+	// I/O for all of them.
+	Kind workload.DeviceKind
+
+	// PoolPages is this node's buffer pool size in 4 KiB frames.
+	PoolPages int
+
+	// Cores is the node's logical core count.
+	Cores int
+
+	// Shares enables the node's circulating-scan registry.
+	Shares bool
+
+	// HedgeDelay, when positive, wraps the node's device in a straggler
+	// hedger with that re-issue threshold. The hedger is built disarmed —
+	// a pure passthrough — and armed by the gather executor for the
+	// duration of a scatter-gather query (see fault.Hedger).
+	HedgeDelay sim.Duration
+}
+
+// Node is one simulated cluster node. Fields are exported for the engine
+// layers that address node-local resources; construction goes through New.
+type Node struct {
+	ID int
+
+	// Dev is the device queries read: the hedger when hedging is
+	// configured, the bare injector otherwise.
+	Dev device.Device
+
+	// Inj is the fault injector wrapping the raw device — the node's
+	// fault-injection domain. Unarmed it is pure passthrough.
+	Inj *fault.Injector
+
+	// Hedge is the straggler hedger between Dev and Inj, nil when the
+	// node was built without one.
+	Hedge *fault.Hedger
+
+	Manager *disk.Manager
+	Pool    *buffer.Pool
+
+	// Shares is the node's circulating-scan registry, nil when disabled.
+	Shares *buffer.Shares
+
+	// CPU is the node's core pool; each node executes its shard's workers
+	// on its own cores.
+	CPU *sim.Resource
+
+	// Broker is the node's resource-governance layer, attached lazily by
+	// the engine once a calibrated model exists (the credit supply is the
+	// model's beneficial queue depth over this node's band).
+	Broker *broker.Broker
+}
+
+// New assembles a node on env. For id 0 the construction sequence —
+// device, injector, manager, pool, CPU resource, then (optionally) the
+// share registry — replicates the pre-cluster engine's assembly order
+// exactly, which is what keeps one-node systems byte-identical to it.
+func New(env *sim.Env, id int, cfg Config) *Node {
+	inj := fault.Wrap(env, workload.NewDevice(env, cfg.Kind))
+	n := &Node{ID: id, Dev: inj, Inj: inj}
+	if cfg.HedgeDelay > 0 {
+		n.Hedge = fault.NewHedger(env, inj, cfg.HedgeDelay)
+		n.Dev = n.Hedge
+	}
+	// The manager sits above the hedger so every page read a scan issues is
+	// hedgeable; a disarmed hedger forwards completions untouched.
+	n.Manager = disk.NewManager(n.Dev)
+	n.Pool = buffer.NewPool(env, cfg.PoolPages)
+	n.CPU = sim.NewResource(env, cpuName(id), cfg.Cores)
+	if cfg.Shares {
+		n.Shares = buffer.NewShares(env, n.Pool, buffer.ShareConfig{})
+	}
+	return n
+}
+
+// cpuName keeps node 0's resource name identical to the pre-cluster
+// engine's ("cpu"); other nodes get a suffixed name for trace readability.
+func cpuName(id int) string {
+	if id == 0 {
+		return "cpu"
+	}
+	return fmt.Sprintf("cpu@%d", id)
+}
+
+// SetEventLog installs (or removes) the engine event log on every emitting
+// layer this node owns. The broker, when attached, is handled by the
+// engine, which also hands the log to brokers at build time.
+func (n *Node) SetEventLog(l *event.Log) {
+	n.Inj.SetLog(l)
+	n.Pool.SetEventLog(l)
+	if n.Hedge != nil {
+		n.Hedge.SetLog(l)
+	}
+	if n.Shares != nil {
+		n.Shares.SetEventLog(l)
+	}
+}
+
+// DevicePages reports the node's device capacity in pages — the band its
+// broker and per-shard plans are priced over.
+func (n *Node) DevicePages() int64 { return n.Dev.Size() / disk.PageSize }

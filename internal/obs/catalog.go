@@ -61,4 +61,16 @@ const (
 	MetricOptBandRevalidations = "opt.band_revalidations" // epoch drift survived by winner/runner re-pricing
 	MetricOptGreedyPlans       = "opt.greedy_plans"
 	MetricOptGreedyFallbacks   = "opt.greedy_fallbacks"
+
+	// Sharded scatter-gather execution (internal/exec gather operator +
+	// the public cluster layer). Scatters counts gather queries; partials
+	// counts per-shard scans they fanned out; pruned counts shards a
+	// range-partitioned query skipped entirely; hedge counters track the
+	// straggler-hedging policy's speculative duplicate reads and how many
+	// of them beat the original.
+	MetricShardScatters    = "shard.scatters"
+	MetricShardPartials    = "shard.partials"
+	MetricShardPruned      = "shard.pruned"
+	MetricShardHedgeIssued = "shard.hedge_issued"
+	MetricShardHedgeWins   = "shard.hedge_wins"
 )

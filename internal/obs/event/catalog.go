@@ -54,6 +54,14 @@ const (
 	EvGreedyPlan     // A = selectivity band, B = candidates priced
 	EvGreedyFallback // A = selectivity band, B = candidates priced before falling back
 
+	// internal/exec gather operator + internal/fault hedger: sharded
+	// scatter-gather lifecycle and straggler hedging.
+	EvShardScatter    // A = shards fanned out, B = shards pruned
+	EvShardPartial    // A = shard id, B = rows in the shard's partial
+	EvShardHedgeIssue // A = device offset, B = hedge delay ns
+	EvShardHedgeWin   // A = device offset, B = total read latency ns
+	EvShardGatherDone // A = shards merged, B = merged rows
+
 	numTypes // sentinel; keep last
 )
 
@@ -100,6 +108,12 @@ var catalog = [numTypes]Desc{
 	EvPlanRevalidate: {Name: "plancache.revalidate", A: "band", B: "kept"},
 	EvGreedyPlan:     {Name: "planner.greedy", A: "band", B: "candidates"},
 	EvGreedyFallback: {Name: "planner.fallback", A: "band", B: "candidates"},
+
+	EvShardScatter:    {Name: "shard.scatter", A: "shards", B: "pruned"},
+	EvShardPartial:    {Name: "shard.partial", A: "shard", B: "rows"},
+	EvShardHedgeIssue: {Name: "shard.hedge.issue", A: "offset", B: "delay_ns"},
+	EvShardHedgeWin:   {Name: "shard.hedge.win", A: "offset", B: "latency_ns"},
+	EvShardGatherDone: {Name: "shard.gather.done", A: "shards", B: "rows"},
 }
 
 // Describe returns the schema entry for t (the zero Desc for an unknown

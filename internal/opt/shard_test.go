@@ -1,0 +1,76 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"pioqo/internal/exec"
+	"pioqo/internal/sim"
+)
+
+// TestChooseShardedMakespan: the scatter stage costs what its slowest
+// shard costs (shards overlap on their own devices), rows sum, and the
+// merge stage lands on CPU and total.
+func TestChooseShardedMakespan(t *testing.T) {
+	costs := exec.DefaultCPUCosts()
+	cfg := Config{Costs: costs}
+	plans := []Plan{
+		{EstRows: 100, IOMicros: 50, CPUMicros: 10, TotalMicros: 60},
+		{EstRows: 300, IOMicros: 200, CPUMicros: 30, TotalMicros: 230},
+		{EstRows: 50, IOMicros: 20, CPUMicros: 40, TotalMicros: 55},
+	}
+	i := 0
+	choose := func(Config, Input) Plan { p := plans[i]; i++; return p }
+	sp := ChooseSharded(choose, []Config{cfg, cfg, cfg}, make([]Input, 3), MergeScalar, 0)
+
+	if sp.EstRows != 450 {
+		t.Errorf("EstRows = %v, want summed 450", sp.EstRows)
+	}
+	if sp.IOMicros != 200 {
+		t.Errorf("IOMicros = %v, want max-shard 200", sp.IOMicros)
+	}
+	wantMerge := 3 * float64(costs.PerRow) / float64(sim.Microsecond)
+	if math.Abs(sp.MergeMicros-wantMerge) > 1e-9 {
+		t.Errorf("MergeMicros = %v, want %v (3 scalar partials)", sp.MergeMicros, wantMerge)
+	}
+	if math.Abs(sp.CPUMicros-(40+wantMerge)) > 1e-9 {
+		t.Errorf("CPUMicros = %v, want max-shard 40 + merge %v", sp.CPUMicros, wantMerge)
+	}
+	if math.Abs(sp.TotalMicros-(230+wantMerge)) > 1e-9 {
+		t.Errorf("TotalMicros = %v, want max-shard 230 + merge %v", sp.TotalMicros, wantMerge)
+	}
+	if len(sp.Shards) != 3 || sp.Shards[1].TotalMicros != 230 {
+		t.Errorf("per-shard plans not preserved: %+v", sp.Shards)
+	}
+}
+
+// TestMergePricingByKind: ordered merges scale with rows·log(shards),
+// group merges with groups·shards — both must exceed the scalar fold's
+// price for any non-trivial input.
+func TestMergePricingByKind(t *testing.T) {
+	cfg := Config{Costs: exec.DefaultCPUCosts()}
+	one := func(Config, Input) Plan { return Plan{EstRows: 10000, TotalMicros: 100} }
+	cfgs := []Config{cfg, cfg, cfg, cfg}
+	ins := make([]Input, 4)
+
+	scalar := ChooseSharded(one, cfgs, ins, MergeScalar, 0)
+	ordered := ChooseSharded(one, cfgs, ins, MergeOrdered, 0)
+	groups := ChooseSharded(one, cfgs, ins, MergeGroups, 500)
+
+	if !(ordered.MergeMicros > scalar.MergeMicros) {
+		t.Errorf("ordered merge %v not dearer than scalar %v", ordered.MergeMicros, scalar.MergeMicros)
+	}
+	if !(groups.MergeMicros > scalar.MergeMicros) {
+		t.Errorf("group merge %v not dearer than scalar %v", groups.MergeMicros, scalar.MergeMicros)
+	}
+	perEntry := float64(cfg.Costs.PerEntry) / float64(sim.Microsecond)
+	wantOrdered := 40000 * math.Log2(4) * perEntry
+	if math.Abs(ordered.MergeMicros-wantOrdered) > 1e-6 {
+		t.Errorf("ordered merge = %v, want rows·log2(shards)·perEntry = %v",
+			ordered.MergeMicros, wantOrdered)
+	}
+	perRow := float64(cfg.Costs.PerRow) / float64(sim.Microsecond)
+	if want := 500 * 4 * perRow; math.Abs(groups.MergeMicros-want) > 1e-6 {
+		t.Errorf("group merge = %v, want groups·shards·perRow = %v", groups.MergeMicros, want)
+	}
+}

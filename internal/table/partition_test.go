@@ -1,0 +1,109 @@
+package table
+
+import (
+	"sort"
+	"testing"
+
+	"pioqo/internal/device"
+	"pioqo/internal/disk"
+	"pioqo/internal/sim"
+)
+
+// TestDrawColumnsMatchesConstructor: DrawColumns must replay the exact draw
+// sequence NewMaterialized stores, so a partitioned build starts from the
+// same rowset an unsharded build would hold.
+func TestDrawColumnsMatchesConstructor(t *testing.T) {
+	env := sim.NewEnv(1)
+	m := disk.NewManager(device.NewSSD(env, device.DefaultSSDConfig()))
+	for _, zipf := range []float64{0, 1.3} {
+		var tab *Materialized
+		var cols Columns
+		if zipf > 0 {
+			tab = NewMaterializedZipf(m, "z", 3000, 33, 7, zipf)
+			cols = DrawColumnsZipf(3000, 7, zipf)
+		} else {
+			tab = NewMaterialized(m, "u", 3000, 33, 7)
+			cols = DrawColumns(3000, 7)
+		}
+		for r := int64(0); r < 3000; r++ {
+			row := tab.RowAt(r)
+			if row.C1 != cols.C1[r] || row.C2 != cols.C2[r] {
+				t.Fatalf("zipf=%v row %d: table (%d,%d), drawn (%d,%d)",
+					zipf, r, row.C1, row.C2, cols.C1[r], cols.C2[r])
+			}
+		}
+		if cols.Domain != tab.KeyDomain() {
+			t.Errorf("zipf=%v: drawn domain %d, table domain %d", zipf, cols.Domain, tab.KeyDomain())
+		}
+	}
+}
+
+// TestPartitionPreservesMultiset: whatever the shard count and assignment,
+// the partitions' union is the original rowset, rowIDs map each partition
+// row back to its source row exactly, and within-shard order is stable.
+func TestPartitionPreservesMultiset(t *testing.T) {
+	cols := DrawColumnsZipf(5000, 7, 1.2)
+	cuts := EqualWidthCuts(cols.Domain, 4)
+	assigns := map[string]func(int64) int{
+		"hash":  func(k int64) int { return HashShard(k, 4) },
+		"range": func(k int64) int { return RangeShard(k, cuts) },
+	}
+	for name, assign := range assigns {
+		parts, rowIDs := cols.Partition(4, assign)
+		var total int
+		for s, part := range parts {
+			if len(part.C1) != len(part.C2) || len(part.C1) != len(rowIDs[s]) {
+				t.Fatalf("%s shard %d: ragged partition", name, s)
+			}
+			total += len(part.C1)
+			if part.Domain != cols.Domain {
+				t.Errorf("%s shard %d: domain %d, want parent %d", name, s, part.Domain, cols.Domain)
+			}
+			for i, id := range rowIDs[s] {
+				if part.C1[i] != cols.C1[id] || part.C2[i] != cols.C2[id] {
+					t.Fatalf("%s shard %d row %d: (%d,%d) but source row %d is (%d,%d)",
+						name, s, i, part.C1[i], part.C2[i], id, cols.C1[id], cols.C2[id])
+				}
+				if i > 0 && rowIDs[s][i-1] >= id {
+					t.Fatalf("%s shard %d: rowIDs not ascending at %d", name, s, i)
+				}
+				if assign(part.C2[i]) != s {
+					t.Fatalf("%s: key %d landed on shard %d, assign says %d",
+						name, part.C2[i], s, assign(part.C2[i]))
+				}
+			}
+		}
+		if total != 5000 {
+			t.Errorf("%s: partitions hold %d rows, want 5000", name, total)
+		}
+	}
+}
+
+// TestRangeShardBounds: cuts are upper-exclusive and exhaustive.
+func TestRangeShardBounds(t *testing.T) {
+	cuts := []int64{10, 20, 30}
+	for _, tc := range []struct {
+		key  int64
+		want int
+	}{{-5, 0}, {0, 0}, {9, 0}, {10, 1}, {19, 1}, {20, 2}, {29, 2}, {30, 3}, {1 << 40, 3}} {
+		if got := RangeShard(tc.key, cuts); got != tc.want {
+			t.Errorf("RangeShard(%d) = %d, want %d", tc.key, got, tc.want)
+		}
+	}
+	if got := EqualWidthCuts(100, 4); len(got) != 3 || got[0] != 25 || got[1] != 50 || got[2] != 75 {
+		t.Errorf("EqualWidthCuts(100, 4) = %v", got)
+	}
+}
+
+// TestHashShardSpreadsSkewedKeys: the splitmix64 finalizer must spread even
+// consecutive/clustered keys near-evenly.
+func TestHashShardSpreadsSkewedKeys(t *testing.T) {
+	counts := make([]int, 8)
+	for k := int64(0); k < 8000; k++ {
+		counts[HashShard(k, 8)]++
+	}
+	sort.Ints(counts)
+	if counts[0] < 800 || counts[7] > 1200 {
+		t.Errorf("hash spread over consecutive keys too uneven: %v", counts)
+	}
+}

@@ -87,6 +87,10 @@ type Materialized struct {
 	file *disk.File
 	c1   []int64
 	c2   []int64
+
+	// domain, when positive, overrides the C2 key domain — a partition of
+	// a larger table keys over the parent's domain, not its own row count.
+	domain int64
 }
 
 // NewMaterialized builds a table of rows rows with rpp rows per page,
@@ -113,24 +117,15 @@ func NewMaterializedZipf(m *disk.Manager, name string, rows int64, rpp int, seed
 func newMaterialized(m *disk.Manager, name string, rows int64, rpp int, seed int64,
 	c2Source func(*rand.Rand) func() int64) *Materialized {
 	validateShape(name, rows, rpp)
-	rng := rand.New(rand.NewSource(seed))
-	t := &Materialized{
+	cols := drawColumns(rows, seed, c2Source)
+	return &Materialized{
 		name: name,
 		rows: rows,
 		rpp:  rpp,
 		file: m.MustAllocate(name, pagesFor(rows, rpp)),
-		c1:   make([]int64, rows),
-		c2:   make([]int64, rows),
+		c1:   cols.C1,
+		c2:   cols.C2,
 	}
-	drawC2 := func() int64 { return rng.Int63n(rows) }
-	if c2Source != nil {
-		drawC2 = c2Source(rng)
-	}
-	for i := range t.c1 {
-		t.c1[i] = rng.Int63n(rows)
-		t.c2[i] = drawC2()
-	}
-	return t
 }
 
 // Name implements Table.
@@ -149,7 +144,12 @@ func (t *Materialized) Pages() int64 { return pagesFor(t.rows, t.rpp) }
 func (t *Materialized) File() *disk.File { return t.file }
 
 // KeyDomain implements Table.
-func (t *Materialized) KeyDomain() int64 { return t.rows }
+func (t *Materialized) KeyDomain() int64 {
+	if t.domain > 0 {
+		return t.domain
+	}
+	return t.rows
+}
 
 // RowAt implements Table.
 func (t *Materialized) RowAt(row int64) Row {

@@ -100,7 +100,7 @@ func (s *System) ExecuteJoin(q JoinQuery, opts ...ExecOption) (JoinResult, error
 	}
 	if eo.cold {
 		// Flush before planning: residency statistics feed the optimizer.
-		s.pool.Flush()
+		s.FlushBufferPool()
 	}
 	jp, buildIn, probeIn, err := s.planJoin(q, eo.plan)
 	if err != nil {

@@ -32,12 +32,9 @@ import (
 
 	"pioqo/internal/broker"
 	"pioqo/internal/btree"
-	"pioqo/internal/buffer"
 	"pioqo/internal/cost"
-	"pioqo/internal/device"
-	"pioqo/internal/disk"
 	"pioqo/internal/exec"
-	"pioqo/internal/fault"
+	"pioqo/internal/node"
 	"pioqo/internal/obs"
 	"pioqo/internal/obs/event"
 	"pioqo/internal/opt"
@@ -111,24 +108,58 @@ type Config struct {
 	// at assembly time with that ring capacity (see EnableEventLog).
 	// Default 0: disabled, with every emit site a single nil check.
 	EventLog int
+
+	// Shards is the number of simulated cluster nodes. Default 1 — the
+	// single-node engine, byte-identical to pre-cluster builds. With N > 1
+	// every node gets its own device, buffer pool, CPU cores, and
+	// fault-injection domain (all on one virtual clock); tables are
+	// partitioned across nodes at creation and queries run scatter-gather
+	// (see DESIGN.md §13). PoolPages and Cores size each node.
+	Shards int
+
+	// Partition is the default partitioning for tables created on a
+	// sharded system. Default PartitionHash. Per-table override is
+	// WithPartition.
+	Partition PartitionKind
+
+	// NoHedge disables straggler hedging: scatter-gather queries wait out
+	// slow shard reads instead of re-issuing them. The A/B control for
+	// benchmarking the hedging policy.
+	NoHedge bool
+
+	// HedgeDelay is the straggler-hedge re-issue threshold: a shard read
+	// still outstanding after this long gets a speculative duplicate, and
+	// the first completion wins. Default 1ms (tuned for SSD-class media;
+	// raise it for spinning devices). Only sharded systems hedge.
+	HedgeDelay time.Duration
 }
 
-// System is a single-user analytical engine over one simulated device. It
-// is not safe for concurrent use by multiple host goroutines; queries
-// within it execute with intra-query parallelism in virtual time.
+// System is a single-user analytical engine over a simulated cluster of
+// one or more nodes, each with its own device, buffer pool, and CPU cores
+// on one shared virtual clock. It is not safe for concurrent use by
+// multiple host goroutines; queries within it execute with intra-query
+// parallelism (and, when sharded, cross-node scatter-gather) in virtual
+// time.
 type System struct {
-	env     *sim.Env
-	dev     device.Device
-	inj     *fault.Injector // always wraps the raw device; passthrough unarmed
-	manager *disk.Manager
-	pool    *buffer.Pool
-	// shares is the per-table circulating-scan registry concurrent full
-	// scans attach to; nil when Config.NoScanSharing disabled the subsystem.
-	shares *buffer.Shares
-	cpu     *sim.Resource
-	costs   exec.CPUCosts
-	cores   int
-	seed    int64
+	env *sim.Env
+
+	// nodes holds the cluster's storage stacks, one per shard. Node 0 is
+	// the coordinator: it publishes its device and pool instruments into
+	// the registry, hosts the scan-share registry and the session broker,
+	// and is the node single-node paths run on. Every access to a device,
+	// pool, injector, or CPU resource goes through a node — the fields the
+	// pre-cluster System carried are gone, and scripts/verify.sh keeps
+	// them out.
+	nodes []*node.Node
+
+	costs exec.CPUCosts
+	cores int
+	seed  int64
+
+	// partition is the default partitioning for sharded tables; hedge is
+	// the straggler-hedge re-issue threshold (0 = hedging disabled).
+	partition PartitionKind
+	hedge     sim.Duration
 
 	// noDegrade disables the broker's degraded-supply response.
 	noDegrade bool
@@ -182,22 +213,16 @@ func New(cfg Config) *System {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
 	env := sim.NewEnv(cfg.Seed)
-	// The fault injector always wraps the raw device. Unarmed it is pure
-	// passthrough — it returns the inner device's completions directly,
-	// adding no events and drawing no randomness — so a fault-free system
-	// behaves byte-identically to one without the layer.
-	inj := fault.Wrap(env, workload.NewDevice(env, cfg.Device))
 	s := &System{
 		env:       env,
-		dev:       inj,
-		inj:       inj,
-		manager:   disk.NewManager(inj),
-		pool:      buffer.NewPool(env, cfg.PoolPages),
-		cpu:       sim.NewResource(env, "cpu", cfg.Cores),
 		costs:     exec.DefaultCPUCosts(),
 		cores:     cfg.Cores,
 		seed:      cfg.Seed,
+		partition: cfg.Partition,
 		noDegrade: cfg.NoDegradationReplan,
 		tables:    make(map[string]*Table),
 		memo:      opt.NewMemo(),
@@ -206,42 +231,137 @@ func New(cfg Config) *System {
 		gridKeys:  make(map[gridSpec]string),
 		reg:       obs.NewRegistry(env),
 	}
-	s.dev.Metrics().Publish(s.reg)
-	s.pool.Publish(s.reg)
-	if !cfg.NoScanSharing {
-		s.shares = buffer.NewShares(env, s.pool, buffer.ShareConfig{})
-		s.shares.Publish(s.reg)
+	if cfg.Shards > 1 && !cfg.NoHedge {
+		hd := cfg.HedgeDelay
+		if hd == 0 {
+			hd = time.Millisecond
+		}
+		s.hedge = sim.Duration(hd)
+	}
+	// Node assembly replicates the pre-cluster construction sequence (the
+	// fault injector always wraps the raw device; unarmed it is pure
+	// passthrough, adding no events and drawing no randomness), so a
+	// one-shard system is byte-identical to the single-device builds. Only
+	// the coordinator hosts the scan-share registry: the circulating-scan
+	// subsystem serves session traffic, which is single-node.
+	for i := 0; i < cfg.Shards; i++ {
+		s.nodes = append(s.nodes, node.New(env, i, node.Config{
+			Kind:       cfg.Device,
+			PoolPages:  cfg.PoolPages,
+			Cores:      cfg.Cores,
+			Shares:     i == 0 && !cfg.NoScanSharing,
+			HedgeDelay: s.hedge,
+		}))
+	}
+	n0 := s.coord()
+	n0.Dev.Metrics().Publish(s.reg)
+	n0.Pool.Publish(s.reg)
+	if n0.Shares != nil {
+		n0.Shares.Publish(s.reg)
 	}
 	if cfg.EventLog > 0 {
 		s.EnableEventLog(cfg.EventLog)
 	}
 	if cfg.Faults != nil {
-		s.inj.Arm(cfg.Faults.internal())
+		s.InjectFaults(*cfg.Faults)
 	}
 	return s
 }
 
+// coord returns the coordinator node (node 0): the stack single-node
+// execution runs on and the one whose instruments the registry publishes.
+func (s *System) coord() *node.Node { return s.nodes[0] }
+
+// Shards reports the number of simulated cluster nodes.
+func (s *System) Shards() int { return len(s.nodes) }
+
 // Table is a heap table with two integer columns, C1 (aggregated) and C2
 // (uniform by default, optionally Zipf-skewed, optionally indexed), plus
-// padding captured by the rows-per-page parameter.
+// padding captured by the rows-per-page parameter. On a sharded system the
+// table is partitioned: each node holds one horizontal slice (its own heap
+// file, C2 index, and histogram on its own device), and queries over it
+// scatter-gather.
 type Table struct {
 	sys  *System
+	name string
+
+	// kind and cuts describe the partitioning of a sharded table: cuts
+	// holds the ascending upper-exclusive range bounds (len(parts)-1) for
+	// the range kinds, nil for hash. Unsharded tables have one part.
+	kind PartitionKind
+	cuts []int64
+
+	parts []tablePart
+}
+
+// tablePart is one node's slice of a table. An empty partition (a range
+// cut that caught no rows) keeps its node but has a nil tab.
+type tablePart struct {
+	node *node.Node
 	tab  table.Table
 	idx  *btree.Index
 	hist *stats.Histogram // nil for synthetic (uniform-by-construction) tables
 }
 
+// sharded reports whether the table is partitioned across multiple nodes.
+func (t *Table) sharded() bool { return len(t.parts) > 1 }
+
+// one returns the sole part of an unsharded table — the accessor every
+// single-node path uses after its sharded() guard.
+func (t *Table) one() *tablePart { return &t.parts[0] }
+
 // Name returns the table name.
-func (t *Table) Name() string { return t.tab.Name() }
+func (t *Table) Name() string { return t.name }
 
-// Rows returns the table cardinality.
-func (t *Table) Rows() int64 { return t.tab.Rows() }
+// Rows returns the table cardinality (summed across shards).
+func (t *Table) Rows() int64 {
+	var n int64
+	for i := range t.parts {
+		if t.parts[i].tab != nil {
+			n += t.parts[i].tab.Rows()
+		}
+	}
+	return n
+}
 
-// Pages returns the heap size in pages.
-func (t *Table) Pages() int64 { return t.tab.Pages() }
+// Pages returns the heap size in pages (summed across shards).
+func (t *Table) Pages() int64 {
+	var n int64
+	for i := range t.parts {
+		if t.parts[i].tab != nil {
+			n += t.parts[i].tab.Pages()
+		}
+	}
+	return n
+}
 
 // Indexed reports whether the C2 index has been created.
-func (t *Table) Indexed() bool { return t.idx != nil }
+func (t *Table) Indexed() bool {
+	for i := range t.parts {
+		if t.parts[i].idx != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Partitioning reports how a sharded table spreads rows across nodes;
+// meaningful only when the system has more than one shard.
+func (t *Table) Partitioning() PartitionKind { return t.kind }
+
+// ShardRows reports each shard's row count, in node order — the balance a
+// partitioning achieved (one entry for unsharded tables). Rebalancing a
+// skewed range partition is recreating the table with
+// PartitionRangeBalanced.
+func (t *Table) ShardRows() []int64 {
+	out := make([]int64, len(t.parts))
+	for i := range t.parts {
+		if t.parts[i].tab != nil {
+			out[i] = t.parts[i].tab.Rows()
+		}
+	}
+	return out
+}
 
 // TableOption configures CreateTable.
 type TableOption func(*tableOptions)
@@ -251,6 +371,7 @@ type tableOptions struct {
 	noIndex   bool
 	seed      int64
 	zipf      float64
+	part      PartitionKind // -1 = system default
 }
 
 // WithSyntheticData stores no row values: C2 is an invertible permutation
@@ -276,6 +397,12 @@ func WithZipfData(exponent float64) TableOption {
 	return func(o *tableOptions) { o.zipf = exponent }
 }
 
+// WithPartition overrides the system's default partitioning for this
+// table. Ignored on single-shard systems.
+func WithPartition(k PartitionKind) TableOption {
+	return func(o *tableOptions) { o.part = k }
+}
+
 // CreateTable builds a heap of rows rows at rowsPerPage occupancy together
 // with (unless disabled) the non-clustered C2 index, allocating both on the
 // system device.
@@ -289,42 +416,50 @@ func (s *System) CreateTable(name string, rows int64, rowsPerPage int, options .
 	if rows <= 0 || rowsPerPage <= 0 {
 		return nil, fmt.Errorf("pioqo: table %q: rows=%d rowsPerPage=%d", name, rows, rowsPerPage)
 	}
-	o := tableOptions{seed: s.seed}
+	o := tableOptions{seed: s.seed, part: -1}
 	for _, opt := range options {
 		opt(&o)
 	}
-	heapPages := (rows + int64(rowsPerPage) - 1) / int64(rowsPerPage)
-	need := heapPages + rows/btree.DefaultLeafCap + 8
-	if need > s.manager.Free() {
-		return nil, fmt.Errorf("pioqo: table %q needs %d pages, device has %d free",
-			name, need, s.manager.Free())
+	if o.synthetic && o.zipf > 0 {
+		return nil, fmt.Errorf("pioqo: table %q: synthetic data is uniform by construction; WithZipfData needs a materialized table", name)
+	}
+	if o.zipf != 0 && o.zipf <= 1 {
+		return nil, fmt.Errorf("pioqo: table %q: zipf exponent %f must exceed 1", name, o.zipf)
+	}
+	if len(s.nodes) > 1 {
+		return s.createShardedTable(name, rows, rowsPerPage, o)
 	}
 
-	t := &Table{sys: s}
+	mgr := s.coord().Manager
+	heapPages := (rows + int64(rowsPerPage) - 1) / int64(rowsPerPage)
+	need := heapPages + rows/btree.DefaultLeafCap + 8
+	if need > mgr.Free() {
+		return nil, fmt.Errorf("pioqo: table %q needs %d pages, device has %d free",
+			name, need, mgr.Free())
+	}
+
+	t := &Table{sys: s, name: name, parts: make([]tablePart, 1)}
+	part := &t.parts[0]
+	part.node = s.coord()
 	switch {
-	case o.synthetic && o.zipf > 0:
-		return nil, fmt.Errorf("pioqo: table %q: synthetic data is uniform by construction; WithZipfData needs a materialized table", name)
 	case o.synthetic:
-		st := table.NewSynthetic(s.manager, name, rows, rowsPerPage, o.seed)
-		t.tab = st
+		st := table.NewSynthetic(mgr, name, rows, rowsPerPage, o.seed)
+		part.tab = st
 		if !o.noIndex {
-			t.idx = btree.NewSynthetic(s.manager, st, 0, 0)
+			part.idx = btree.NewSynthetic(mgr, st, 0, 0)
 		}
 	default:
 		var mt *table.Materialized
 		if o.zipf > 0 {
-			if o.zipf <= 1 {
-				return nil, fmt.Errorf("pioqo: table %q: zipf exponent %f must exceed 1", name, o.zipf)
-			}
-			mt = table.NewMaterializedZipf(s.manager, name, rows, rowsPerPage, o.seed, o.zipf)
+			mt = table.NewMaterializedZipf(mgr, name, rows, rowsPerPage, o.seed, o.zipf)
 		} else {
-			mt = table.NewMaterialized(s.manager, name, rows, rowsPerPage, o.seed)
+			mt = table.NewMaterialized(mgr, name, rows, rowsPerPage, o.seed)
 		}
-		t.tab = mt
+		part.tab = mt
 		if !o.noIndex {
-			t.idx = btree.NewMaterialized(s.manager, mt, 0, 0)
+			part.idx = btree.NewMaterialized(mgr, mt, 0, 0)
 		}
-		t.hist = stats.BuildHistogram(mt, 0)
+		part.hist = stats.BuildHistogram(mt, 0)
 	}
 	s.tables[name] = t
 	return t, nil
@@ -346,19 +481,38 @@ func (s *System) Tables() []string {
 	return names
 }
 
-// FlushBufferPool drops every unpinned page, modelling a cold cache.
-func (s *System) FlushBufferPool() { s.pool.Flush() }
-
-// BufferPoolResident reports how many of t's heap pages are cached.
-func (s *System) BufferPoolResident(t *Table) int64 { return s.pool.Resident(t.tab.File()) }
-
-// DeviceName reports the attached device model.
-func (s *System) DeviceName() string { return s.dev.Name() }
-
-func (s *System) execContext() *exec.Context {
-	return &exec.Context{Env: s.env, CPU: s.cpu, Pool: s.pool, Dev: s.dev,
-		Costs: s.costs, Reg: s.reg, Log: s.events, Shares: s.shares}
+// FlushBufferPool drops every unpinned page on every node, modelling a
+// cold cache cluster-wide.
+func (s *System) FlushBufferPool() {
+	for _, n := range s.nodes {
+		n.Pool.Flush()
+	}
 }
+
+// BufferPoolResident reports how many of t's heap pages are cached,
+// summed across the nodes holding its partitions.
+func (s *System) BufferPoolResident(t *Table) int64 {
+	var n int64
+	for i := range t.parts {
+		part := &t.parts[i]
+		if part.tab != nil {
+			n += part.node.Pool.Resident(part.tab.File())
+		}
+	}
+	return n
+}
+
+// DeviceName reports the attached device model (all nodes run the same).
+func (s *System) DeviceName() string { return s.coord().Dev.Name() }
+
+// nodeContext builds the executor context addressing one node's stack.
+func (s *System) nodeContext(n *node.Node) *exec.Context {
+	return &exec.Context{Env: s.env, CPU: n.CPU, Pool: n.Pool, Dev: n.Dev,
+		Costs: s.costs, Reg: s.reg, Log: s.events, Shares: n.Shares}
+}
+
+// execContext is the coordinator-node context single-node paths run on.
+func (s *System) execContext() *exec.Context { return s.nodeContext(s.coord()) }
 
 // Now reports the system's virtual clock.
 func (s *System) Now() time.Duration { return time.Duration(s.env.Now()) }

@@ -56,23 +56,44 @@ func (ses *Session) Progress() []QueryProgress {
 // one heap page per fetched row; the sorted variant pins each distinct
 // heap page at most once, so its heap component is capped at the table
 // size. Prefetches are excluded on both sides of the ratio: the executor's
-// progress counter also counts only demand fetches.
+// progress counter also counts only demand fetches. Sharded tables sum
+// the per-partition estimates, apportioning the row estimate by partition
+// size.
 func estimatePages(q Query, plan Plan) int64 {
-	heap := q.Table.Pages()
-	if plan.Method == FullTableScan {
+	t := q.Table
+	rows := int64(plan.EstimatedRows + 0.5)
+	total := t.Rows()
+	var sum int64
+	for i := range t.parts {
+		part := &t.parts[i]
+		if part.tab == nil {
+			continue
+		}
+		prows := rows
+		if t.sharded() && total > 0 {
+			prows = rows * part.tab.Rows() / total
+		}
+		sum += estimatePartPages(part, plan.Method, prows)
+	}
+	return sum
+}
+
+// estimatePartPages is estimatePages for one partition's heap and index.
+func estimatePartPages(part *tablePart, method AccessMethod, rows int64) int64 {
+	heap := part.tab.Pages()
+	if method == FullTableScan {
 		return heap
 	}
-	rows := int64(plan.EstimatedRows + 0.5)
 	leaves := (rows + btree.DefaultLeafCap - 1) / btree.DefaultLeafCap
 	if leaves < 1 {
 		leaves = 1
 	}
 	descent := int64(1)
-	if q.Table.idx != nil {
-		descent = int64(len(q.Table.idx.DescentPath()))
+	if part.idx != nil {
+		descent = int64(len(part.idx.DescentPath()))
 	}
 	touched := rows
-	if plan.Method == SortedIndexScan && touched > heap {
+	if method == SortedIndexScan && touched > heap {
 		touched = heap
 	}
 	return descent + leaves + touched

@@ -8,6 +8,7 @@ import (
 	"pioqo/internal/cost"
 	"pioqo/internal/exec"
 	"pioqo/internal/fault"
+	"pioqo/internal/node"
 	"pioqo/internal/obs/event"
 	"pioqo/internal/opt"
 )
@@ -116,6 +117,26 @@ type Plan struct {
 	EstimatedCPU  time.Duration
 	// EstimatedRows is the expected number of matching rows.
 	EstimatedRows float64
+
+	// Fanout is the number of shards a scatter-gather plan touches after
+	// partition pruning; 0 for single-node plans. When > 0, Method,
+	// Degree, and Prefetch describe the slowest shard's choice (the one
+	// the makespan estimate is pinned to) and the cost fields price the
+	// whole scatter plus the coordinator's merge.
+	Fanout int
+
+	// scatter carries the per-shard internal plans of a scatter-gather
+	// plan (nil for single-node plans, keeping Plan comparable); pruned
+	// counts the shards partition pruning skipped.
+	scatter *scatterPlan
+	pruned  int
+}
+
+// scatterPlan is the private payload of a sharded Plan: the per-shard
+// plans, parallel to active (the shard ids that survived pruning).
+type scatterPlan struct {
+	plans  []opt.Plan
+	active []int
 }
 
 func (p Plan) String() string {
@@ -133,6 +154,9 @@ func (p Plan) String() string {
 	}
 	if p.Shared {
 		name += "+shared"
+	}
+	if p.Fanout > 0 {
+		name = fmt.Sprintf("scatter%d·%s", p.Fanout, name)
 	}
 	return fmt.Sprintf("%s (cost %v, ~%.0f rows)", name, p.EstimatedCost, p.EstimatedRows)
 }
@@ -195,12 +219,11 @@ func (s *System) gridKeyFor(spec gridSpec, degrees, prefetchDepths []int) string
 	return k
 }
 
-func (s *System) optConfig(q Query, o PlanOptions) (opt.Config, opt.Input, error) {
-	if err := q.validate(); err != nil {
-		return opt.Config{}, opt.Input{}, err
-	}
+// planConfig builds the optimizer configuration for one node's stack
+// under o — the per-shard unit scatter-gather planning fans out over.
+func (s *System) planConfig(n *node.Node, o PlanOptions) (opt.Config, error) {
 	if s.model == nil {
-		return opt.Config{}, opt.Input{}, fmt.Errorf("%w: optimization needs the calibrated cost model; call Calibrate first", ErrNotCalibrated)
+		return opt.Config{}, fmt.Errorf("%w: optimization needs the calibrated cost model; call Calibrate first", ErrNotCalibrated)
 	}
 	var model cost.Model = s.model
 	if o.DepthOblivious {
@@ -221,7 +244,7 @@ func (s *System) optConfig(q Query, o PlanOptions) (opt.Config, opt.Input, error
 		Costs:            s.costs,
 		Cores:            s.cores,
 		Degrees:          degrees,
-		PoolPages:        int64(s.pool.Capacity()),
+		PoolPages:        int64(n.Pool.Capacity()),
 		EnableSortedScan: o.EnableSortedScan,
 		QueueBudget:      o.QueueBudget,
 		ShareParties:     o.ShareParties,
@@ -233,11 +256,27 @@ func (s *System) optConfig(q Query, o PlanOptions) (opt.Config, opt.Input, error
 	}
 	cfg.GridKey = s.gridKeyFor(gridSpec{maxDegree: o.MaxDegree, prefetch: o.EnablePrefetchPlanning},
 		degrees, cfg.PrefetchDepths)
+	return cfg, nil
+}
+
+func (s *System) optConfig(q Query, o PlanOptions) (opt.Config, opt.Input, error) {
+	if err := q.validate(); err != nil {
+		return opt.Config{}, opt.Input{}, err
+	}
+	if q.Table.sharded() {
+		return opt.Config{}, opt.Input{}, fmt.Errorf("%w: table %q is partitioned across %d nodes; this operation is single-node only",
+			ErrInvalidQuery, q.Table.Name(), len(q.Table.parts))
+	}
+	cfg, err := s.planConfig(s.coord(), o)
+	if err != nil {
+		return opt.Config{}, opt.Input{}, err
+	}
+	part := q.Table.one()
 	in := opt.Input{
-		Table: q.Table.tab,
-		Index: q.Table.idx,
-		Pool:  s.pool,
-		Stats: q.Table.hist,
+		Table: part.tab,
+		Index: part.idx,
+		Pool:  part.node.Pool,
+		Stats: part.hist,
 		Lo:    q.Low,
 		Hi:    q.High,
 	}
@@ -265,7 +304,12 @@ func fromInternalPlan(p opt.Plan) Plan {
 }
 
 // Plan returns the optimizer's chosen plan for q without executing it.
+// Queries over sharded tables are planned per shard with a merge stage on
+// top (see DESIGN.md §13).
 func (s *System) Plan(q Query, o PlanOptions) (Plan, error) {
+	if q.Table != nil && q.Table.sharded() {
+		return s.planSharded(q, o)
+	}
 	cfg, in, err := s.optConfig(q, o)
 	if err != nil {
 		return Plan{}, err
@@ -332,7 +376,7 @@ func (s *System) ExecutePlan(q Query, plan Plan, opts ...QueryOption) (Result, e
 		return Result{}, &QueryError{Op: "query", Table: q.Table.Name(), Err: err}
 	}
 	if eo.cold {
-		s.pool.Flush()
+		s.FlushBufferPool()
 	}
 	return s.executePlan(q, plan, eo, s.startTelemetry(q, eo), ctl)
 }
@@ -342,7 +386,11 @@ func (s *System) ExecutePlan(q Query, plan Plan, opts ...QueryOption) (Result, e
 // the abort control and retry policy through the executor, and delivers
 // telemetry to the observer/capture listeners.
 func (s *System) executePlan(q Query, plan Plan, eo queryOptions, ts *telemetrySession, ctl *fault.Control) (Result, error) {
-	if plan.Method != FullTableScan && q.Table.idx == nil {
+	if q.Table.sharded() {
+		return s.executeGather(q, plan, eo, ts, ctl)
+	}
+	part := q.Table.one()
+	if plan.Method != FullTableScan && part.idx == nil {
 		return Result{}, fmt.Errorf("%w: table %q has no index", ErrInvalidQuery, q.Table.Name())
 	}
 	if eo.degree > 0 {
@@ -359,8 +407,8 @@ func (s *System) executePlan(q Query, plan Plan, eo queryOptions, ts *telemetryS
 	s.nextQID++
 	var pages int64
 	spec := exec.Spec{
-		Table:             q.Table.tab,
-		Index:             q.Table.idx,
+		Table:             part.tab,
+		Index:             part.idx,
 		Lo:                q.Low,
 		Hi:                q.High,
 		Method:            plan.Method.internal(),

@@ -38,7 +38,7 @@ func (s *System) Query(ctx context.Context, q Query, opts ...QueryOption) (Resul
 		return Result{}, &QueryError{Op: "query", Table: q.Table.Name(), Err: err}
 	}
 	if eo.cold {
-		s.pool.Flush()
+		s.FlushBufferPool()
 	}
 	ts := s.startTelemetry(q, eo)
 	ospan := ts.trc().Start(ts.span(), "optimize")

@@ -18,8 +18,29 @@ go test ./...
 # telemetry paths (observer + per-query WithTrace attribution under
 # concurrent sessions, event log, progress, SLO reporting).
 go vet ./...
-go test -race ./internal/sim/... ./internal/obs/... ./internal/host/... ./internal/experiments/... ./internal/exec/... ./internal/opt/... ./internal/broker/... ./internal/fault/... ./internal/buffer/...
+go test -race ./internal/sim/... ./internal/obs/... ./internal/host/... ./internal/experiments/... ./internal/exec/... ./internal/opt/... ./internal/broker/... ./internal/fault/... ./internal/buffer/... ./internal/node/...
 go test -race -run 'TestEventLog|TestLiveProgress|TestSLOReport|TestConcurrentAttribution|TestObserver|TestCaptureTelemetry' .
+
+# Node-assembly lint: a cluster node's storage stack (device, fault
+# injector, disk manager, buffer pool, share registry) is assembled in
+# internal/node and only there — the public package addresses nodes, never
+# raw storage constructors. A direct constructor call in the root package
+# rebuilds the pre-cluster single-device ownership the node refactor
+# removed, and bypasses the hedger/injector layering scans depend on.
+if grep -nE '(workload\.NewDevice|fault\.Wrap|buffer\.NewPool|buffer\.NewShares|disk\.NewManager)\(' ./*.go |
+	grep -v '_test\.go'; then
+	echo "verify: raw storage-stack constructor in the public package (assemble through internal/node)" >&2
+	exit 1
+fi
+
+# Node-addressing lint: the System owns nodes, not storage fields. Direct
+# s.dev/s.pool/s.inj/s.shares/s.manager/s.cpu accesses are the pre-cluster
+# field layout; engine code must go through s.nodes[i] / s.coord().
+if grep -nE 's\.(dev|pool|inj|shares|manager|cpu)\b' ./*.go |
+	grep -v '_test\.go'; then
+	echo "verify: direct System storage-field access in the public package (address the node instead)" >&2
+	exit 1
+fi
 
 # Batch-accounting lint: every worker CPU charge in the executor must flow
 # through the cpuBudget (batch.go) so debt settles before device
@@ -116,6 +137,15 @@ fi
 for ev in plancache.band_hit plancache.band_miss plancache.revalidate planner.greedy planner.fallback; do
 	if ! grep -q "\"$ev\"" internal/obs/event/catalog.go; then
 		echo "verify: planner event $ev missing from internal/obs/event/catalog.go" >&2
+		exit 1
+	fi
+done
+
+# Every scatter-gather event type must be described in the event catalog;
+# an empty Desc breaks JSONL consumers.
+for ev in shard.scatter shard.partial shard.hedge.issue shard.hedge.win shard.gather.done; do
+	if ! grep -q "\"$ev\"" internal/obs/event/catalog.go; then
+		echo "verify: shard event $ev missing from internal/obs/event/catalog.go" >&2
 		exit 1
 	fi
 done

@@ -144,13 +144,14 @@ func (s *System) sharedBroker() (*broker.Broker, error) {
 		return nil, fmt.Errorf("%w: resource brokering needs the calibrated queue-depth supply; call Calibrate first", ErrNotCalibrated)
 	}
 	if s.broker == nil {
+		n0 := s.coord()
 		cfg := broker.Config{
 			Env:        s.env,
 			Model:      s.model,
 			Band:       s.DevicePages(),
-			PoolPages:  s.pool.Capacity(),
+			PoolPages:  n0.Pool.Capacity(),
 			Workers:    s.cores,
-			DepthProbe: s.dev.Metrics().DepthIntegral,
+			DepthProbe: n0.Dev.Metrics().DepthIntegral,
 			Obs:        s.reg,
 		}
 		if !s.noDegrade {
@@ -158,15 +159,16 @@ func (s *System) sharedBroker() (*broker.Broker, error) {
 			// its credit supply, so admissions re-plan at a queue depth the
 			// degraded device can still absorb. Probe reads injector state
 			// only — no events, no randomness.
-			cfg.DegradeProbe = s.inj.Degradation
+			cfg.DegradeProbe = n0.Inj.Degradation
 		}
 		cfg.Log = s.events
 		s.broker = broker.New(cfg)
-		if s.shares != nil {
+		n0.Broker = s.broker
+		if n0.Shares != nil {
 			// The circulating producers read ahead at the device's
 			// beneficial queue depth — the same calibrated supply the
 			// broker's credits are denominated in.
-			s.shares.SetDepth(s.broker.Total())
+			n0.Shares.SetDepth(s.broker.Total())
 		}
 	}
 	return s.broker, nil
@@ -188,7 +190,7 @@ func (ses *Session) Submit(q Query, opts ...QueryOption) (*Submission, error) {
 		return nil, err
 	}
 	if eo.cold {
-		ses.sys.pool.Flush()
+		ses.sys.FlushBufferPool()
 	}
 	return ses.submit(q, eo)
 }
@@ -197,6 +199,10 @@ func (ses *Session) Submit(q Query, opts ...QueryOption) (*Submission, error) {
 // here so its one batch-level cold flush is not repeated per query).
 func (ses *Session) submit(q Query, eo queryOptions) (*Submission, error) {
 	s := ses.sys
+	if q.Table != nil && q.Table.sharded() {
+		return nil, fmt.Errorf("%w: table %q is partitioned across %d nodes; sessions are single-node — run scatter-gather through Query",
+			ErrInvalidQuery, q.Table.Name(), len(q.Table.parts))
+	}
 	ctl := fault.NewControl(s.env)
 	if eo.timeout > 0 {
 		ctl.SetDeadline(s.env.Now().Add(sim.Duration(eo.timeout)))
@@ -221,20 +227,21 @@ func (ses *Session) submit(q Query, eo queryOptions) (*Submission, error) {
 	// the plan memo caches a handful of contention levels, not one
 	// enumeration per exact rider count.
 	// Invalid queries (nil table) fall through to Plan, which reports them.
-	sharing := s.shares != nil && !eo.noShare && q.Table != nil
+	shares := s.coord().Shares
+	sharing := shares != nil && !eo.noShare && q.Table != nil
 	var file disk.FileID
 	if sharing {
-		file = q.Table.tab.File().ID()
-		s.shares.AddInterest(file)
+		file = q.Table.one().tab.File().ID()
+		shares.AddInterest(file)
 		if po.ShareParties == 0 {
-			po.ShareParties = quantizeParties(s.shares.Interest(file))
+			po.ShareParties = quantizeParties(shares.Interest(file))
 		}
 	}
 
 	plan, err := s.Plan(q, po)
 	if err != nil {
 		if sharing {
-			s.shares.DropInterest(file)
+			shares.DropInterest(file)
 		}
 		lease.Release() // withdraw from the admission queue
 		return nil, err
@@ -257,7 +264,7 @@ func (ses *Session) submit(q Query, eo queryOptions) (*Submission, error) {
 		// credits and pool reservations never leak from aborted queries.
 		defer lease.Release()
 		if sharing {
-			defer s.shares.DropInterest(file)
+			defer shares.DropInterest(file)
 		}
 		ts := s.startTelemetry(q, eo)
 		aspan := ts.trc().Start(ts.span(), "admit")
@@ -301,8 +308,8 @@ func (ses *Session) submit(q Query, eo queryOptions) (*Submission, error) {
 			prefetch = plan.Prefetch
 		}
 		spec := exec.Spec{
-			Table:             q.Table.tab,
-			Index:             q.Table.idx,
+			Table:             q.Table.one().tab,
+			Index:             q.Table.one().idx,
 			Lo:                q.Low,
 			Hi:                q.High,
 			Method:            plan.Method.internal(),
@@ -321,7 +328,7 @@ func (ses *Session) submit(q Query, eo queryOptions) (*Submission, error) {
 		// With other queries interested in the same file, a private scan's
 		// readahead trims the pages a neighbour (or the circulating
 		// producer) already covered instead of re-requesting them.
-		if sharing && !plan.Shared && s.shares.Interest(file) > 1 {
+		if sharing && !plan.Shared && shares.Interest(file) > 1 {
 			spec.CoordPrefetch = true
 		}
 		ctx := s.execContext()
@@ -392,7 +399,7 @@ func (ses *Session) Drain() error {
 		if n := ses.b.PoolInUse(); n != 0 {
 			panic(fmt.Sprintf("pioqo: session drain leaked %d reserved pool pages", n))
 		}
-		if sh := ses.sys.shares; sh != nil {
+		if sh := ses.sys.coord().Shares; sh != nil {
 			if n := sh.Live(); n != 0 {
 				panic(fmt.Sprintf("pioqo: session drain left %d consumers attached to circulating scans", n))
 			}

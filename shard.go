@@ -1,0 +1,482 @@
+package pioqo
+
+import (
+	"fmt"
+	"time"
+
+	"pioqo/internal/btree"
+	"pioqo/internal/exec"
+	"pioqo/internal/fault"
+	"pioqo/internal/obs"
+	"pioqo/internal/obs/event"
+	"pioqo/internal/opt"
+	"pioqo/internal/sim"
+	"pioqo/internal/stats"
+	"pioqo/internal/table"
+)
+
+// Scatter-gather execution over the simulated cluster: a sharded table
+// spreads one logical rowset across the nodes, the optimizer plans each
+// shard's access path independently under that shard's device band and
+// budget split, and the gather operator runs the per-shard scans on their
+// own nodes concurrently (one virtual clock), merging decomposable
+// partials on the coordinator. Slow shard reads are hedged: a read still
+// outstanding past the hedge delay gets a speculative duplicate, first
+// completion wins (fault.Hedger), which caps the makespan damage a
+// straggling device can do.
+
+// PartitionKind selects how a sharded table spreads rows across nodes.
+type PartitionKind int
+
+const (
+	// PartitionHash assigns each row by a hash of its C2 key — even row
+	// counts whatever the key distribution, but every shard holds every
+	// key range, so range predicates cannot prune shards.
+	PartitionHash PartitionKind = iota
+
+	// PartitionRange splits the key domain into equal-width slices, shard
+	// i holding [cuts[i-1], cuts[i]). Range predicates prune
+	// non-overlapping shards; skewed key distributions overload the hot
+	// shards.
+	PartitionRange
+
+	// PartitionRangeBalanced range-partitions on quantile cuts of the
+	// actual key multiset instead of equal-width slices — the rebalanced
+	// layout that keeps per-shard row counts near-even under skew while
+	// retaining range pruning.
+	PartitionRangeBalanced
+)
+
+func (k PartitionKind) String() string {
+	switch k {
+	case PartitionRange:
+		return "range"
+	case PartitionRangeBalanced:
+		return "range-balanced"
+	default:
+		return "hash"
+	}
+}
+
+// createShardedTable is CreateTable's multi-node path: it draws the full
+// rowset in exactly the order the unsharded constructor would (so the
+// union of the partitions is the same multiset whatever the shard count,
+// and merged decomposable aggregates are byte-identical to the unsharded
+// answer), then deals rows out to per-node heaps with per-shard indexes
+// and histograms.
+func (s *System) createShardedTable(name string, rows int64, rpp int, o tableOptions) (*Table, error) {
+	if o.synthetic {
+		return nil, fmt.Errorf("pioqo: table %q: synthetic tables are single-node; partitioning needs materialized columns", name)
+	}
+	var cols table.Columns
+	if o.zipf > 0 {
+		cols = table.DrawColumnsZipf(rows, o.seed, o.zipf)
+	} else {
+		cols = table.DrawColumns(rows, o.seed)
+	}
+
+	kind := s.partition
+	if o.part >= 0 {
+		kind = o.part
+	}
+	n := len(s.nodes)
+	var cuts []int64
+	switch kind {
+	case PartitionRange:
+		cuts = table.EqualWidthCuts(cols.Domain, n)
+	case PartitionRangeBalanced:
+		cuts = stats.BalancedCuts(cols.C2, n)
+	}
+	assign := func(key int64) int { return table.HashShard(key, n) }
+	if cuts != nil {
+		assign = func(key int64) int { return table.RangeShard(key, cuts) }
+	}
+	parts, _ := cols.Partition(n, assign)
+
+	t := &Table{sys: s, name: name, kind: kind, cuts: cuts, parts: make([]tablePart, n)}
+	for i, pc := range parts {
+		part := &t.parts[i]
+		part.node = s.nodes[i]
+		if len(pc.C1) == 0 {
+			continue // empty partition: nothing on this node
+		}
+		prows := int64(len(pc.C1))
+		heapPages := (prows + int64(rpp) - 1) / int64(rpp)
+		need := heapPages + prows/btree.DefaultLeafCap + 8
+		if need > part.node.Manager.Free() {
+			return nil, fmt.Errorf("pioqo: table %q shard %d needs %d pages, node device has %d free",
+				name, i, need, part.node.Manager.Free())
+		}
+		mt := table.NewMaterializedFrom(part.node.Manager,
+			fmt.Sprintf("%s#%d", name, i), rpp, pc.C1, pc.C2, cols.Domain)
+		part.tab = mt
+		if !o.noIndex {
+			part.idx = btree.NewMaterialized(part.node.Manager, mt, 0, 0)
+		}
+		part.hist = stats.BuildHistogram(mt, 0)
+	}
+	s.tables[name] = t
+	return t, nil
+}
+
+// activeShards returns the shard ids a query over [lo, hi] must touch:
+// non-empty partitions whose key range overlaps the predicate. Hash
+// partitions cannot prune (every shard holds every key range); range
+// partitions drop the shards whose slice misses the predicate entirely.
+func (t *Table) activeShards(lo, hi int64) []int {
+	var out []int
+	for i := range t.parts {
+		if t.parts[i].tab == nil {
+			continue
+		}
+		if t.cuts != nil {
+			shardLo := int64(0)
+			if i > 0 {
+				shardLo = t.cuts[i-1]
+			}
+			if i < len(t.cuts) && lo >= t.cuts[i] { // predicate entirely above the slice
+				continue
+			}
+			if hi < shardLo { // predicate entirely below the slice
+				continue
+			}
+			if lo > hi {
+				continue
+			}
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// planSharded is Plan's scatter-gather path: each active shard is planned
+// independently — its own access path, degree, and prefetch under its
+// node's pool capacity and its split of the caller's queue-depth budget —
+// and the merge stage is priced on top (opt.ChooseSharded). The public
+// plan reports the makespan estimate and carries the per-shard plans for
+// executeGather.
+func (s *System) planSharded(q Query, o PlanOptions) (Plan, error) {
+	if err := q.validate(); err != nil {
+		return Plan{}, err
+	}
+	t := q.Table
+	active := t.activeShards(q.Low, q.High)
+	if len(active) == 0 {
+		// Every shard pruned: the query is answered without touching a
+		// device. Report a degenerate plan; executeGather short-circuits.
+		return Plan{Method: IndexScan, Degree: 1, Fanout: 0, pruned: len(t.parts)}, nil
+	}
+	po := o
+	po.ShareParties = 0 // circulating scans are single-node
+	var budgets []int
+	if o.QueueBudget > 0 {
+		budgets = splitBudget(o.QueueBudget, len(active))
+	}
+	cfgs := make([]opt.Config, len(active))
+	ins := make([]opt.Input, len(active))
+	for j, si := range active {
+		part := &t.parts[si]
+		pj := po
+		if budgets != nil {
+			pj.QueueBudget = budgets[j]
+		}
+		cfg, err := s.planConfig(part.node, pj)
+		if err != nil {
+			return Plan{}, err
+		}
+		cfgs[j] = cfg
+		ins[j] = opt.Input{
+			Table: part.tab,
+			Index: part.idx,
+			Pool:  part.node.Pool,
+			Stats: part.hist,
+			Lo:    q.Low,
+			Hi:    q.High,
+		}
+	}
+	choose := s.memo.Choose
+	if o.GreedyPlanning || s.greedy {
+		choose = s.pcache.Choose
+	}
+	sp := opt.ChooseSharded(choose, cfgs, ins, opt.MergeScalar, 0)
+
+	// The public shape mirrors the slowest shard's choice (the one the
+	// makespan estimate is pinned to); per-shard plans ride along for the
+	// executor.
+	tmpl := sp.Shards[0]
+	for _, p := range sp.Shards[1:] {
+		if p.TotalMicros > tmpl.TotalMicros {
+			tmpl = p
+		}
+	}
+	pub := fromInternalPlan(tmpl)
+	pub.Shared = false
+	pub.EstimatedCost = time.Duration(sp.TotalMicros * 1e3)
+	pub.EstimatedIO = time.Duration(sp.IOMicros * 1e3)
+	pub.EstimatedCPU = time.Duration(sp.CPUMicros * 1e3)
+	pub.EstimatedRows = sp.EstRows
+	pub.Fanout = len(active)
+	pub.scatter = &scatterPlan{plans: sp.Shards, active: active}
+	pub.pruned = len(t.parts) - len(active)
+	return pub, nil
+}
+
+// splitBudget deals a queue-depth budget across shards, at least one
+// credit each (a zero per-shard budget would mean "uncapped").
+func splitBudget(total, shards int) []int {
+	out := make([]int, shards)
+	for i := range out {
+		out[i] = total / shards
+		if i < total%shards {
+			out[i]++
+		}
+		if out[i] < 1 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// executeGather is executePlan's scatter-gather tail: it builds one
+// node-local scan spec per active shard (per-shard plans when the plan
+// carries them, the plan's uniform shape otherwise), arms the straggler
+// hedgers for the duration of the run, and executes the gather operator.
+// All shard specs share one Progress counter and one abort control, so
+// live progress and cancellation span the cluster.
+func (s *System) executeGather(q Query, plan Plan, eo queryOptions, ts *telemetrySession, ctl *fault.Control) (Result, error) {
+	t := q.Table
+	if plan.Method != FullTableScan && !t.Indexed() {
+		return Result{}, fmt.Errorf("%w: table %q has no index", ErrInvalidQuery, t.Name())
+	}
+	if eo.degree > 0 {
+		plan.Degree = eo.degree
+	}
+	if plan.Degree <= 0 {
+		plan.Degree = 1
+	}
+	var active []int
+	if plan.scatter != nil {
+		active = plan.scatter.active
+	} else {
+		// Caller-constructed plan (ExecutePlan): scatter uniformly.
+		active = t.activeShards(q.Low, q.High)
+	}
+	plan.Fanout = len(active)
+	plan.pruned = len(t.parts) - len(active)
+
+	qid := s.nextQID
+	s.nextQID++
+	s.events.Emit(event.EvQueryStart, qid, estimatePages(q, plan), int64(eo.plan.QueueBudget))
+	if len(active) == 0 {
+		// Every shard pruned: no rows anywhere. COUNT of nothing is 0 and
+		// found, as in the unsharded executor.
+		s.events.Emit(event.EvQueryDone, qid, 0, 0)
+		res := Result{Plan: plan}
+		if q.Agg == Count {
+			res.Found = true
+		}
+		ts.finish(s, plan, 0, eo)
+		return res, nil
+	}
+
+	var pages int64
+	gs := exec.GatherSpec{
+		Agg:    q.Agg.internal(),
+		Pruned: plan.pruned,
+		QID:    qid,
+	}
+	for j, si := range active {
+		part := &t.parts[si]
+		shardPlan := plan
+		if plan.scatter != nil {
+			shardPlan = fromInternalPlan(plan.scatter.plans[j])
+			if eo.degree > 0 {
+				shardPlan.Degree = eo.degree
+			}
+		}
+		prefetch := eo.prefetch
+		if prefetch == 0 {
+			prefetch = shardPlan.Prefetch
+		}
+		ctx := s.nodeContext(part.node)
+		ctx.Tracer = ts.trc()
+		gs.Shards = append(gs.Shards, exec.ShardScan{
+			Ctx: ctx,
+			Spec: exec.Spec{
+				Table:             part.tab,
+				Index:             part.idx,
+				Lo:                q.Low,
+				Hi:                q.High,
+				Method:            shardPlan.Method.internal(),
+				Degree:            shardPlan.Degree,
+				Agg:               q.Agg.internal(),
+				PrefetchPerWorker: prefetch,
+				Span:              ts.span(),
+				Ctl:               ctl,
+				Retry:             eo.retry.internal(),
+				QID:               qid,
+				Progress:          &pages,
+			},
+		})
+	}
+
+	// Hedging is armed only for the gather window: calibration and
+	// single-node traffic never see speculative duplicates.
+	before := s.armHedgers(active, t)
+	res := exec.ExecuteGather(gs)
+	s.disarmHedgers(active, t, before)
+
+	s.events.Emit(event.EvQueryDone, qid, pages, int64(res.Runtime))
+	result := Result{
+		Value:            res.Value,
+		Found:            res.Found,
+		Rows:             res.RowsMatched,
+		Plan:             plan,
+		Runtime:          time.Duration(res.Runtime),
+		PageReads:        res.IO.Requests,
+		IOThroughputMBps: res.IO.ThroughputMBps,
+	}
+	ts.finish(s, plan, result.Runtime, eo)
+	if res.Err != nil {
+		return Result{}, &QueryError{Op: "query", Table: t.Name(), Err: res.Err}
+	}
+	return result, nil
+}
+
+// armHedgers arms the active shards' straggler hedgers and snapshots their
+// stats, so the issue/win deltas of this gather can be rolled into the
+// registry counters on disarm.
+func (s *System) armHedgers(active []int, t *Table) []fault.HedgeStats {
+	if s.hedge == 0 {
+		return nil
+	}
+	before := make([]fault.HedgeStats, len(active))
+	for j, si := range active {
+		if h := t.parts[si].node.Hedge; h != nil {
+			before[j] = h.Stats()
+			h.Arm()
+		}
+	}
+	return before
+}
+
+func (s *System) disarmHedgers(active []int, t *Table, before []fault.HedgeStats) {
+	if before == nil {
+		return
+	}
+	var issued, wins int64
+	for j, si := range active {
+		h := t.parts[si].node.Hedge
+		if h == nil {
+			continue
+		}
+		h.Disarm()
+		st := h.Stats()
+		issued += st.Issued - before[j].Issued
+		wins += st.Wins - before[j].Wins
+	}
+	if issued > 0 {
+		s.reg.Counter(obs.MetricShardHedgeIssued).Add(issued)
+	}
+	if wins > 0 {
+		s.reg.Counter(obs.MetricShardHedgeWins).Add(wins)
+	}
+}
+
+// executeGatherGroupBy is ExecuteGroupBy's scatter-gather tail: per-shard
+// grouped aggregations over each node's partition, group partials folded
+// on the coordinator (the decomposable GROUP BY merge).
+func (s *System) executeGatherGroupBy(q GroupByQuery, plan Plan, eo queryOptions) (GroupByResult, error) {
+	t := q.Table
+	var active []int
+	if plan.scatter != nil {
+		active = plan.scatter.active
+	} else {
+		active = t.activeShards(q.Low, q.High)
+	}
+	qid := s.nextQID
+	s.nextQID++
+	if len(active) == 0 {
+		return GroupByResult{Plan: plan}, nil
+	}
+
+	shards := make([]exec.ShardScan, len(active))
+	for j, si := range active {
+		part := &t.parts[si]
+		shardPlan := plan
+		if plan.scatter != nil {
+			shardPlan = fromInternalPlan(plan.scatter.plans[j])
+		}
+		ctx := s.nodeContext(part.node)
+		shards[j] = exec.ShardScan{
+			Ctx: ctx,
+			Spec: exec.Spec{
+				Table:             part.tab,
+				Index:             part.idx,
+				Lo:                q.Low,
+				Hi:                q.High,
+				Method:            shardPlan.Method.internal(),
+				Degree:            shardPlan.Degree,
+				PrefetchPerWorker: shardPlan.Prefetch,
+				QID:               qid,
+			},
+		}
+	}
+
+	before := s.armHedgers(active, t)
+	start := s.env.Now()
+	var res exec.GroupByResult
+	s.env.Go("gather-groupby", func(p *sim.Proc) {
+		res = exec.RunGatherGroupBy(p, shards, q.GroupWidth, q.Agg.internal(), qid)
+	})
+	s.env.Run()
+	s.disarmHedgers(active, t, before)
+
+	out := GroupByResult{
+		Rows:    res.Rows,
+		Plan:    plan,
+		Runtime: time.Duration(s.env.Now() - start),
+	}
+	for _, g := range res.Groups {
+		out.Groups = append(out.Groups, GroupRow{Key: g.Key, Value: g.Value, Rows: g.Rows})
+	}
+	return out, nil
+}
+
+// HedgeStats reports the cluster's straggler-hedging activity: speculative
+// reads issued and the races they won. Zeros on unhedged systems.
+type HedgeStats struct {
+	Issued int64
+	Wins   int64
+}
+
+// HedgeStats sums hedging activity across all nodes.
+func (s *System) HedgeStats() HedgeStats {
+	var hs HedgeStats
+	for _, n := range s.nodes {
+		if n.Hedge != nil {
+			st := n.Hedge.Stats()
+			hs.Issued += st.Issued
+			hs.Wins += st.Wins
+		}
+	}
+	return hs
+}
+
+// NodeIOStats is one node's device traffic snapshot.
+type NodeIOStats struct {
+	Node     int
+	Requests int64
+	Bytes    int64
+}
+
+// NodeIO reports each node's cumulative device read/write request count —
+// how evenly the cluster's I/O spread across shards.
+func (s *System) NodeIO() []NodeIOStats {
+	out := make([]NodeIOStats, len(s.nodes))
+	for i, n := range s.nodes {
+		snap := n.Dev.Metrics().Snapshot()
+		out[i] = NodeIOStats{Node: i, Requests: snap.Requests, Bytes: snap.Bytes}
+	}
+	return out
+}

@@ -1,0 +1,295 @@
+package pioqo
+
+import (
+	"testing"
+	"time"
+)
+
+// newShardedCalibrated builds a calibrated cluster with one partitioned
+// table (zipf <= 0 means uniform data).
+func newShardedCalibrated(t *testing.T, shards int, kind PartitionKind, rows int64, zipf float64, opts ...TableOption) (*System, *Table) {
+	t.Helper()
+	sys := New(Config{Device: SSD, PoolPages: 1024, Shards: shards, Partition: kind})
+	topts := opts
+	if zipf > 0 {
+		topts = append([]TableOption{WithZipfData(zipf)}, opts...)
+	}
+	tab, err := sys.CreateTable("t", rows, 33, topts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Calibrate(CalibrationOptions{MaxReads: 640}); err != nil {
+		t.Fatal(err)
+	}
+	return sys, tab
+}
+
+// TestShardedAggregatesMatchUnsharded is the merge-decomposability
+// invariant: per-shard MAX/MIN/COUNT/SUM partials folded by the gather
+// operator must equal the unsharded answer byte for byte, across every
+// partitioning, shard count, and both data distributions — the partitions
+// hold the same row multiset, so the decomposable folds commute.
+func TestShardedAggregatesMatchUnsharded(t *testing.T) {
+	queries := []Query{
+		{Low: 0, High: 499},
+		{Low: 100, High: 30000},
+		{Low: 0, High: 49999}, // everything
+		{Low: 700, High: 650}, // empty range
+	}
+	aggs := []Aggregate{Max, Min, Count, Sum}
+	for _, zipf := range []float64{0, 1.3} {
+		ref, refTab := newShardedCalibrated(t, 1, PartitionHash, 50000, zipf)
+		want := make(map[[3]int64]Result)
+		for _, q := range queries {
+			for _, agg := range aggs {
+				q.Table, q.Agg = refTab, agg
+				res, err := ref.Execute(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[[3]int64{q.Low, q.High, int64(agg)}] = res
+			}
+		}
+		for _, kind := range []PartitionKind{PartitionHash, PartitionRange, PartitionRangeBalanced} {
+			for _, shards := range []int{2, 4, 8} {
+				sys, tab := newShardedCalibrated(t, shards, kind, 50000, zipf)
+				for _, q := range queries {
+					for _, agg := range aggs {
+						q.Table, q.Agg = tab, agg
+						res, err := sys.Execute(q)
+						if err != nil {
+							t.Fatal(err)
+						}
+						w := want[[3]int64{q.Low, q.High, int64(agg)}]
+						if res.Value != w.Value || res.Found != w.Found || res.Rows != w.Rows {
+							t.Errorf("zipf=%v %v shards=%d %v [%d,%d]: got (%d,%v,%d rows), unsharded (%d,%v,%d rows)",
+								zipf, kind, shards, agg, q.Low, q.High,
+								res.Value, res.Found, res.Rows, w.Value, w.Found, w.Rows)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedGroupByMatchesUnsharded checks the GROUP BY decomposition:
+// per-shard group hashes folded on the coordinator must reproduce the
+// unsharded groups exactly, keys and order included.
+func TestShardedGroupByMatchesUnsharded(t *testing.T) {
+	ref, refTab := newShardedCalibrated(t, 1, PartitionHash, 50000, 1.3)
+	want, err := ref.ExecuteGroupBy(GroupByQuery{Table: refTab, Low: 0, High: 20000, GroupWidth: 1000, Agg: Sum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []PartitionKind{PartitionHash, PartitionRangeBalanced} {
+		sys, tab := newShardedCalibrated(t, 4, kind, 50000, 1.3)
+		got, err := sys.ExecuteGroupBy(GroupByQuery{Table: tab, Low: 0, High: 20000, GroupWidth: 1000, Agg: Sum})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Rows != want.Rows || len(got.Groups) != len(want.Groups) {
+			t.Fatalf("%v: %d rows in %d groups, unsharded %d rows in %d groups",
+				kind, got.Rows, len(got.Groups), want.Rows, len(want.Groups))
+		}
+		for i, g := range got.Groups {
+			if g != want.Groups[i] {
+				t.Errorf("%v group[%d] = %+v, unsharded %+v", kind, i, g, want.Groups[i])
+			}
+		}
+	}
+}
+
+// TestRangePartitionPruning checks that a range predicate over a
+// range-partitioned table prunes the non-overlapping shards from the scatter.
+func TestRangePartitionPruning(t *testing.T) {
+	sys, tab := newShardedCalibrated(t, 8, PartitionRange, 50000, 0)
+	plan, err := sys.Plan(Query{Table: tab, Low: 0, High: 499}, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Fanout != 1 {
+		t.Errorf("narrow range over 8 range shards: fanout %d, want 1 (plan %v)", plan.Fanout, plan)
+	}
+	res, err := sys.Execute(Query{Table: tab, Low: 0, High: 499})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Fanout != 1 {
+		t.Errorf("executed fanout %d, want 1", res.Plan.Fanout)
+	}
+	// Hash partitions hold every key range: no pruning possible.
+	hsys, htab := newShardedCalibrated(t, 8, PartitionHash, 50000, 0)
+	hplan, err := hsys.Plan(Query{Table: htab, Low: 0, High: 499}, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hplan.Fanout != 8 {
+		t.Errorf("hash partition fanout %d, want 8", hplan.Fanout)
+	}
+	// Correctness under pruning: same answer as unsharded.
+	ref, refTab := newShardedCalibrated(t, 1, PartitionHash, 50000, 0)
+	want, err := ref.Execute(Query{Table: refTab, Low: 0, High: 499})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != want.Value || res.Rows != want.Rows {
+		t.Errorf("pruned result (%d, %d rows) != unsharded (%d, %d rows)",
+			res.Value, res.Rows, want.Value, want.Rows)
+	}
+}
+
+// TestRangeBalancedCutsRebalance checks the rebalance sweep's premise:
+// equal-width cuts overload the hot shard of a Zipf table, quantile cuts
+// spread it near-evenly.
+func TestRangeBalancedCutsRebalance(t *testing.T) {
+	_, naive := newShardedCalibrated(t, 8, PartitionRange, 50000, 1.3)
+	_, balanced := newShardedCalibrated(t, 8, PartitionRangeBalanced, 50000, 1.3)
+	imbalance := func(rows []int64) float64 {
+		var max, total int64
+		for _, r := range rows {
+			total += r
+			if r > max {
+				max = r
+			}
+		}
+		return float64(max) / (float64(total) / float64(len(rows)))
+	}
+	ni, bi := imbalance(naive.ShardRows()), imbalance(balanced.ShardRows())
+	if ni < 4 {
+		t.Errorf("equal-width cuts on zipf data: max/mean imbalance %.2f, expected heavy (>4x) skew; rows %v",
+			ni, naive.ShardRows())
+	}
+	// Range cuts cannot split a single hot key, so the balanced layout's
+	// floor is the hot key's mass (~26% of rows at zipf 1.3, ~2.1x the
+	// 8-shard mean); require at least a halving of the naive imbalance.
+	if bi*2 > ni {
+		t.Errorf("balanced cuts imbalance %.2f did not halve naive %.2f; rows %v",
+			bi, ni, balanced.ShardRows())
+	}
+}
+
+// TestHedgingUnderStragglers checks the straggler-hedging policy: with a
+// straggler-injecting fault schedule on every node, the hedged cluster
+// answers identically to the unhedged one (speculative duplicates are
+// deduplicated — exactly-once rows), issues hedges, wins some, and doesn't
+// run slower.
+func TestHedgingUnderStragglers(t *testing.T) {
+	sch := FaultSchedule{Windows: []FaultWindow{{
+		StragglerRate:    0.10,
+		StragglerLatency: 20 * time.Millisecond,
+	}}}
+	run := func(noHedge bool) (Result, HedgeStats) {
+		sys := New(Config{Device: SSD, PoolPages: 1024, Shards: 4, NoHedge: noHedge, HedgeDelay: 2 * time.Millisecond})
+		tab, err := sys.CreateTable("t", 100000, 33)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Calibrate(CalibrationOptions{MaxReads: 640}); err != nil {
+			t.Fatal(err)
+		}
+		sys.InjectFaults(sch)
+		res, err := sys.Execute(Query{Table: tab, Low: 0, High: 99999})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, sys.HedgeStats()
+	}
+	hedged, hs := run(false)
+	unhedged, uhs := run(true)
+	if uhs.Issued != 0 {
+		t.Errorf("NoHedge system issued %d hedges", uhs.Issued)
+	}
+	if hs.Issued == 0 {
+		t.Error("hedged system issued no speculative reads under 10% stragglers")
+	}
+	if hs.Wins == 0 {
+		t.Error("no hedge ever won against a 20ms straggler")
+	}
+	if hedged.Value != unhedged.Value || hedged.Rows != unhedged.Rows || hedged.Found != unhedged.Found {
+		t.Errorf("hedged answer (%d, %d rows) != unhedged (%d, %d rows): speculative read leaked into results",
+			hedged.Value, hedged.Rows, unhedged.Value, unhedged.Rows)
+	}
+	if hedged.Runtime > unhedged.Runtime {
+		t.Errorf("hedging slowed the scatter down: %v hedged vs %v unhedged", hedged.Runtime, unhedged.Runtime)
+	}
+}
+
+// TestShardedMakespanScales checks the scatter's point: spreading a scan
+// over N devices divides the makespan.
+func TestShardedMakespanScales(t *testing.T) {
+	runtimes := make(map[int]time.Duration)
+	for _, shards := range []int{1, 8} {
+		sys, tab := newShardedCalibrated(t, shards, PartitionHash, 200000, 0)
+		res, err := sys.Execute(Query{Table: tab, Low: 0, High: 199999}, Cold())
+		if err != nil {
+			t.Fatal(err)
+		}
+		runtimes[shards] = res.Runtime
+	}
+	if runtimes[8] <= 0 || runtimes[1] < 2*runtimes[8] {
+		t.Errorf("full scan: 1 shard %v, 8 shards %v — want >2x makespan improvement",
+			runtimes[1], runtimes[8])
+	}
+}
+
+// TestShardedSingleNodeOpsRejected checks that the single-node entrypoints
+// reject partitioned tables with a clear error instead of scanning one
+// partition silently.
+func TestShardedSingleNodeOpsRejected(t *testing.T) {
+	sys, tab := newShardedCalibrated(t, 4, PartitionHash, 20000, 0)
+	if _, err := sys.Submit(Query{Table: tab, Low: 0, High: 99}); err == nil {
+		t.Error("Submit on a sharded table succeeded; want error")
+	}
+	if _, err := sys.Update(UpdateQuery{Table: tab, Low: 0, High: 99, Delta: 1}); err == nil {
+		t.Error("Update on a sharded table succeeded; want error")
+	}
+	if _, err := sys.ExecuteJoin(JoinQuery{Build: tab, Probe: tab, Low: 0, High: 99}); err == nil {
+		t.Error("ExecuteJoin on a sharded table succeeded; want error")
+	}
+	if _, err := sys.Explain(Query{Table: tab, Low: 0, High: 99}, PlanOptions{}); err == nil {
+		t.Error("Explain on a sharded table succeeded; want error")
+	}
+	if _, err := sys.CreateTable("syn", 1000, 33, WithSyntheticData()); err == nil {
+		t.Error("synthetic sharded table succeeded; want error")
+	}
+}
+
+// TestShardedProgressAndEvents checks the observability surface: the
+// shard.* events land in the engine log and per-shard progress rolls up
+// into the query counter.
+func TestShardedProgressAndEvents(t *testing.T) {
+	sys := New(Config{Device: SSD, PoolPages: 1024, Shards: 4, EventLog: 4096})
+	tab, err := sys.CreateTable("t", 50000, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Calibrate(CalibrationOptions{MaxReads: 640}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Execute(Query{Table: tab, Low: 0, High: 49999}); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, e := range sys.EngineEvents() {
+		seen[e.Name]++
+	}
+	if seen["shard.scatter"] != 1 {
+		t.Errorf("shard.scatter events = %d, want 1", seen["shard.scatter"])
+	}
+	if seen["shard.partial"] != 4 {
+		t.Errorf("shard.partial events = %d, want 4", seen["shard.partial"])
+	}
+	if seen["shard.gather.done"] != 1 {
+		t.Errorf("shard.gather.done events = %d, want 1", seen["shard.gather.done"])
+	}
+	io := sys.NodeIO()
+	if len(io) != 4 {
+		t.Fatalf("NodeIO reported %d nodes, want 4", len(io))
+	}
+	for _, n := range io {
+		if n.Requests == 0 {
+			t.Errorf("node %d issued no device reads during a full scatter scan", n.Node)
+		}
+	}
+}

@@ -44,7 +44,11 @@ func (s *System) Update(q UpdateQuery, opts ...ExecOption) (UpdateResult, error)
 	if q.Table == nil {
 		return UpdateResult{}, errors.New("pioqo: update without a table")
 	}
-	mat, ok := q.Table.tab.(*table.Materialized)
+	if q.Table.sharded() {
+		return UpdateResult{}, fmt.Errorf("pioqo: table %q is partitioned across %d nodes; updates are single-node only",
+			q.Table.Name(), len(q.Table.parts))
+	}
+	mat, ok := q.Table.one().tab.(*table.Materialized)
 	if !ok {
 		return UpdateResult{}, fmt.Errorf("pioqo: table %q is synthetic and read-only", q.Table.Name())
 	}
@@ -53,7 +57,7 @@ func (s *System) Update(q UpdateQuery, opts ...ExecOption) (UpdateResult, error)
 		o(&eo)
 	}
 	if eo.cold {
-		s.pool.Flush()
+		s.FlushBufferPool()
 	}
 	plan, err := s.Plan(Query{Table: q.Table, Low: q.Low, High: q.High}, eo.plan)
 	if err != nil {
@@ -61,8 +65,8 @@ func (s *System) Update(q UpdateQuery, opts ...ExecOption) (UpdateResult, error)
 	}
 
 	spec := exec.Spec{
-		Table:             q.Table.tab,
-		Index:             q.Table.idx,
+		Table:             q.Table.one().tab,
+		Index:             q.Table.one().idx,
 		Lo:                q.Low,
 		Hi:                q.High,
 		Method:            plan.Method.internal(),
@@ -80,13 +84,13 @@ func (s *System) Update(q UpdateQuery, opts ...ExecOption) (UpdateResult, error)
 	s.env.Go("update", func(p *sim.Proc) {
 		res = exec.RunScan(p, ctx, spec)
 		// Checkpoint: the update is not done until its pages are durable.
-		s.pool.FlushDirty(p)
+		s.coord().Pool.FlushDirty(p)
 	})
 	s.env.Run()
 
 	return UpdateResult{
 		RowsUpdated:  res.RowsMatched,
-		PagesWritten: s.pool.Stats.DirtyWrites,
+		PagesWritten: s.coord().Pool.Stats.DirtyWrites,
 		Plan:         plan,
 		Runtime:      time.Duration(s.env.Now() - start),
 	}, nil
