@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"pioqo/internal/adapt"
 	"pioqo/internal/calibrate"
 	"pioqo/internal/cost"
 )
@@ -100,6 +101,10 @@ func (s *System) Calibrate(o CalibrationOptions) (*Calibration, error) {
 	// device kind, so the one model prices I/O for all shards.
 	out := calibrate.Run(s.env, s.coord().Dev, cfg)
 	s.installModel(out.Model)
+	// The same sweep points also fit the offline DOP model adaptive
+	// executions seed their initial degree from — installModel dropped the
+	// previous one along with everything else model-derived.
+	s.dop = adapt.Fit(out.Points)
 	return &Calibration{
 		Model:        out.Model,
 		Bands:        out.Model.Bands(),
@@ -157,6 +162,7 @@ func (s *System) LoadModel(r io.Reader) error {
 func (s *System) installModel(m *cost.QDTT) {
 	s.model = m
 	s.depthOne = nil
+	s.dop = nil
 	s.memo.Reset()
 	s.pcache.Reset()
 	s.broker = nil

@@ -17,7 +17,7 @@
 // Paper experiments: fig1, table1, fig4, table2, table3, fig5, fig6, fig7,
 // fig8, fig9, fig10, fig11, fig12, earlystop. Extensions: qdprofile,
 // concurrency, admission, degrade, slo, shared, joins, mixed, accuracy,
-// optimality. "all" runs everything.
+// optimality, planbench, shard, adaptive. "all" runs everything.
 //
 // fig4 and fig8 accept -panel to select one configuration (fig4: a..f for
 // E1-HDD, E1-SSD, E33-HDD, E33-SSD, E500-HDD, E500-SSD; fig8: a..c for
@@ -91,7 +91,7 @@ func main() {
 			"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 			"earlystop", "qdprofile", "concurrency", "admission", "degrade",
 			"slo", "shared", "joins", "mixed", "accuracy", "optimality",
-			"planbench", "shard"} {
+			"planbench", "shard", "adaptive"} {
 			fmt.Printf("== %s ==\n", e)
 			if err := run(sc, e, *panel); err != nil {
 				fmt.Fprintf(os.Stderr, "pioqo-bench: %v\n", err)
@@ -170,6 +170,8 @@ experiments:
   shard      sharded scatter-gather: makespan vs shard count across the
              skew grid, straggler hedging A/B, and the range-partition
              rebalance sweep (-shards N, -json)
+  adaptive   feedback-controller benchmark: adaptive vs every static degree
+             across the device x skew x selectivity grid (-json)
   all        everything above
 `)
 }
@@ -478,6 +480,19 @@ func run(sc experiments.Scale, exp, panel string) error {
 			fmt.Fprintf(w, "%s\t%d\t%s\t%.1f\t%s\t%d\t%.2f\t%.2fx\t%d\t%d\t%d\t%d\n",
 				r.Arm, r.Shards, r.Partition, r.Zipf, r.Plan, r.Fanout,
 				r.MakespanMs, r.Speedup, r.HedgesIssued, r.HedgeWins, r.HotRows, r.MeanRows)
+		}
+	case "adaptive":
+		rows := sc.Adaptive()
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rows)
+		}
+		fmt.Fprintln(w, "device\tskew\tsel_%\tadaptive_ms\tbest_static_ms\tbest_d\tworst_static_ms\tworst_d\twithin_%\tretunes\tspec_issued\tspec_hits")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%s\t%.2f\t%.2f\t%.2f\t%d\t%.2f\t%d\t%+.1f\t%d\t%d\t%d\n",
+				r.Device, r.Skew, r.SelPct, r.AdaptiveMs, r.BestStaticMs, r.BestDegree,
+				r.WorstStaticMs, r.WorstDegree, r.WithinPct, r.Retunes, r.SpecIssued, r.SpecHits)
 		}
 	case "qdprofile":
 		if *jsonOut {

@@ -1,0 +1,66 @@
+// Adaptive: a query executed under the feedback controller seeds its
+// parallel degree from the calibration-fit DOP model, then retunes worker
+// count and readahead mid-flight from live queue-depth, throughput, and
+// pool-pressure signals — growing only through the broker lease. This
+// example runs the same cold range-aggregate at every static degree and
+// once adaptively, and prints the controller's decision trail: the
+// adaptive run should land within a few percent of whichever static
+// degree happens to win, without being told which one that is.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"pioqo"
+)
+
+func main() {
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "arm\tdegree\truntime\tpage reads")
+
+	run := func(adaptive bool, degree int) *pioqo.System {
+		sys := pioqo.New(pioqo.Config{
+			Device:    pioqo.SSD,
+			PoolPages: 1024,
+			Adaptive:  adaptive,
+			EventLog:  4096,
+		})
+		tab, err := sys.CreateTable("t", 400_000, 33, pioqo.WithSyntheticData())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := sys.Calibrate(pioqo.CalibrationOptions{}); err != nil {
+			log.Fatal(err)
+		}
+		q := pioqo.Query{Table: tab, Low: 0, High: 1999} // selective index range
+		opts := []pioqo.QueryOption{pioqo.Cold()}
+		arm := "adaptive"
+		if !adaptive {
+			opts = append(opts, pioqo.WithStaticDegree(degree))
+			arm = fmt.Sprintf("static d%d", degree)
+		}
+		res, err := sys.Execute(q, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%v\t%d\n", arm, res.Plan.Degree, res.Runtime, res.PageReads)
+		return sys
+	}
+
+	for _, d := range []int{1, 4, 32} {
+		run(false, d)
+	}
+	sys := run(true, 0)
+	w.Flush()
+
+	fmt.Println("\ncontroller decision trail:")
+	for _, ev := range sys.EngineEvents() {
+		if strings.HasPrefix(ev.Name, "adapt.") || strings.HasPrefix(ev.Name, "lease.") {
+			fmt.Printf("  %-18s %s=%d %s=%d\n", ev.Name, ev.AName, ev.A, ev.BName, ev.B)
+		}
+	}
+}

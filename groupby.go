@@ -38,7 +38,7 @@ type GroupByResult struct {
 
 // ExecuteGroupBy optimizes the underlying scan and runs the grouped
 // aggregation.
-func (s *System) ExecuteGroupBy(q GroupByQuery, opts ...ExecOption) (GroupByResult, error) {
+func (s *System) ExecuteGroupBy(q GroupByQuery, opts ...QueryOption) (GroupByResult, error) {
 	if q.GroupWidth <= 0 {
 		return GroupByResult{}, fmt.Errorf("pioqo: group width %d must be positive", q.GroupWidth)
 	}

@@ -1,0 +1,279 @@
+package adapt
+
+import (
+	"testing"
+
+	"pioqo/internal/buffer"
+	"pioqo/internal/calibrate"
+	"pioqo/internal/device"
+	"pioqo/internal/disk"
+	"pioqo/internal/sim"
+)
+
+// fakeGrower grants up to its remaining credits.
+type fakeGrower struct {
+	avail   int
+	granted int
+}
+
+func (g *fakeGrower) Grow(n int) int {
+	if n > g.avail {
+		n = g.avail
+	}
+	g.avail -= n
+	g.granted += n
+	return n
+}
+
+// drive runs fn inside a proc so Tick sees advancing virtual time.
+func drive(t *testing.T, fn func(env *sim.Env, p *sim.Proc)) {
+	t.Helper()
+	env := sim.NewEnv(1)
+	env.Go("drive", func(p *sim.Proc) { fn(env, p) })
+	env.Run()
+}
+
+// tickUntil advances virtual time in interval-sized steps, feeding pages
+// between ticks, until the controller's target changes or maxSteps pass.
+func tickUntil(p *sim.Proc, c *Controller, live int, pagesPerStep int64, maxSteps int) int {
+	start := c.Target()
+	for i := 0; i < maxSteps; i++ {
+		for j := int64(0); j < pagesPerStep; j++ {
+			c.pages++
+		}
+		p.Sleep(c.interval)
+		if got := c.Tick(live); got != start {
+			return got
+		}
+	}
+	return c.Target()
+}
+
+func TestControllerGrowsTowardCap(t *testing.T) {
+	drive(t, func(env *sim.Env, p *sim.Proc) {
+		g := &fakeGrower{avail: 64}
+		c := NewController(Config{
+			Env: env, Initial: 1, Planned: 1, Max: 8, Lease: g,
+		})
+		// Constant per-worker throughput: every grow pays, so the climb
+		// should reach the cap.
+		for step := 0; step < 40 && c.Target() < 8; step++ {
+			live := c.Target()
+			for j := int64(0); j < int64(32*live); j++ {
+				c.pages++
+			}
+			p.Sleep(c.interval)
+			c.Tick(live)
+		}
+		if c.Target() != 8 {
+			t.Fatalf("target = %d, want cap 8", c.Target())
+		}
+		if g.granted < 7 {
+			t.Fatalf("granted %d credits, want every step above 1 leased", g.granted)
+		}
+	})
+}
+
+func TestControllerGrowthBoundedByLease(t *testing.T) {
+	drive(t, func(env *sim.Env, p *sim.Proc) {
+		g := &fakeGrower{avail: 2} // broker can only re-lease 2 credits
+		c := NewController(Config{
+			Env: env, Initial: 2, Planned: 2, Max: 16, Lease: g,
+		})
+		for step := 0; step < 40; step++ {
+			live := c.Target()
+			for j := int64(0); j < int64(32*live); j++ {
+				c.pages++
+			}
+			p.Sleep(c.interval)
+			c.Tick(live)
+		}
+		if c.Target() > 4 {
+			t.Fatalf("target = %d grew beyond initial+leased (2+2)", c.Target())
+		}
+	})
+}
+
+func TestControllerShrinksPastBeneficialDepth(t *testing.T) {
+	drive(t, func(env *sim.Env, p *sim.Proc) {
+		c := NewController(Config{
+			Env: env, Initial: 16, Planned: 16, Max: 32, Beneficial: 4,
+		})
+		got := tickUntil(p, c, 16, 32*16, 10)
+		if got != 4 {
+			t.Fatalf("target = %d, want shed to beneficial depth 4", got)
+		}
+	})
+}
+
+func TestControllerRevertsUnpaidGrow(t *testing.T) {
+	drive(t, func(env *sim.Env, p *sim.Proc) {
+		c := NewController(Config{Env: env, Initial: 4, Planned: 4, Max: 32})
+		// Saturated device: throughput stays flat no matter the degree.
+		const flat = 256
+		var target int
+		for step := 0; step < 60; step++ {
+			target = c.Target()
+			for j := int64(0); j < int64(flat); j++ {
+				c.pages++
+			}
+			p.Sleep(c.interval)
+			c.Tick(target)
+		}
+		// Flat throughput means every grow is reverted and every shrink
+		// keeps its savings: the controller must settle at 1.
+		if c.Target() != 1 {
+			t.Fatalf("target = %d after flat throughput, want 1", c.Target())
+		}
+		if !c.settled {
+			t.Fatalf("controller still exploring after %d flat intervals", 60)
+		}
+	})
+}
+
+func TestControllerShrinksUnderPoolPressure(t *testing.T) {
+	env := sim.NewEnv(1)
+	m := disk.NewManager(device.NewSSD(env, device.DefaultSSDConfig()))
+	f := m.MustAllocate("t", 100)
+	pool := buffer.NewPool(env, 16)
+	env.Go("drive", func(p *sim.Proc) {
+		// Pin most of a 16-frame pool against a share of 16.
+		var hs []buffer.Handle
+		for pg := int64(0); pg < 12; pg++ {
+			hs = append(hs, pool.FetchPage(p, f, pg))
+		}
+		c := NewController(Config{
+			Env: env, Pool: pool, PoolShare: 16, Initial: 8, Planned: 8, Max: 8,
+		})
+		got := tickUntil(p, c, 8, 32*8, 10)
+		if got >= 8 {
+			t.Fatalf("target = %d under pool pressure, want a shrink", got)
+		}
+		for _, h := range hs {
+			h.Release()
+		}
+	})
+	env.Run()
+}
+
+func TestSpeculationHitAndCancel(t *testing.T) {
+	env := sim.NewEnv(1)
+	m := disk.NewManager(device.NewSSD(env, device.DefaultSSDConfig()))
+	f := m.MustAllocate("t", 1000)
+	pool := buffer.NewPool(env, 64)
+	env.Go("drive", func(p *sim.Proc) {
+		c := NewController(Config{
+			Env: env, Pool: pool, PoolShare: 64, Initial: 1, Planned: 1, Max: 1,
+		})
+		c.SpeculateRun(f, 10, 4) // pages 10..13 speculated
+		if c.SpecOutstanding() != 4 {
+			t.Fatalf("outstanding = %d after issue, want 4", c.SpecOutstanding())
+		}
+		p.Sleep(10 * sim.Millisecond) // let the reads land
+		// Demand-fetch two of them: hits.
+		for _, pg := range []int64{10, 11} {
+			h := pool.FetchPage(p, f, pg)
+			c.NoteFetch(f, pg)
+			h.Release()
+		}
+		if c.SpecHits() != 2 {
+			t.Fatalf("hits = %d, want 2", c.SpecHits())
+		}
+		if c.SpecOutstanding() != 2 {
+			t.Fatalf("outstanding = %d after hits, want 2", c.SpecOutstanding())
+		}
+		c.FinishScan()
+		if c.SpecOutstanding() != 0 {
+			t.Fatalf("outstanding = %d after FinishScan, want 0", c.SpecOutstanding())
+		}
+		if pool.Pinned() != 0 {
+			t.Fatalf("pool pins = %d after cancellation, want 0", pool.Pinned())
+		}
+		// The mispredicted pages must be gone from the pool.
+		for _, pg := range []int64{12, 13} {
+			if pool.Contains(f, pg) {
+				t.Fatalf("canceled page %d still resident", pg)
+			}
+		}
+	})
+	env.Run()
+}
+
+func TestSpeculationBudgetGate(t *testing.T) {
+	env := sim.NewEnv(1)
+	m := disk.NewManager(device.NewSSD(env, device.DefaultSSDConfig()))
+	f := m.MustAllocate("t", 1000)
+	pool := buffer.NewPool(env, 256)
+	env.Go("drive", func(p *sim.Proc) {
+		c := NewController(Config{
+			Env: env, Pool: pool, Initial: 1, Planned: 1, Max: 1, SpecBudget: 6,
+		})
+		c.SpeculateRun(f, 0, 100)
+		if c.SpecOutstanding() != 6 {
+			t.Fatalf("outstanding = %d, want budget cap 6", c.SpecOutstanding())
+		}
+		c.SpeculateRun(f, 200, 10) // budget exhausted: no-op
+		if c.SpecOutstanding() != 6 {
+			t.Fatalf("outstanding = %d after over-budget offer, want 6", c.SpecOutstanding())
+		}
+		c.FinishScan()
+	})
+	env.Run()
+}
+
+func TestSpeculationConfidenceGate(t *testing.T) {
+	env := sim.NewEnv(1)
+	m := disk.NewManager(device.NewSSD(env, device.DefaultSSDConfig()))
+	f := m.MustAllocate("t", 1000)
+	pool := buffer.NewPool(env, 256)
+	env.Go("drive", func(p *sim.Proc) {
+		c := NewController(Config{
+			Env: env, Pool: pool, Initial: 1, Planned: 1, Max: 1, SpecBudget: 64,
+		})
+		// Three straight all-miss scans crater the hit rate.
+		for s := 0; s < 3; s++ {
+			c.SpeculateRun(f, int64(100*s), 8)
+			c.FinishScan()
+		}
+		c.SpeculateRun(f, 500, 8)
+		if c.SpecOutstanding() != 0 {
+			t.Fatalf("speculation issued at confidence %.2f, want gate closed", c.confidence())
+		}
+	})
+	env.Run()
+}
+
+func TestModelFitAndInitialDegree(t *testing.T) {
+	// Band 64: speedup saturates at depth 4. Band 4096: keeps paying to 16.
+	pts := []calibrate.Point{
+		{Band: 64, Depth: 1, MicrosPerPage: 100},
+		{Band: 64, Depth: 2, MicrosPerPage: 60},
+		{Band: 64, Depth: 4, MicrosPerPage: 40},
+		{Band: 64, Depth: 8, MicrosPerPage: 39.5},
+		{Band: 64, Depth: 16, MicrosPerPage: 39},
+		{Band: 4096, Depth: 1, MicrosPerPage: 100},
+		{Band: 4096, Depth: 2, MicrosPerPage: 55},
+		{Band: 4096, Depth: 4, MicrosPerPage: 30},
+		{Band: 4096, Depth: 8, MicrosPerPage: 18},
+		{Band: 4096, Depth: 16, MicrosPerPage: 12},
+	}
+	m := Fit(pts)
+	if m == nil {
+		t.Fatal("Fit returned nil for non-empty points")
+	}
+	if got := m.InitialDegree(50, 3, 32); got != 4 {
+		t.Fatalf("small band degree = %d, want 4 (gain saturates)", got)
+	}
+	if got := m.InitialDegree(100000, 3, 32); got != 16 {
+		t.Fatalf("large band degree = %d, want 16", got)
+	}
+	if got := m.InitialDegree(100000, 3, 6); got != 6 {
+		t.Fatalf("degree = %d, want clamp to max 6", got)
+	}
+	if got := (*Model)(nil).InitialDegree(100, 5, 32); got != 5 {
+		t.Fatalf("nil model degree = %d, want fallback 5", got)
+	}
+	if Fit(nil) != nil {
+		t.Fatal("Fit(nil) should return nil")
+	}
+}

@@ -1,0 +1,133 @@
+package adapt
+
+import (
+	"sort"
+
+	"pioqo/internal/calibrate"
+)
+
+// Model is the small offline DOP model: a per-band table of measured
+// per-page costs by queue depth, fit from calibrate.Sweep points for one
+// device kind. It predicts the initial parallel degree an adaptive
+// execution should start from — the deepest depth on the query's
+// selectivity band whose marginal speedup still clears a threshold — so
+// the feedback controller begins its climb next to the optimum instead of
+// at the static plan's guess.
+type Model struct {
+	// Bands is the ascending band grid (run length in pages) the sweep
+	// measured; Depths the ascending depth grid. Cost[i][j] is the measured
+	// mean µs/page for Bands[i] at Depths[j]; 0 marks an unmeasured cell.
+	Bands  []int64
+	Depths []int
+	Cost   [][]float64
+}
+
+// minMarginalGain is the fit threshold: a depth step must still speed the
+// band up by this fraction to advance the predicted degree. It mirrors the
+// QDTT's beneficial-depth cutoff.
+const minMarginalGain = 0.05
+
+// Fit builds the model from sweep points. Points from repeated runs of the
+// same (band, depth) cell average; an empty or nil point set returns nil,
+// which InitialDegree treats as "no model — fall back to the static plan".
+func Fit(points []calibrate.Point) *Model {
+	if len(points) == 0 {
+		return nil
+	}
+	bandSet := map[int64]bool{}
+	depthSet := map[int]bool{}
+	for _, pt := range points {
+		bandSet[pt.Band] = true
+		depthSet[pt.Depth] = true
+	}
+	m := &Model{}
+	for b := range bandSet {
+		m.Bands = append(m.Bands, b)
+	}
+	for d := range depthSet {
+		m.Depths = append(m.Depths, d)
+	}
+	sort.Slice(m.Bands, func(i, j int) bool { return m.Bands[i] < m.Bands[j] })
+	sort.Ints(m.Depths)
+	bi := map[int64]int{}
+	di := map[int]int{}
+	for i, b := range m.Bands {
+		bi[b] = i
+	}
+	for j, d := range m.Depths {
+		di[d] = j
+	}
+	sum := make([][]float64, len(m.Bands))
+	n := make([][]int, len(m.Bands))
+	m.Cost = make([][]float64, len(m.Bands))
+	for i := range sum {
+		sum[i] = make([]float64, len(m.Depths))
+		n[i] = make([]int, len(m.Depths))
+		m.Cost[i] = make([]float64, len(m.Depths))
+	}
+	for _, pt := range points {
+		i, j := bi[pt.Band], di[pt.Depth]
+		sum[i][j] += pt.MicrosPerPage
+		n[i][j]++
+	}
+	for i := range m.Cost {
+		for j := range m.Cost[i] {
+			if n[i][j] > 0 {
+				m.Cost[i][j] = sum[i][j] / float64(n[i][j])
+			}
+		}
+	}
+	return m
+}
+
+// InitialDegree predicts the starting degree for a query expected to touch
+// touchPages pages: walk the nearest measured band's depth curve while each
+// step's marginal gain clears minMarginalGain. A nil or empty model returns
+// fallback (the static plan's degree); the result is clamped to [1, max].
+func (m *Model) InitialDegree(touchPages int64, fallback, max int) int {
+	clamp := func(d int) int {
+		if d < 1 {
+			d = 1
+		}
+		if max > 0 && d > max {
+			d = max
+		}
+		return d
+	}
+	if m == nil || len(m.Bands) == 0 || len(m.Depths) == 0 {
+		return clamp(fallback)
+	}
+	// The query's touch set behaves like the smallest measured band that
+	// covers it (larger runs amortize seeks at least as well); the largest
+	// band stands in when the touch set exceeds the grid.
+	bi := len(m.Bands) - 1
+	for i, b := range m.Bands {
+		if b >= touchPages {
+			bi = i
+			break
+		}
+	}
+	row := m.Cost[bi]
+	deg := 0
+	var prev float64
+	for j, c := range row {
+		if c <= 0 {
+			continue
+		}
+		if deg == 0 {
+			deg = m.Depths[j]
+			prev = c
+			continue
+		}
+		if prev/c >= 1+minMarginalGain {
+			deg = m.Depths[j]
+			prev = c
+			continue
+		}
+		break
+	}
+	if deg == 0 {
+		return clamp(fallback)
+	}
+	return clamp(deg)
+}

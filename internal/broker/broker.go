@@ -153,6 +153,7 @@ type Broker struct {
 	sharedAdm    *obs.Counter
 	replans      *obs.Counter
 	reclaims     *obs.Counter
+	grows        *obs.Counter
 	waitHist     *obs.Histogram
 }
 
@@ -194,6 +195,7 @@ func New(cfg Config) *Broker {
 		b.sharedAdm = cfg.Obs.Counter(obs.MetricBrokerSharedAdmissions)
 		b.replans = cfg.Obs.Counter(obs.MetricBrokerReplans)
 		b.reclaims = cfg.Obs.Counter(obs.MetricBrokerReclaims)
+		b.grows = cfg.Obs.Counter(obs.MetricBrokerGrows)
 		b.waitHist = cfg.Obs.Histogram(obs.MetricBrokerAdmissionWaitUs, admissionWaitBucketsUs)
 	}
 	b.log = cfg.Log
@@ -310,9 +312,9 @@ type Lease struct {
 	admitted bool
 	released bool
 	shared   bool // admitted via AdmitShared: rides a circulating scan
-	granted  int // credit grant at admission; 0 = unbounded (sole query)
-	held     int // credits still debited from the broker
-	pool     int // buffer-pool page reservation
+	granted  int  // credit grant at admission; 0 = unbounded (sole query)
+	held     int  // credits still debited from the broker
+	pool     int  // buffer-pool page reservation
 
 	workers int // live workers right now
 	peak    int // high-water worker count, for proportional reclamation
@@ -440,6 +442,63 @@ func (l *Lease) EndWorker() {
 			l.b.reclaims.Add(int64(n))
 		}
 	}
+}
+
+// Grow asks the broker for up to n more queue-depth credits mid-flight and
+// returns how many were granted — the upgrade direction of the degradation
+// re-plan path. Growth comes only from credits sitting free *after* the
+// degradation reserve, and only while no query waits in the admission FIFO:
+// queued queries have first claim on free supply, so an in-flight upgrade
+// can never starve admission. The grant raises the lease's held credits
+// (EndWorker's proportional reclamation then winds the larger grant down as
+// the grown fleet retires) and extends the buffer-pool reservation to the
+// share the new grant would have been admitted with. An unbounded lease
+// (sole query, grant 0) already owns the whole supply, so Grow reports the
+// full ask without touching the books. Static brokers and shared riders
+// never grow.
+func (l *Lease) Grow(n int) int {
+	if n <= 0 || l.released || !l.admitted || l.shared || l.b.cfg.Static {
+		return 0
+	}
+	if l.granted == 0 {
+		return n // unbounded: the whole supply is already this query's
+	}
+	b := l.b
+	if len(b.queue) > 0 {
+		return 0
+	}
+	supply := b.degradedSupply()
+	reserve := b.total - supply
+	avail := b.free - reserve
+	if avail < 1 {
+		return 0
+	}
+	if n > avail {
+		n = avail
+	}
+	if l.demand > 0 && l.granted+n > l.demand {
+		n = l.demand - l.granted
+	}
+	if n <= 0 {
+		return 0
+	}
+	b.free -= n
+	l.granted += n
+	l.held += n
+	if b.cfg.PoolPages > 0 {
+		if pool := b.cfg.PoolPages * l.granted / b.total; pool > l.pool {
+			b.poolInUse += pool - l.pool
+			l.pool = pool
+		}
+	}
+	b.log.Emit(event.EvLeaseGrow, l.qid, int64(n), int64(l.granted))
+	if b.grows != nil {
+		b.grows.Add(int64(n))
+	}
+	if b.creditsInUse != nil {
+		b.creditsInUse.Set(float64(b.InUse()))
+	}
+	return n
 }
 
 // Replanned records that the query was re-planned because its admission

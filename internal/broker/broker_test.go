@@ -387,3 +387,74 @@ func TestAdmitSharedBypassesQueue(t *testing.T) {
 			b.InUse(), b.PoolInUse(), b.Active())
 	}
 }
+
+func TestLeaseGrowFromFreeCredits(t *testing.T) {
+	env, b := newBroker(t, 16, func(c *Config) { c.PoolPages = 1600 })
+	// Two contending demand-free queries split the supply 8/8; one leaving
+	// frees its half for the survivor to re-lease mid-flight.
+	l1 := b.Enqueue(0)
+	l2 := b.Enqueue(0)
+	env.Run()
+	if l1.Budget() != 8 {
+		t.Fatalf("budget = %d, want 8 (even split)", l1.Budget())
+	}
+	pool0 := l1.PoolPages()
+	l2.Release()
+	env.Run()
+	got := l1.Grow(4)
+	if got != 4 {
+		t.Fatalf("Grow(4) granted %d, want 4 (freed credits available)", got)
+	}
+	if b.InUse() != l1.Budget() {
+		t.Fatalf("credits in use %d != sole lease's grant %d", b.InUse(), l1.Budget())
+	}
+	if l1.PoolPages() <= pool0 {
+		t.Fatalf("pool reservation %d did not grow with the grant (was %d)",
+			l1.PoolPages(), pool0)
+	}
+	l1.Release()
+	env.Run()
+	if b.InUse() != 0 || b.PoolInUse() != 0 {
+		t.Fatalf("leak after release: credits=%d pool=%d", b.InUse(), b.PoolInUse())
+	}
+}
+
+func TestLeaseGrowCappedByDemand(t *testing.T) {
+	env, b := newBroker(t, 16, nil)
+	// A lease that asked for 2 and got 2 has no demand headroom; a lease
+	// that asked for nothing (unbounded demand) grows freely.
+	l1 := b.Enqueue(2)
+	l2 := b.Enqueue(0)
+	env.Run()
+	if l1.Budget() != 2 {
+		t.Fatalf("budget = %d, want demand 2", l1.Budget())
+	}
+	if got := l1.Grow(4); got != 0 {
+		t.Fatalf("Grow beyond demand granted %d, want 0", got)
+	}
+	l1.Release()
+	l2.Release()
+	env.Run()
+}
+
+func TestLeaseGrowDeniedWhileQueueWaits(t *testing.T) {
+	env, b := newBroker(t, 8, nil)
+	// Two unbounded-demand queries admitted together split the supply 4/4;
+	// a third then saturates admission and queues.
+	l1 := b.Enqueue(0)
+	l2 := b.Enqueue(0)
+	env.Run()
+	l3 := b.Enqueue(4)
+	env.Run()
+	if l1.Budget() == 0 || len(b.queue) == 0 {
+		t.Fatalf("setup: budget=%d queue=%d, want bounded lease and a waiter",
+			l1.Budget(), len(b.queue))
+	}
+	if got := l1.Grow(2); got != 0 {
+		t.Fatalf("Grow granted %d with a query waiting in the queue, want 0", got)
+	}
+	l1.Release()
+	l2.Release()
+	l3.Release()
+	env.Run()
+}

@@ -51,7 +51,7 @@ type Pool struct {
 	// Cumulative registry mirrors, nil until Publish. Unlike Stats, these
 	// never reset — per-query numbers come from registry snapshot diffs.
 	obsHits, obsMisses, obsJoined, obsPrefetch, obsPrefetchPages, obsEvict, obsDirty, obsReadErr *obs.Counter
-	obsCached                                                                                   *obs.Gauge
+	obsCached                                                                                    *obs.Gauge
 
 	// log receives frame-uninstall events (failed reads evicting their
 	// frame and bumping the epoch); nil = disabled.
@@ -434,6 +434,32 @@ func (p *Pool) Pinned() int {
 		n += f.pins
 	}
 	return n
+}
+
+// Discard drops one unpinned, loaded, clean frame — the cancellation path
+// for speculative prefetch: a mispredicted readahead page is evicted
+// immediately instead of aging out of the LRU, so a canceled speculation
+// stops squatting on frames demand fetches could use. Pinned, loading, or
+// dirty frames are left alone (an in-flight read completes into the frame
+// either way; a pin or a dirty bit means the page stopped being
+// speculative). Reports whether the frame was dropped.
+func (p *Pool) Discard(file *disk.File, page int64) bool {
+	key := PageKey{file.ID(), page}
+	f, ok := p.frames[key]
+	if !ok || f.pins > 0 || f.loading != nil || f.dirty {
+		return false
+	}
+	if f.lruEl != nil {
+		p.lru.Remove(f.lruEl)
+		f.lruEl = nil
+	}
+	delete(p.frames, key)
+	p.resident[key.File]--
+	p.epoch++
+	p.Stats.Evictions++
+	bump(p.obsEvict)
+	p.trackCached()
+	return true
 }
 
 // Epoch returns a token that changes whenever pool residency changes.

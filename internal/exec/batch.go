@@ -99,6 +99,9 @@ func (b *cpuBudget) fetchRetry(wp *sim.Proc, spec *Spec, f *disk.File, page int6
 			if spec.Progress != nil {
 				*spec.Progress++
 			}
+			if spec.Tune != nil {
+				spec.Tune.NoteFetch(f, page)
+			}
 			return h, true
 		}
 		b.ctx.Log.Emit(event.EvReadRetry, spec.QID, page, int64(attempt))

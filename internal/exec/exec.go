@@ -236,6 +236,15 @@ type Spec struct {
 	// *unshared* scans of one file. Off (the default) preserves the exact
 	// single-query device schedule.
 	CoordPrefetch bool
+
+	// Tune, when set, makes the scan elastic: workers consult the tuner at
+	// batch boundaries and the fleet grows or shrinks to its target (demand
+	// full scans and index scans; sorted index scans and shared riders stay
+	// static). Degree then names the *initial* fleet; growth is bounded by
+	// Tune.MaxDegree and the readahead clamps budget against that cap. Nil
+	// (the default) is the static executor, byte-identical to pre-adaptive
+	// runs.
+	Tune Tuner
 }
 
 // aborted reports whether the query's control has tripped. Nil-safe.
@@ -368,6 +377,11 @@ func RunScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 		op.SetAttr("err", res.Err.Error())
 		op.End()
 		return res
+	}
+	if spec.Tune != nil {
+		// Completion and abort alike cancel outstanding speculation and
+		// detach the controller.
+		defer spec.Tune.FinishScan()
 	}
 	switch spec.Method {
 	case FullScan:
@@ -587,14 +601,33 @@ func runFullScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 
 	nextPage := int64(0) // shared work queue: next unclaimed heap page
 
+	// An elastic scan clamps its readahead geometry against the growth cap,
+	// not the initial degree: the block layout is fixed for the scan's
+	// lifetime, so it must already leave room for a fully grown fleet's pins.
+	fl := newFleet(&spec)
+	clampDegree := spec.Degree
+	if fl != nil && fl.max > clampDegree {
+		clampDegree = fl.max
+	}
 	spec.BlockPages, spec.PrefetchBlocks = clampReadahead(
-		spec.poolCapacity(ctx), spec.Degree, spec.BlockPages, spec.PrefetchBlocks)
+		spec.poolCapacity(ctx), clampDegree, spec.BlockPages, spec.PrefetchBlocks)
 
 	if spec.BlockPages > 1 {
 		// Flow-control window: the prefetcher stays at most PrefetchBlocks
 		// block-reads ahead of the hindmost block the workers have begun
 		// consuming. A plain credit counter (issued − reached) avoids any
-		// ordering assumptions between prefetcher and workers.
+		// ordering assumptions between prefetcher and workers. An elastic
+		// scan re-evaluates the window at every issue against the live
+		// degree (liveWindow) — the clampReadahead fix for adaptively grown
+		// fleets on tiny pools; a static scan's window is the plan-time
+		// constant, unchanged.
+		window := func() int64 { return int64(spec.PrefetchBlocks) }
+		if fl != nil {
+			capacity := spec.poolCapacity(ctx)
+			window = func() int64 {
+				return int64(liveWindow(capacity, fl.live, spec.BlockPages, spec.PrefetchBlocks))
+			}
+		}
 		blocks := (pages + int64(spec.BlockPages) - 1) / int64(spec.BlockPages)
 		reached := make([]bool, blocks)
 		var issued, reachedCount int64
@@ -603,7 +636,31 @@ func runFullScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 			ps := ctx.Tracer.StartTrack(spec.Span, "fts-prefetcher",
 				obs.KV("blocks", blocks), obs.KV("block_pages", spec.BlockPages))
 			for b := int64(0); b < blocks; b++ {
-				for issued-reachedCount >= int64(spec.PrefetchBlocks) && !spec.aborted() {
+				for issued-reachedCount >= window() && !spec.aborted() {
+					w := window()
+					if nb := b + w; spec.Tune != nil && nb < blocks &&
+						w < int64(spec.PrefetchBlocks) {
+						// A live window squeezed below the planned one (a
+						// grown fleet's pins ate into it) is the next-stripe
+						// guess: the stripe just past the window is a block
+						// flow control dropped, offered to the speculator,
+						// which pre-issues it only within its confidence and
+						// pool budget. The prefetcher itself reads block b
+						// the moment the window opens, so the guess must
+						// reach past the window. A wrong guess (abort) is
+						// canceled; a right one overlaps the stall this park
+						// represents, and the trimmed run issue below skips
+						// whatever the speculator already landed. A healthy
+						// full-width window gets no speculation — the runs
+						// it issues already saturate the device, and
+						// out-of-band reads would only fragment them.
+						start := nb * int64(spec.BlockPages)
+						count := spec.BlockPages
+						if start+int64(count) > pages {
+							count = int(pages - start)
+						}
+						spec.Tune.SpeculateRun(file, start, count)
+					}
 					wakeup = sim.NewCompletion(ctx.Env)
 					pf.Wait(wakeup)
 				}
@@ -618,7 +675,10 @@ func runFullScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 				if start+int64(count) > pages {
 					count = int(pages - start)
 				}
-				if spec.CoordPrefetch {
+				// Tuned scans trim like coordinated ones: the speculator may
+				// have landed part of this run already, and re-reading it
+				// would double the device traffic speculation saved.
+				if spec.CoordPrefetch || spec.Tune != nil {
 					ctx.Pool.PrefetchRunTrimmed(file, start, count)
 				} else {
 					ctx.Pool.PrefetchRun(file, start, count)
@@ -647,7 +707,7 @@ func runFullScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 				}
 			}
 		}
-		res := runFullScanWorkers(p, ctx, spec, &nextPage, onClaim, rpp)
+		res := runFullScanWorkers(p, ctx, spec, fl, &nextPage, onClaim, rpp)
 		// On abort the prefetcher may be parked on its flow-control window
 		// with no worker left to wake it; one final fire lets it observe the
 		// abort and exit. A completed scan's wakeups have all fired already,
@@ -657,39 +717,49 @@ func runFullScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 		}
 		return res
 	}
-	return runFullScanWorkers(p, ctx, spec, &nextPage, nil, rpp)
+	return runFullScanWorkers(p, ctx, spec, fl, &nextPage, nil, rpp)
 }
 
-func runFullScanWorkers(p *sim.Proc, ctx *Context, spec Spec, nextPage *int64, onClaim func(*sim.Proc, *cpuBudget, int64), rpp int) Result {
+func runFullScanWorkers(p *sim.Proc, ctx *Context, spec Spec, fl *fleet, nextPage *int64, onClaim func(*sim.Proc, *cpuBudget, int64), rpp int) Result {
 	t := spec.Table
 	pages := t.Pages()
 	file := t.File()
 
-	results := newAggs(spec.Agg, spec.Degree)
+	results := newAggs(spec.Agg, fl.slots(spec.Degree))
 	wg := sim.NewWaitGroup(ctx.Env)
-	for w := 0; w < spec.Degree; w++ {
-		w := w
-		wg.Add(1)
-		ctx.Env.Go(fmt.Sprintf("fts-w%d", w), func(wp *sim.Proc) {
+	worker := func(w int) func(*sim.Proc) {
+		return func(wp *sim.Proc) {
 			defer wg.Done()
+			retired := false
+			if fl != nil {
+				defer func() { fl.exit(retired) }()
+			}
 			spec.startWorker(ctx, w)
 			defer spec.endWorker(ctx, w)
 			m := newMeter(ctx, spec.Span, fmt.Sprintf("fts-w%d", w))
 			defer m.finish(&results[w])
 			bud := newBudget(ctx, m)
 			defer bud.settle(wp)
-			if spec.Degree > 1 {
+			if spec.Degree > 1 || w >= spec.Degree {
 				bud.charge(ctx.Costs.WorkerStartup)
 			}
 			var rowBuf []table.Row
 			for {
-				// The page is the abort quantum: a tripped control stops the
-				// worker here, before it claims more work.
+				// The page is the abort — and retune — quantum: a tripped
+				// control stops the worker here, before it claims more work,
+				// and an elastic fleet grows or retires here.
 				if spec.aborted() {
+					return
+				}
+				if fl.tick() {
+					retired = true
 					return
 				}
 				page := *nextPage
 				if page >= pages {
+					if fl != nil {
+						fl.done = true
+					}
 					return
 				}
 				*nextPage = page + 1
@@ -717,7 +787,19 @@ func runFullScanWorkers(p *sim.Proc, ctx *Context, spec Spec, nextPage *int64, o
 				bud.settle(wp)
 				h.Release()
 			}
-		})
+		}
+	}
+	if fl != nil {
+		fl.spawn = func(w int) {
+			wg.Add(1)
+			ctx.Env.Go(fmt.Sprintf("fts-w%d", w), worker(w))
+		}
+		fl.start(spec.Degree)
+	} else {
+		for w := 0; w < spec.Degree; w++ {
+			wg.Add(1)
+			ctx.Env.Go(fmt.Sprintf("fts-w%d", w), worker(w))
+		}
 	}
 	p.WaitFor(wg)
 	return mergeAggs(spec.Agg, results)
@@ -759,9 +841,16 @@ func runIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 	rpp := t.RowsPerPage()
 
 	// Clamp per-worker prefetch so in-flight prefetched frames plus worker
-	// pins can never exhaust the pool (or the lease's share of it).
+	// pins can never exhaust the pool (or the lease's share of it). An
+	// elastic scan clamps against its growth cap — the degree the fleet may
+	// reach, not the one it starts at.
+	fl := newFleet(&spec)
 	if spec.PrefetchPerWorker > 0 {
-		if budget := spec.poolCapacity(ctx)/2/spec.Degree - 1; spec.PrefetchPerWorker > budget {
+		clampDegree := spec.Degree
+		if fl != nil && fl.max > clampDegree {
+			clampDegree = fl.max
+		}
+		if budget := spec.poolCapacity(ctx)/2/clampDegree - 1; spec.PrefetchPerWorker > budget {
 			spec.PrefetchPerWorker = budget
 			if spec.PrefetchPerWorker < 0 {
 				spec.PrefetchPerWorker = 0
@@ -788,6 +877,9 @@ func runIndexScan(p *sim.Proc, ctx *Context, spec Spec) Result {
 	startPos, endPos := x.SearchGE(spec.Lo), x.SearchGT(spec.Hi)
 	if startPos >= endPos {
 		return agg{kind: spec.Agg}.result()
+	}
+	if fl != nil {
+		return runIndexScanElastic(p, ctx, spec, fl, startPos, endPos, rpp)
 	}
 	total := endPos - startPos
 	chunk := (total + int64(spec.Degree) - 1) / int64(spec.Degree)

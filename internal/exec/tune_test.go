@@ -1,0 +1,97 @@
+package exec
+
+import (
+	"testing"
+
+	"pioqo/internal/disk"
+)
+
+// rampTuner is a minimal Tuner for executor-side tests: it returns a fixed
+// target immediately, so the fleet jumps to max on the first tick.
+type rampTuner struct {
+	target   int
+	max      int
+	fetches  int64
+	finished bool
+	offers   int
+}
+
+func (r *rampTuner) Tick(live int) int                             { return r.target }
+func (r *rampTuner) MaxDegree() int                                { return r.max }
+func (r *rampTuner) NoteFetch(f *disk.File, page int64)            { r.fetches++ }
+func (r *rampTuner) SpeculateRun(f *disk.File, start int64, n int) { r.offers++ }
+func (r *rampTuner) FinishScan()                                   { r.finished = true }
+
+// The regression this guards: clampReadahead used to size the full scan's
+// flow-control window once at plan time from the planned degree. An
+// adaptively grown fleet pins one page per extra worker, so a window
+// computed for degree 1 could, with a tiny pool, leave a 16-worker fleet
+// and a full readahead window needing more frames than exist. The window
+// is now re-evaluated against the live degree at every block issue
+// (liveWindow), and the block geometry is clamped against MaxDegree up
+// front — this run must complete, not panic with every frame pinned.
+func TestFullScanAdaptiveGrowthTinyPool(t *testing.T) {
+	w := newWorld(t, worldOpts{rows: 20000, rpp: 20, poolPages: 48})
+	tu := &rampTuner{target: 16, max: 16}
+	spec := w.spec(FullScan, 1, 0, 19999)
+	spec.Tune = tu
+	res := Execute(w.ctx, spec)
+	wantMax, wantFound, wantRows := w.bruteForce(0, 19999)
+	if res.Value != wantMax || res.Found != wantFound || res.RowsMatched != wantRows {
+		t.Fatalf("adaptive tiny-pool scan: got (%d,%v,%d), want (%d,%v,%d)",
+			res.Value, res.Found, res.RowsMatched, wantMax, wantFound, wantRows)
+	}
+	if !tu.finished {
+		t.Fatal("Tuner.FinishScan not called")
+	}
+	if w.ctx.Pool.Pinned() != 0 {
+		t.Fatalf("pool pins = %d after scan, want 0", w.ctx.Pool.Pinned())
+	}
+}
+
+// The elastic index scan must deliver the same answer as the static one
+// while growing, and retire workers cleanly when the target shrinks.
+func TestIndexScanElasticMatchesStatic(t *testing.T) {
+	for _, target := range []int{1, 4, 16} {
+		w := newWorld(t, worldOpts{rows: 50000, rpp: 25})
+		tu := &rampTuner{target: target, max: 16}
+		spec := w.spec(IndexScan, 4, 100, 2099)
+		spec.Tune = tu
+		res := Execute(w.ctx, spec)
+		wantMax, wantFound, wantRows := w.bruteForce(100, 2099)
+		if res.Value != wantMax || res.Found != wantFound || res.RowsMatched != wantRows {
+			t.Fatalf("target %d: got (%d,%v,%d), want (%d,%v,%d)",
+				target, res.Value, res.Found, res.RowsMatched, wantMax, wantFound, wantRows)
+		}
+		// Only a small fleet is guaranteed unclaimed leaves ahead of it when
+		// a batch finishes; a 16-worker fleet can claim the whole range
+		// before the first leaf fetch returns.
+		if target == 1 && tu.offers == 0 {
+			t.Fatalf("target %d: no speculation offers from leaf batches", target)
+		}
+		if w.ctx.Pool.Pinned() != 0 {
+			t.Fatalf("target %d: pool pins = %d after scan", target, w.ctx.Pool.Pinned())
+		}
+	}
+}
+
+// liveWindow boundary behaviour: it must shrink with the live degree, cap
+// at the planned window, and never fall below one block.
+func TestLiveWindowBoundary(t *testing.T) {
+	cases := []struct {
+		capacity, degree, blockPages, prefetchBlocks, want int
+	}{
+		{128, 1, 8, 4, 4},  // plenty of room: planned window
+		{128, 32, 8, 4, 4}, // (64-32)/8 = 4: exactly the planned window
+		{128, 40, 8, 4, 3}, // grown fleet eats into the window
+		{128, 60, 8, 4, 1}, // (64-60)/8 = 0: floor of one block
+		{128, 1, 1, 4, 4},  // single-page blocks: flow control untouched
+	}
+	for _, c := range cases {
+		got := liveWindow(c.capacity, c.degree, c.blockPages, c.prefetchBlocks)
+		if got != c.want {
+			t.Errorf("liveWindow(%d,%d,%d,%d) = %d, want %d",
+				c.capacity, c.degree, c.blockPages, c.prefetchBlocks, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pioqo"
+	"pioqo/internal/obs"
+)
+
+// adaptiveStaticDegrees is the static-arm grid the adaptive run competes
+// against: the optimizer's own degree enumeration.
+var adaptiveStaticDegrees = []int{1, 2, 4, 8, 16, 32}
+
+// AdaptiveRow is one cell of the adaptive-vs-static grid: a (device, skew,
+// selectivity) point run once with the feedback controller and once per
+// static degree. Best/Worst pick over the static arms by runtime; WithinPct
+// is the adaptive run's gap to the best static arm (negative when adaptive
+// wins outright).
+type AdaptiveRow struct {
+	Device string
+	Skew   string  // "uniform" or "zipf"
+	SelPct float64 // measured selectivity, percent of rows
+
+	AdaptiveMs    float64
+	BestStaticMs  float64
+	BestDegree    int
+	WorstStaticMs float64
+	WorstDegree   int
+	WithinPct     float64 // 100 * (adaptive - best) / best
+
+	Retunes    int64 // mid-flight grow + shrink decisions
+	SpecIssued int64 // speculatively prefetched pages
+	SpecHits   int64 // speculated pages a worker later consumed
+}
+
+// adaptiveCell is one (device, skew) corner of the grid.
+type adaptiveCell struct {
+	device pioqo.DeviceKind
+	name   string
+	skew   string
+	zipf   float64
+}
+
+// Adaptive runs the feedback-controller benchmark: a range-aggregate per
+// selectivity point, each executed cold on a freshly calibrated system,
+// once per static degree and once adaptively. The adaptive arm never sees
+// the static grid — it seeds its degree from the calibration-fit DOP model
+// and retunes from live queue-depth, pool-pressure, and throughput signals
+// — yet must land within a few percent of whatever static degree happens
+// to win that cell.
+func (sc Scale) Adaptive() []AdaptiveRow {
+	const rpp = 33
+	cells := []adaptiveCell{
+		{pioqo.SSD, "ssd", "uniform", 0},
+		{pioqo.SSD, "ssd", "zipf", 1.3},
+		{pioqo.HDD, "hdd", "uniform", 0},
+		{pioqo.HDD, "hdd", "zipf", 1.3},
+	}
+	sels := selGrid(0.002, 0.6, sc.SelPoints)
+	rows := sc.Pages * rpp
+
+	// One system per (cell, arm): arm 0 is adaptive, arm i>0 is static
+	// degree adaptiveStaticDegrees[i-1]. Every system is its own sim.Env,
+	// so the sweep is byte-identical at any worker count.
+	arms := 1 + len(adaptiveStaticDegrees)
+	type armOut struct {
+		ms         []float64 // per selectivity point
+		selPct     []float64
+		retunes    []int64
+		specIssued []int64
+		specHits   []int64
+	}
+	runArm := func(cell adaptiveCell, arm int) armOut {
+		sys := pioqo.New(pioqo.Config{
+			Device:    cell.device,
+			PoolPages: sc.PoolPages,
+			Cores:     sc.Cores,
+			Adaptive:  arm == 0,
+		})
+		var topts []pioqo.TableOption
+		if cell.zipf > 0 {
+			topts = append(topts, pioqo.WithZipfData(cell.zipf))
+		} else {
+			topts = append(topts, pioqo.WithSyntheticData())
+		}
+		tab, err := sys.CreateTable("grid", rows, rpp, topts...)
+		if err != nil {
+			panic(fmt.Sprintf("adaptive: %v", err))
+		}
+		if _, err := sys.Calibrate(pioqo.CalibrationOptions{MaxReads: sc.CalibReads}); err != nil {
+			panic(fmt.Sprintf("adaptive: %v", err))
+		}
+		out := armOut{
+			ms:         make([]float64, len(sels)),
+			selPct:     make([]float64, len(sels)),
+			retunes:    make([]int64, len(sels)),
+			specIssued: make([]int64, len(sels)),
+			specHits:   make([]int64, len(sels)),
+		}
+		for i, sel := range sels {
+			hi := int64(sel*float64(rows)) - 1
+			if hi < 0 {
+				hi = 0
+			}
+			q := pioqo.Query{Table: tab, Low: 0, High: hi}
+			opts := []pioqo.QueryOption{pioqo.Cold()}
+			if arm > 0 {
+				opts = append(opts, pioqo.WithStaticDegree(adaptiveStaticDegrees[arm-1]))
+			}
+			before := sys.MetricsSnapshot()
+			res, err := sys.Execute(q, opts...)
+			if err != nil {
+				panic(fmt.Sprintf("adaptive: %v", err))
+			}
+			diff := sys.MetricsSince(before)
+			out.ms[i] = float64(res.Runtime) / 1e6
+			out.selPct[i] = 100 * float64(res.Rows) / float64(rows)
+			out.retunes[i] = diff.Counter(obs.MetricAdaptRetunes)
+			out.specIssued[i] = diff.Counter(obs.MetricAdaptSpecIssued)
+			out.specHits[i] = diff.Counter(obs.MetricAdaptSpecHits)
+		}
+		return out
+	}
+
+	results := sweep(sc.workers(), len(cells)*arms, func(i int) armOut {
+		return runArm(cells[i/arms], i%arms)
+	})
+
+	var out []AdaptiveRow
+	for ci, cell := range cells {
+		adaptive := results[ci*arms]
+		for si := range sels {
+			row := AdaptiveRow{
+				Device:     cell.name,
+				Skew:       cell.skew,
+				SelPct:     adaptive.selPct[si],
+				AdaptiveMs: adaptive.ms[si],
+				Retunes:    adaptive.retunes[si],
+				SpecIssued: adaptive.specIssued[si],
+				SpecHits:   adaptive.specHits[si],
+			}
+			for ai, d := range adaptiveStaticDegrees {
+				ms := results[ci*arms+1+ai].ms[si]
+				if row.BestDegree == 0 || ms < row.BestStaticMs {
+					row.BestStaticMs, row.BestDegree = ms, d
+				}
+				if ms > row.WorstStaticMs {
+					row.WorstStaticMs, row.WorstDegree = ms, d
+				}
+			}
+			if row.BestStaticMs > 0 {
+				row.WithinPct = 100 * (row.AdaptiveMs - row.BestStaticMs) / row.BestStaticMs
+			}
+			out = append(out, row)
+		}
+	}
+	return out
+}

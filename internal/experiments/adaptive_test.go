@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+func TestAdaptiveTracksBestStatic(t *testing.T) {
+	t.Parallel()
+	rows := quick().Adaptive()
+	if want := 4 * quick().SelPoints; len(rows) != want {
+		t.Fatalf("got %d rows, want %d (4 cells x %d selectivity points)", len(rows), want, quick().SelPoints)
+	}
+	for _, r := range rows {
+		if r.AdaptiveMs <= 0 || r.BestStaticMs <= 0 {
+			t.Errorf("%s/%s sel=%.2f%%: non-positive runtime %+v", r.Device, r.Skew, r.SelPct, r)
+			continue
+		}
+		// The headline claim: the feedback controller lands within a few
+		// percent of whichever static degree wins the cell, without ever
+		// seeing the static grid. Allow a modest band over the 5% paper
+		// target so scale-reduced quick runs stay stable.
+		if r.WithinPct > 10 {
+			t.Errorf("%s/%s sel=%.2f%%: adaptive %.2fms is %.1f%% over best static %.2fms (d%d)",
+				r.Device, r.Skew, r.SelPct, r.AdaptiveMs, r.WithinPct, r.BestStaticMs, r.BestDegree)
+		}
+		// And it must never approach the worst static arm: the whole point
+		// is avoiding the cliff a wrong static choice falls off.
+		if r.WorstStaticMs > 2*r.BestStaticMs && r.AdaptiveMs > (r.BestStaticMs+r.WorstStaticMs)/2 {
+			t.Errorf("%s/%s sel=%.2f%%: adaptive %.2fms nearer worst static %.2fms (d%d) than best %.2fms (d%d)",
+				r.Device, r.Skew, r.SelPct, r.AdaptiveMs, r.WorstStaticMs, r.WorstDegree, r.BestStaticMs, r.BestDegree)
+		}
+	}
+}

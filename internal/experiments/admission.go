@@ -35,7 +35,7 @@ func (sc Scale) Admission(queries int) []AdmissionRow {
 	if queries < 2 {
 		queries = 8
 	}
-	run := func(name string, opts ...pioqo.ExecOption) AdmissionRow {
+	run := func(name string, opts ...pioqo.QueryOption) AdmissionRow {
 		sys := pioqo.New(pioqo.Config{
 			Device:    pioqo.SSD,
 			PoolPages: sc.PoolPages,

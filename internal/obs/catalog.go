@@ -39,6 +39,7 @@ const (
 	MetricBrokerSharedAdmissions = "broker.shared_admissions" // joined a live circulating scan, no credits
 	MetricBrokerReplans          = "broker.replans"
 	MetricBrokerReclaims         = "broker.reclaims"
+	MetricBrokerGrows            = "broker.grows"             // counter: credits re-leased mid-flight
 	MetricBrokerAdmissionWaitUs  = "broker.admission_wait_us" // histogram
 
 	// internal/exec.
@@ -73,4 +74,14 @@ const (
 	MetricShardPruned      = "shard.pruned"
 	MetricShardHedgeIssued = "shard.hedge_issued"
 	MetricShardHedgeWins   = "shard.hedge_wins"
+
+	// internal/adapt — the feedback controller and speculative prefetcher.
+	// Retunes counts controller decisions that changed the target degree
+	// (grows + shrinks); spec_* track the speculation ledger in pages.
+	MetricAdaptRetunes      = "adapt.retunes"
+	MetricAdaptGrows        = "adapt.grows"
+	MetricAdaptShrinks      = "adapt.shrinks"
+	MetricAdaptSpecIssued   = "adapt.spec_issued"
+	MetricAdaptSpecHits     = "adapt.spec_hits"
+	MetricAdaptSpecCanceled = "adapt.spec_canceled"
 )

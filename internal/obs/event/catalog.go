@@ -62,6 +62,17 @@ const (
 	EvShardHedgeWin   // A = device offset, B = total read latency ns
 	EvShardGatherDone // A = shards merged, B = merged rows
 
+	// internal/broker: mid-flight lease growth (the upgrade direction of
+	// the degradation re-plan path).
+	EvLeaseGrow // A = credits granted by the grow, B = total granted after
+
+	// internal/adapt: the feedback controller and speculative prefetcher.
+	EvAdaptSeed       // A = seeded initial degree, B = statically planned degree
+	EvAdaptGrow       // A = new target degree, B = previous target
+	EvAdaptShrink     // A = new target degree, B = previous target
+	EvAdaptSpecIssue  // A = first page of the speculative run, B = pages issued
+	EvAdaptSpecCancel // A = speculative pages dropped, B = speculative hits
+
 	numTypes // sentinel; keep last
 )
 
@@ -114,6 +125,14 @@ var catalog = [numTypes]Desc{
 	EvShardHedgeIssue: {Name: "shard.hedge.issue", A: "offset", B: "delay_ns"},
 	EvShardHedgeWin:   {Name: "shard.hedge.win", A: "offset", B: "latency_ns"},
 	EvShardGatherDone: {Name: "shard.gather.done", A: "shards", B: "rows"},
+
+	EvLeaseGrow: {Name: "lease.grow", A: "granted", B: "total_granted"},
+
+	EvAdaptSeed:       {Name: "adapt.seed", A: "degree", B: "planned"},
+	EvAdaptGrow:       {Name: "adapt.grow", A: "degree", B: "previous"},
+	EvAdaptShrink:     {Name: "adapt.shrink", A: "degree", B: "previous"},
+	EvAdaptSpecIssue:  {Name: "adapt.spec.issue", A: "page", B: "pages"},
+	EvAdaptSpecCancel: {Name: "adapt.spec.cancel", A: "dropped", B: "hits"},
 }
 
 // Describe returns the schema entry for t (the zero Desc for an unknown

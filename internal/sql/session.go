@@ -168,7 +168,7 @@ func (s *Session) selectStmt(st *Statement) (string, error) {
 func (s *Session) explainAnalyze(st *Statement, q pioqo.Query) (string, error) {
 	var tel pioqo.QueryTelemetry
 	res, err := s.sys.Execute(q,
-		pioqo.WithPlanOptions(s.planOptions()), pioqo.CaptureTelemetry(&tel))
+		pioqo.WithPlanOptions(s.planOptions()), pioqo.WithTrace(&tel))
 	if err != nil {
 		return "", err
 	}

@@ -93,7 +93,7 @@ func (s *System) planJoin(q JoinQuery, po PlanOptions) (opt.JoinPlan, opt.Input,
 // ExecuteJoin optimizes and runs a join. Both sides require an index only
 // if their chosen plan needs one; unindexed tables simply restrict the
 // planner (to full scans, and to the hash join on the probe side).
-func (s *System) ExecuteJoin(q JoinQuery, opts ...ExecOption) (JoinResult, error) {
+func (s *System) ExecuteJoin(q JoinQuery, opts ...QueryOption) (JoinResult, error) {
 	var eo queryOptions
 	for _, o := range opts {
 		o(&eo)

@@ -135,23 +135,6 @@ func (s *System) MetricsSnapshot() MetricsSnapshot {
 	return MetricsSnapshot{snap: s.reg.Snapshot()}
 }
 
-// CaptureTelemetry records the query's telemetry into dst — span tree and
-// attributed metrics — without installing a system-wide observer.
-//
-// Deprecated: use WithTrace, the consolidated QueryOption spelling. The
-// two are identical.
-func CaptureTelemetry(dst *QueryTelemetry) QueryOption {
-	return WithTrace(dst)
-}
-
-// DetailedTrace is the pre-Query spelling of WithDetailedTrace.
-//
-// Deprecated: use WithDetailedTrace, the consolidated QueryOption
-// spelling. The two are identical.
-func DetailedTrace() ExecOption {
-	return WithDetailedTrace()
-}
-
 // telemetrySession carries the per-query trace plumbing between Execute's
 // phases. A nil session (tracing off) is inert: its fields read as nil and
 // every obs call on them is a no-op.
@@ -176,7 +159,7 @@ func (ts *telemetrySession) trc() *obs.Tracer {
 }
 
 // startTelemetry opens a per-query trace when anyone is listening — the
-// system observer or a CaptureTelemetry option — and snapshots the registry
+// system observer or a WithTrace option — and snapshots the registry
 // so the finished query's metrics can be attributed by diff.
 func (s *System) startTelemetry(q Query, eo queryOptions) *telemetrySession {
 	if s.observer == nil && eo.telemetry == nil {

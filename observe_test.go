@@ -27,7 +27,7 @@ func operatorNode(t *testing.T, tel QueryTelemetry) *SpanNode {
 func TestTelemetrySpanTreeSumsToRuntime(t *testing.T) {
 	sys, tab := newCalibrated(t, SSD, 50000, 33)
 	var tel QueryTelemetry
-	res, err := sys.Execute(Query{Table: tab, Low: 0, High: 4999}, Cold(), CaptureTelemetry(&tel))
+	res, err := sys.Execute(Query{Table: tab, Low: 0, High: 4999}, Cold(), WithTrace(&tel))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,10 +77,10 @@ func TestMetricsAttributionAcrossQueries(t *testing.T) {
 
 	total0 := sys.MetricsSnapshot()
 	var cold, warm QueryTelemetry
-	if _, err := sys.Execute(q, Cold(), CaptureTelemetry(&cold)); err != nil {
+	if _, err := sys.Execute(q, Cold(), WithTrace(&cold)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Execute(q, CaptureTelemetry(&warm)); err != nil {
+	if _, err := sys.Execute(q, WithTrace(&warm)); err != nil {
 		t.Fatal(err)
 	}
 	totals := sys.MetricsSince(total0)
@@ -188,7 +188,7 @@ func TestTelemetryOffCostsNothing(t *testing.T) {
 	// No observer and no capture: the same query again must not have grown
 	// any trace state — exercised here simply by both paths agreeing.
 	var tel QueryTelemetry
-	res2, err := sys.Execute(Query{Table: tab, Low: 0, High: 199}, CaptureTelemetry(&tel))
+	res2, err := sys.Execute(Query{Table: tab, Low: 0, High: 199}, WithTrace(&tel))
 	if err != nil {
 		t.Fatal(err)
 	}

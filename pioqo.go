@@ -30,6 +30,7 @@ import (
 	"sort"
 	"time"
 
+	"pioqo/internal/adapt"
 	"pioqo/internal/broker"
 	"pioqo/internal/btree"
 	"pioqo/internal/cost"
@@ -104,6 +105,16 @@ type Config struct {
 	// opt-in is WithGreedyPlanning.
 	GreedyPlanning bool
 
+	// Adaptive makes feedback-driven execution the system default: every
+	// eligible query (demand full scans and index scans) runs under the
+	// per-query feedback controller, which seeds its initial degree from
+	// the calibration sweep's DOP model and retunes worker count and
+	// readahead at batch boundaries from live device, broker, and pool
+	// signals. Off by default — static plans stay byte-identical to
+	// previous releases. Per-query opt-in is WithAdaptive; per-query
+	// opt-out is WithStaticDegree.
+	Adaptive bool
+
 	// EventLog, when positive, enables the engine's structured event log
 	// at assembly time with that ring capacity (see EnableEventLog).
 	// Default 0: disabled, with every emit site a single nil check.
@@ -167,6 +178,14 @@ type System struct {
 	tables map[string]*Table
 	model  *cost.QDTT
 
+	// adaptive is the Config.Adaptive system default; dop is the offline
+	// DOP model fit on the calibration sweep's points, consulted by
+	// adaptive executions to seed their initial degree. dop is dropped
+	// with the cost model (LoadModel restores no sweep, so a loaded model
+	// runs adaptively with static-plan seeds).
+	adaptive bool
+	dop      *adapt.Model
+
 	// memo caches plan enumerations across queries; depthOne caches the
 	// model's depth-oblivious projection for DepthOblivious planning. Both
 	// are dropped whenever a calibration installs a new model.
@@ -224,6 +243,7 @@ func New(cfg Config) *System {
 		seed:      cfg.Seed,
 		partition: cfg.Partition,
 		noDegrade: cfg.NoDegradationReplan,
+		adaptive:  cfg.Adaptive,
 		tables:    make(map[string]*Table),
 		memo:      opt.NewMemo(),
 		pcache:    opt.NewParamCache(),

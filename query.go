@@ -393,6 +393,9 @@ func (s *System) executePlan(q Query, plan Plan, eo queryOptions, ts *telemetryS
 	if plan.Method != FullTableScan && part.idx == nil {
 		return Result{}, fmt.Errorf("%w: table %q has no index", ErrInvalidQuery, q.Table.Name())
 	}
+	if err := eo.checkAdaptive(); err != nil {
+		return Result{}, &QueryError{Op: "query", Table: q.Table.Name(), Err: err}
+	}
 	if eo.degree > 0 {
 		plan.Degree = eo.degree
 	}
@@ -421,6 +424,16 @@ func (s *System) executePlan(q Query, plan Plan, eo queryOptions, ts *telemetryS
 		Retry:             eo.retry.internal(),
 		QID:               qid,
 		Progress:          &pages,
+	}
+	if s.adaptiveOn(eo) {
+		// Standalone executions are ungoverned (no lease — the whole supply
+		// is theirs), but growth still respects the band's beneficial depth,
+		// read from the shared broker's calibrated credit supply.
+		beneficial := 0
+		if b, err := s.sharedBroker(); err == nil {
+			beneficial = b.Total()
+		}
+		s.attachAdaptive(&spec, q, &plan, eo, nil, beneficial)
 	}
 	ctx := s.execContext()
 	ctx.Tracer = ts.trc()
@@ -451,6 +464,7 @@ type queryOptions struct {
 	detail      bool
 	staticSplit bool
 	noShare     bool
+	adaptive    bool
 	degree      int
 	timeout     time.Duration
 	retry       RetryPolicy

@@ -85,14 +85,10 @@ func (s *System) newControl(ctx context.Context, eo queryOptions) (*fault.Contro
 
 // QueryOption tunes a query execution. One option set serves every
 // entrypoint — Query, Execute, ExecutePlan, ExecuteConcurrent, and
-// Session.Submit.
+// Session.Submit. (The pre-Query ExecOption alias and the CaptureTelemetry
+// and DetailedTrace spellings, deprecated since the consolidation, are
+// gone; spell them QueryOption, WithTrace, and WithDetailedTrace.)
 type QueryOption func(*queryOptions)
-
-// ExecOption is the pre-Query name for QueryOption.
-//
-// Deprecated: use QueryOption. The two are identical; ExecOption remains
-// for source compatibility with callers written against Execute.
-type ExecOption = QueryOption
 
 // RetryPolicy bounds how the executor responds to device read faults: a
 // failed page read is retried up to MaxAttempts total attempts with
@@ -114,9 +110,11 @@ func (p RetryPolicy) internal() fault.RetryPolicy {
 	}
 }
 
-// WithDegree overrides the optimizer's chosen parallel degree for this
-// query (the planner's cost estimates are reported unchanged).
-func WithDegree(n int) QueryOption { return func(o *queryOptions) { o.degree = n } }
+// WithDegree pins the query's parallel degree to n — the original spelling
+// of WithStaticDegree, and identical to it: the optimizer's choice is
+// overridden (cost estimates are reported unchanged) and the query opts
+// out of adaptive retuning. Mutually exclusive with WithAdaptive.
+func WithDegree(n int) QueryOption { return WithStaticDegree(n) }
 
 // WithTimeout arms a virtual-time deadline: the query aborts with
 // ErrDeadlineExceeded once d of virtual time has elapsed, at its next

@@ -18,8 +18,8 @@ go test ./...
 # telemetry paths (observer + per-query WithTrace attribution under
 # concurrent sessions, event log, progress, SLO reporting).
 go vet ./...
-go test -race ./internal/sim/... ./internal/obs/... ./internal/host/... ./internal/experiments/... ./internal/exec/... ./internal/opt/... ./internal/broker/... ./internal/fault/... ./internal/buffer/... ./internal/node/...
-go test -race -run 'TestEventLog|TestLiveProgress|TestSLOReport|TestConcurrentAttribution|TestObserver|TestCaptureTelemetry' .
+go test -race ./internal/sim/... ./internal/obs/... ./internal/host/... ./internal/experiments/... ./internal/exec/... ./internal/opt/... ./internal/broker/... ./internal/fault/... ./internal/buffer/... ./internal/node/... ./internal/adapt/...
+go test -race -run 'TestEventLog|TestLiveProgress|TestSLOReport|TestConcurrentAttribution|TestObserver|TestAdaptive|TestWithAdaptive' .
 
 # Node-assembly lint: a cluster node's storage stack (device, fault
 # injector, disk manager, buffer pool, share registry) is assembled in
@@ -149,6 +149,28 @@ for ev in shard.scatter shard.partial shard.hedge.issue shard.hedge.win shard.ga
 		exit 1
 	fi
 done
+
+# Every adaptive-execution event type must be described in the event
+# catalog; an empty Desc breaks JSONL consumers.
+for ev in adapt.seed adapt.grow adapt.shrink adapt.spec.issue adapt.spec.cancel lease.grow; do
+	if ! grep -q "\"$ev\"" internal/obs/event/catalog.go; then
+		echo "verify: adaptive event $ev missing from internal/obs/event/catalog.go" >&2
+		exit 1
+	fi
+done
+
+# Degree-change lint: mid-flight parallelism changes acquire credits
+# through the broker lease's grow path and nowhere else. The controller
+# (internal/adapt) is the only caller of Lease.Grow, and the broker is the
+# only definer; a call anywhere else bypasses admission control and the
+# governed-teardown accounting that keeps lease credits conserved.
+if grep -rn '\.Grow(' --include='*.go' . |
+	grep -v '_test\.go' |
+	grep -v './internal/adapt/' |
+	grep -v './internal/broker/'; then
+	echo "verify: Lease.Grow called outside internal/adapt (degree changes go through the controller's lease path)" >&2
+	exit 1
+fi
 
 # Zero-overhead gate: the disabled event-log path must stay allocation-free
 # — a nil log's Emit is one comparison, so observability-off runs remain

@@ -116,7 +116,7 @@ func (s *System) OpenSession() (*Session, error) {
 
 // Submit enqueues q for admission-controlled execution on the default
 // session, opening it on first use. Drain runs the submitted queries.
-func (s *System) Submit(q Query, opts ...ExecOption) (*Submission, error) {
+func (s *System) Submit(q Query, opts ...QueryOption) (*Submission, error) {
 	if s.session == nil {
 		ses, err := s.OpenSession()
 		if err != nil {
@@ -187,6 +187,9 @@ func (ses *Session) Submit(q Query, opts ...QueryOption) (*Submission, error) {
 		o(&eo)
 	}
 	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	if err := eo.checkAdaptive(); err != nil {
 		return nil, err
 	}
 	if eo.cold {
@@ -331,6 +334,11 @@ func (ses *Session) submit(q Query, eo queryOptions) (*Submission, error) {
 		if sharing && !plan.Shared && shares.Interest(file) > 1 {
 			spec.CoordPrefetch = true
 		}
+		// Adaptive submissions retune through their own lease: every degree
+		// the controller grows to is secured by re-leasing free credits
+		// mid-flight, and shed workers return credits through the governed
+		// teardown the broker already runs for static queries.
+		s.attachAdaptive(&spec, q, &plan, eo, lease, ses.b.Total())
 		ctx := s.execContext()
 		ctx.Tracer = ts.trc()
 		t0 := p.Now()

@@ -100,10 +100,10 @@ func TestSessionTelemetryRecordsAdmission(t *testing.T) {
 		t.Fatal(err)
 	}
 	var tel1, tel2 QueryTelemetry
-	if _, err := ses.Submit(Query{Table: tab, Low: 0, High: 999}, CaptureTelemetry(&tel1)); err != nil {
+	if _, err := ses.Submit(Query{Table: tab, Low: 0, High: 999}, WithTrace(&tel1)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ses.Submit(Query{Table: tab, Low: 25000, High: 25999}, CaptureTelemetry(&tel2)); err != nil {
+	if _, err := ses.Submit(Query{Table: tab, Low: 25000, High: 25999}, WithTrace(&tel2)); err != nil {
 		t.Fatal(err)
 	}
 	if err := ses.Drain(); err != nil {

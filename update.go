@@ -40,7 +40,7 @@ type UpdateResult struct {
 // Update optimizes the locating scan like any query, applies the mutation
 // through the buffer pool, and checkpoints dirty pages before returning.
 // Only materialized tables are updatable (synthetic values are computed).
-func (s *System) Update(q UpdateQuery, opts ...ExecOption) (UpdateResult, error) {
+func (s *System) Update(q UpdateQuery, opts ...QueryOption) (UpdateResult, error) {
 	if q.Table == nil {
 		return UpdateResult{}, errors.New("pioqo: update without a table")
 	}
